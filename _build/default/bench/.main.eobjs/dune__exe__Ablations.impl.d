@@ -1,0 +1,1 @@
+bench/ablations.ml: Bench_common Control Dctcp Fluid List Printf Stats Workloads

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Dctcp Engine Int64 Printf Stdlib String Workloads

@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Bench_common Dctcp Engine Float List Net Printf Stats String Tcp Workloads

@@ -1,0 +1,1 @@
+bench/fig_incast.ml: Bench_common Hashtbl List Printf Stats String Workloads

@@ -1,0 +1,1 @@
+bench/fig_queue.ml: Array Bench_common Dctcp Engine Float List Net Printf Stats Stdlib String Workloads

@@ -1,0 +1,1 @@
+bench/fig_spectrum.ml: Array Bench_common Control Engine Float List Printf Stats Workloads

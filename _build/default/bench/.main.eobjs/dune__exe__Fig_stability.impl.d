@@ -1,0 +1,1 @@
+bench/fig_stability.ml: Bench_common Control Float Format List Printf Stats

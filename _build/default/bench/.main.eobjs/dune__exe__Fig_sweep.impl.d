@@ -1,0 +1,1 @@
+bench/fig_sweep.ml: Array Bench_common List Printf Stats Workloads

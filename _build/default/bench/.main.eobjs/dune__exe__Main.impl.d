@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bench_common Extensions Fig_incast Fig_queue Fig_spectrum Fig_stability Fig_sweep List Perf Printf String Sys Unix

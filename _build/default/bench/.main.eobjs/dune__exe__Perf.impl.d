@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Array Bechamel Bench_common Benchmark Dctcp Engine Hashtbl Instance List Measure Net Printf Staged Stats Tcp Test Time Toolkit

@@ -1,0 +1,262 @@
+(* Ablation benches for the design choices DESIGN.md calls out: threshold
+   placement, the EWMA gain g, the marking-policy family, and the fluid
+   model as a cross-check of the packet simulator. *)
+
+module L = Workloads.Longlived
+module Fm = Fluid.Dctcp_fluid
+
+let ablation_thresholds () =
+  Bench_common.section_header
+    "Ablation A: DT-DCTCP threshold placement at N=60 (K=40 equivalent)";
+  let cfg = Bench_common.longlived_config ~n:60 () in
+  let t =
+    Stats.Table.create ~title:"queue statistics vs (K1, K2), packets"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "policy";
+          Stats.Table.column "mean q";
+          Stats.Table.column "std q";
+          Stats.Table.column "alpha";
+          Stats.Table.column "util";
+        ]
+  in
+  let run name proto =
+    let r = L.run proto cfg in
+    Stats.Table.add_row t
+      [
+        name;
+        Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
+        Stats.Table.fmt_f 2 r.L.std_queue_pkts;
+        Stats.Table.fmt_f 3 r.L.mean_alpha;
+        Stats.Table.fmt_f 3 r.L.utilization;
+      ]
+  in
+  run "DCTCP K=40" (Dctcp.Protocol.dctcp_pkts ~k:40 ());
+  List.iter
+    (fun (k1, k2) ->
+      run
+        (Printf.sprintf "DT K1=%d K2=%d" k1 k2)
+        (Dctcp.Protocol.dt_dctcp_pkts ~k1 ~k2 ()))
+    [ (35, 45); (30, 50); (25, 55); (20, 60); (38, 42) ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nWider splits start marking earlier (lower mean queue) and stop\n\
+     earlier on descents; too wide a split costs utilization headroom.\n"
+
+let ablation_g () =
+  Bench_common.section_header "Ablation B: EWMA gain g at N=60";
+  let t =
+    Stats.Table.create ~title:"queue statistics vs g"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "g";
+          Stats.Table.column "DCTCP mean q";
+          Stats.Table.column "DCTCP std q";
+          Stats.Table.column "DT mean q";
+          Stats.Table.column "DT std q";
+        ]
+  in
+  List.iter
+    (fun (label, g) ->
+      let cfg = Bench_common.longlived_config ~n:60 () in
+      let rdc = L.run (Dctcp.Protocol.dctcp_pkts ~g ~k:40 ()) cfg in
+      let rdt = L.run (Dctcp.Protocol.dt_dctcp_pkts ~g ~k1:30 ~k2:50 ()) cfg in
+      Stats.Table.add_row t
+        [
+          label;
+          Stats.Table.fmt_f 1 rdc.L.mean_queue_pkts;
+          Stats.Table.fmt_f 2 rdc.L.std_queue_pkts;
+          Stats.Table.fmt_f 1 rdt.L.mean_queue_pkts;
+          Stats.Table.fmt_f 2 rdt.L.std_queue_pkts;
+        ])
+    [ ("1/4", 0.25); ("1/16", 1. /. 16.); ("1/64", 1. /. 64.) ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nThe paper fixes g=1/16; the DT advantage in stddev persists across\n\
+     gains (slower gains smooth alpha but react later).\n"
+
+let ablation_policies () =
+  Bench_common.section_header
+    "Ablation C: marking-policy family at N=60 (same sender where applicable)";
+  let cfg = Bench_common.longlived_config ~n:60 () in
+  let t =
+    Stats.Table.create ~title:"protocol family comparison"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "protocol";
+          Stats.Table.column "mean q";
+          Stats.Table.column "std q";
+          Stats.Table.column "util";
+          Stats.Table.column "drops";
+        ]
+  in
+  let run name proto =
+    let r = L.run proto cfg in
+    Stats.Table.add_row t
+      [
+        name;
+        Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
+        Stats.Table.fmt_f 2 r.L.std_queue_pkts;
+        Stats.Table.fmt_f 3 r.L.utilization;
+        string_of_int r.L.drops;
+      ]
+  in
+  run "DCTCP K=40" (Dctcp.Protocol.dctcp_pkts ~k:40 ());
+  run "DT-DCTCP (30,50)" (Dctcp.Protocol.dt_dctcp_pkts ~k1:30 ~k2:50 ());
+  run "ECN-Reno K=40" (Dctcp.Protocol.ecn_reno ~k_bytes:(40 * 1500));
+  run "Reno (drop-tail)" (Dctcp.Protocol.reno ());
+  Stats.Table.print t;
+  Printf.printf
+    "\nThe paper's background claim: plain ECN (on/off halving) wastes the\n\
+     queue headroom and Reno fills the buffer; DCTCP holds the queue near K\n\
+     and DT-DCTCP holds it with less variance.\n"
+
+let df_vs_fluid () =
+  Bench_common.section_header
+    "Validation: DF-predicted limit cycle vs integrated fluid model \
+     (long-RTT configuration, R0=1ms, fixed-RTT fluid as in the analysis)";
+  let c = 10e9 /. 12000. and r0 = 1e-3 and g = 1. /. 16. in
+  let grids =
+    { Control.Stability.default_grids with
+      Control.Stability.w_points = 1200; x_points = 600 }
+  in
+  let t =
+    Stats.Table.create
+      ~title:"amplitude X (pkts) and frequency w (rad/s): prediction vs fluid"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "protocol";
+          Stats.Table.column "N";
+          Stats.Table.column "DF X";
+          Stats.Table.column "fluid X";
+          Stats.Table.column "DF w";
+          Stats.Table.column "fluid w";
+        ]
+  in
+  let fluid_cycle marking n =
+    let p =
+      Fm.make ~variable_rtt:false ~n ~c ~r0 ~g ~marking
+        ~init_w:(r0 *. c /. float_of_int n)
+        ~init_alpha:0.3 ~init_q:20. ()
+    in
+    let traj = Fm.simulate p ~t_end:1.0 () in
+    Fluid.Limit_cycle.of_queue traj ~discard:0.5
+  in
+  List.iter
+    (fun n ->
+      let params = Control.Plant.params ~c ~n ~r0 ~g in
+      let add name verdict cycle =
+        let df_x, df_w =
+          match verdict with
+          | Control.Stability.Oscillatory o ->
+              ( Stats.Table.fmt_f 1 o.Control.Stability.amplitude,
+                Stats.Table.fmt_f 0 o.Control.Stability.omega )
+          | Control.Stability.Stable -> ("stable", "-")
+        in
+        let fl_x, fl_w =
+          match cycle with
+          | Some (lc : Fluid.Limit_cycle.t) ->
+              ( Stats.Table.fmt_f 1 lc.Fluid.Limit_cycle.amplitude,
+                Stats.Table.fmt_f 0 lc.Fluid.Limit_cycle.omega )
+          | None -> ("none", "-")
+        in
+        Stats.Table.add_row t [ name; string_of_int n; df_x; fl_x; df_w; fl_w ]
+      in
+      add "DCTCP"
+        (Control.Stability.dctcp ~grids params ~k:40.)
+        (fluid_cycle (Fm.Single 40.) n);
+      add "DT-DCTCP"
+        (Control.Stability.dt_dctcp ~grids params ~k1:30. ~k2:50.)
+        (fluid_cycle (Fm.Double (30., 50.)) n))
+    [ 60; 100; 150 ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nThe DF is a first-harmonic approximation of a saw-like waveform, so\n\
+     factor-<2 agreement is the expected accuracy; the ordering it predicts\n\
+     (DT-DCTCP oscillates with smaller amplitude and higher frequency than\n\
+     DCTCP at every N) holds exactly in the integrated model.\n"
+
+let ablation_testbed_labels () =
+  Bench_common.section_header
+    "Ablation E: the two readings of the testbed's (K1=34KB, K2=28KB)";
+  let repeats = Bench_common.scale_int 10 in
+  let t =
+    Stats.Table.create
+      ~title:"Incast goodput (Mbps) under both label readings"
+      ~columns:
+        [
+          Stats.Table.column "flows";
+          Stats.Table.column "DCTCP 32KB";
+          Stats.Table.column "start28/stop34";
+          Stats.Table.column "thermostat 34/28";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let run proto =
+        let r =
+          Workloads.Incast.run proto
+            { Workloads.Incast.default_config with
+              Workloads.Incast.n_flows = n; repeats }
+        in
+        Stats.Table.fmt_f 1 (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps)
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          run (Dctcp.Protocol.dctcp ~k_bytes:(32 * 1024) ());
+          run
+            (Dctcp.Protocol.dt_dctcp ~k1_bytes:(28 * 1024)
+               ~k2_bytes:(34 * 1024) ());
+          run
+            (Dctcp.Protocol.dt_dctcp ~k1_bytes:(34 * 1024)
+               ~k2_bytes:(28 * 1024) ());
+        ])
+    [ 28; 30; 32; 34; 36; 38; 40 ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nRead literally (thermostat: start 34KB, stop 28KB) the DT thresholds\n\
+     collapse no later than DCTCP; read as (start=lower, stop=higher) they\n\
+     postpone the collapse as the paper's Figure 14 reports — the basis for\n\
+     the label-swap conclusion in DESIGN.md.\n"
+
+let fluid_vs_sim () =
+  Bench_common.section_header
+    "Ablation D: fluid model (Eqs. 1-3) vs packet simulation";
+  let c = 10e9 /. 12000. in
+  let t =
+    Stats.Table.create ~title:"mean queue (packets), fluid vs packet-level"
+      ~columns:
+        [
+          Stats.Table.column "N";
+          Stats.Table.column "fluid DCTCP";
+          Stats.Table.column "sim DCTCP";
+          Stats.Table.column "fluid DT";
+          Stats.Table.column "sim DT";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let fluid marking =
+        let p = Fm.make ~n ~c ~r0:1e-4 ~g:(1. /. 16.) ~marking () in
+        let traj = Fm.simulate p ~t_end:0.15 () in
+        fst (Fm.queue_stats traj ~discard:0.05)
+      in
+      let cfg = Bench_common.longlived_config ~n () in
+      let sim_dc = L.run (Bench_common.dctcp_sim ()) cfg in
+      let sim_dt = L.run (Bench_common.dt_sim ()) cfg in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          Stats.Table.fmt_f 1 (fluid (Fm.Single 40.));
+          Stats.Table.fmt_f 1 sim_dc.L.mean_queue_pkts;
+          Stats.Table.fmt_f 1 (fluid (Fm.Double (30., 50.)));
+          Stats.Table.fmt_f 1 sim_dt.L.mean_queue_pkts;
+        ])
+    [ 10; 30; 60; 100 ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nThe deterministic fluid model sits near the thresholds by\n\
+     construction; the packet simulator adds ACK-clocking burstiness and\n\
+     window quantization, which lift the mean at large N (the oscillation\n\
+     the paper studies).\n"

@@ -1,0 +1,277 @@
+(* Extension benches beyond the reproduced paper: D2TCP (the deadline-aware
+   DCTCP derivative the paper's introduction cites) and the queue-buildup
+   mixed-traffic experiment from the original DCTCP paper. *)
+
+module Time = Engine.Time
+module D = Workloads.Deadline
+module Dy = Workloads.Dynamic
+
+let d2tcp () =
+  Bench_common.section_header
+    "Extension: D2TCP (deadline-aware backoff) vs DCTCP";
+  let repeats = Bench_common.scale_int 10 in
+  let cfg n =
+    {
+      D.default_config with
+      D.n_flows = n;
+      repeats;
+      rate_bps = 10e9;
+      buffer_bytes = 512 * 1024;
+      bytes_per_flow = 300 * 1024;
+      min_rto = Time.span_of_ms 10.;
+      deadline = Time.span_of_ms 2.;
+      deadline_spread = Time.span_of_ms 4.;
+    }
+  in
+  let marking () =
+    Dctcp.Marking_policies.single_threshold ~k_bytes:(40 * 1500)
+  in
+  let t =
+    Stats.Table.create
+      ~title:
+        "fraction of deadlines met (300 KB flows, deadlines uniform 2-6 ms, \
+         10 Gbps star)"
+      ~columns:
+        [
+          Stats.Table.column "flows";
+          Stats.Table.column "DCTCP met";
+          Stats.Table.column "D2TCP met";
+          Stats.Table.column "DCTCP p99 (ms)";
+          Stats.Table.column "D2TCP p99 (ms)";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let dctcp = D.run ~marking (D.Plain (Dctcp.Dctcp_cc.cc ())) (cfg n) in
+      let d2tcp =
+        D.run ~marking
+          (D.Deadline_aware
+             (fun ~total_segments ~deadline ->
+               Dctcp.D2tcp_cc.cc ~total_segments ~deadline ()))
+          (cfg n)
+      in
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          Stats.Table.fmt_f 3 dctcp.D.met_fraction;
+          Stats.Table.fmt_f 3 d2tcp.D.met_fraction;
+          Stats.Table.fmt_f 2 (dctcp.D.p99_completion_s *. 1e3);
+          Stats.Table.fmt_f 2 (d2tcp.D.p99_completion_s *. 1e3);
+        ])
+    [ 6; 8; 10; 12; 16; 20 ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nD2TCP's imminence-gated backoff (p = alpha^d) trades bandwidth toward\n\
+     near-deadline flows; the gain concentrates in the mid fan-in range\n\
+     where windows are still several segments (at high fan-in every window\n\
+     is pinned at ~1 segment and no backoff policy can shift bandwidth).\n\
+     This implementation omits the original's hardware pacing.\n"
+
+let sack () =
+  Bench_common.section_header
+    "Extension: SACK vs go-back-N recovery in the Incast regime";
+  let repeats = Bench_common.scale_int 10 in
+  let t =
+    Stats.Table.create
+      ~title:"DCTCP Incast goodput (Mbps) and timeouts with each recovery"
+      ~columns:
+        [
+          Stats.Table.column "flows";
+          Stats.Table.column "go-back-N";
+          Stats.Table.column "to/run";
+          Stats.Table.column "SACK";
+          Stats.Table.column "to/run";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let goodput sack_flag =
+        let r =
+          Workloads.Incast.run_with_sack ~sack:sack_flag
+            (Bench_common.dctcp_testbed ())
+            { Workloads.Incast.default_config with
+              Workloads.Incast.n_flows = n; repeats }
+        in
+        ( Stats.Table.fmt_f 1 (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps),
+          Stats.Table.fmt_f 1 r.Workloads.Incast.timeouts_per_run )
+      in
+      let g_gbn, t_gbn = goodput false in
+      let g_sack, t_sack = goodput true in
+      Stats.Table.add_row t [ string_of_int n; g_gbn; t_gbn; g_sack; t_sack ])
+    [ 28; 32; 34; 36; 40; 44 ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nA negative result worth keeping: the columns are identical. Incast\n\
+     losses here are whole-window tail losses on 1-2 segment windows, so\n\
+     triple duplicate ACKs never occur, fast retransmit (where SACK acts)\n\
+     never engages, and every recovery is a min-RTO wait. SACK's benefit\n\
+     shows on partial window losses instead (see the lossy-transfer tests:\n\
+     ~5x less resend overhead than go-back-N).\n"
+
+let convergence () =
+  Bench_common.section_header
+    "Extension: convergence under flow churn (DCTCP paper's convergence test)";
+  let cfg =
+    {
+      Workloads.Convergence.default_config with
+      Workloads.Convergence.join_interval =
+        Bench_common.scale_span (Engine.Time.span_of_ms 400.);
+      hold = Bench_common.scale_span (Engine.Time.span_of_ms 400.);
+    }
+  in
+  List.iter
+    (fun (name, proto) ->
+      let r = Workloads.Convergence.run proto cfg in
+      let module C = Workloads.Convergence in
+      Printf.printf "\n%s: per-flow share over time (Mbps)\n" name;
+      let series =
+        List.init 5 (fun i ->
+            ( Printf.sprintf "flow %d" i,
+              Array.map (fun w -> w.(i) /. 1e6) r.C.shares ))
+      in
+      print_string
+        (Stats.Ascii_plot.render ~height:11 ~series ());
+      Printf.printf
+        "  convergence times (ms): %s\n  Jain (all active): %.3f   \
+         utilization: %.3f\n"
+        (String.concat ", "
+           (Array.to_list
+              (Array.map
+                 (fun t ->
+                   if Float.is_nan t then "-" else Printf.sprintf "%.0f" (t *. 1e3))
+                 r.C.convergence_times_s)))
+        r.C.jain_steady r.C.utilization_steady)
+    [
+      ("DCTCP", Bench_common.dctcp_sim ());
+      ("DT-DCTCP", Bench_common.dt_sim ());
+    ];
+  Printf.printf
+    "\nFlows join every 400 ms then leave in join order; both protocols\n\
+     converge each newcomer to its fair share within tens of ms (tens to\n\
+     hundreds of RTTs) and keep near-1 Jain fairness while all five are\n\
+     active.\n"
+
+let parking_lot () =
+  Bench_common.section_header
+    "Extension: multi-bottleneck fairness (parking lot, 3 hops)";
+  let t =
+    Stats.Table.create
+      ~title:
+        "goodput (Mbps): one long flow across 3 marked trunks vs one cross \
+         flow per hop (1 Gbps trunks)"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "protocol";
+          Stats.Table.column "long flow";
+          Stats.Table.column "cross 0";
+          Stats.Table.column "cross 1";
+          Stats.Table.column "cross 2";
+          Stats.Table.column "long/fair";
+        ]
+  in
+  List.iter
+    (fun (name, proto) ->
+      let sim = Engine.Sim.create ~seed:11L () in
+      let pl =
+        Net.Topology.parking_lot sim ~hops:3 ~rate_bps:1e9
+          ~buffer_bytes:(300 * 1500)
+          ~marking:proto.Dctcp.Protocol.marking ()
+      in
+      let tcp_config =
+        { Tcp.Sender.default_config with min_rto = Time.span_of_ms 10. }
+      in
+      let mk ~flow src dst =
+        Tcp.Flow.create sim ~src ~dst ~flow ~cc:proto.Dctcp.Protocol.cc
+          ~config:tcp_config ~echo:proto.Dctcp.Protocol.echo ()
+      in
+      let long = mk ~flow:0 pl.Net.Topology.long_src pl.Net.Topology.long_dst in
+      let crosses =
+        Array.init 3 (fun i ->
+            mk ~flow:(1 + i)
+              pl.Net.Topology.cross_srcs.(i)
+              pl.Net.Topology.cross_dsts.(i))
+      in
+      Tcp.Flow.start long;
+      Array.iter Tcp.Flow.start crosses;
+      let warm = Bench_common.scale_span (Time.span_of_ms 100.) in
+      let measure = Bench_common.scale_span (Time.span_of_ms 300.) in
+      Engine.Sim.run ~until:(Time.of_ns warm) sim;
+      let base_long = Tcp.Flow.segments_delivered long in
+      let base_cross = Array.map Tcp.Flow.segments_delivered crosses in
+      Engine.Sim.run ~until:(Time.add (Time.of_ns warm) measure) sim;
+      let window = Time.span_to_sec measure in
+      let rate base f =
+        float_of_int ((Tcp.Flow.segments_delivered f - base) * 1500 * 8)
+        /. window /. 1e6
+      in
+      let long_rate = rate base_long long in
+      let cross_rates = Array.mapi (fun i f -> rate base_cross.(i) f) crosses in
+      Stats.Table.add_row t
+        [
+          name;
+          Stats.Table.fmt_f 1 long_rate;
+          Stats.Table.fmt_f 1 cross_rates.(0);
+          Stats.Table.fmt_f 1 cross_rates.(1);
+          Stats.Table.fmt_f 1 cross_rates.(2);
+          Stats.Table.fmt_f 2 (long_rate /. 500.);
+        ])
+    [
+      ("DCTCP", Bench_common.dctcp_sim ());
+      ("DT-DCTCP", Bench_common.dt_sim ());
+      ("Reno", Dctcp.Protocol.reno ());
+    ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nThe long flow crosses three marked queues, so it sees roughly the\n\
+     union of the marks and falls below the per-link fair share of 500 Mbps\n\
+     (the classic multi-bottleneck beat-down); cross flows absorb the rest.\n"
+
+let queue_buildup () =
+  Bench_common.section_header
+    "Extension: queue buildup under mixed traffic (DCTCP paper sec. 3.3)";
+  let cfg =
+    {
+      Dy.default_config with
+      Dy.duration = Bench_common.scale_span (Time.span_of_ms 200.);
+    }
+  in
+  let t =
+    Stats.Table.create
+      ~title:
+        "2 background long flows + Poisson 21 KB short flows (5k/s), 10 Gbps"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "protocol";
+          Stats.Table.column "short FCT p50 (us)";
+          Stats.Table.column "p99 (us)";
+          Stats.Table.column "max (us)";
+          Stats.Table.column "bg tput (Gbps)";
+          Stats.Table.column "queue (pkts)";
+        ]
+  in
+  List.iter
+    (fun (name, proto) ->
+      let r = Dy.run proto cfg in
+      Stats.Table.add_row t
+        [
+          name;
+          Stats.Table.fmt_f 0 (r.Dy.fct_p50_s *. 1e6);
+          Stats.Table.fmt_f 0 (r.Dy.fct_p99_s *. 1e6);
+          Stats.Table.fmt_f 0 (r.Dy.fct_max_s *. 1e6);
+          Stats.Table.fmt_f 2 (r.Dy.background_throughput_bps /. 1e9);
+          Printf.sprintf "%.1f +- %.1f" r.Dy.mean_queue_pkts
+            r.Dy.std_queue_pkts;
+        ])
+    [
+      ("DCTCP", Bench_common.dctcp_sim ());
+      ("DT-DCTCP", Bench_common.dt_sim ());
+      ("ECN-Reno", Dctcp.Protocol.ecn_reno ~k_bytes:(40 * 1500));
+      ("Reno", Dctcp.Protocol.reno ());
+    ];
+  Stats.Table.print t;
+  Printf.printf
+    "\nReno's standing queue inflates every short flow's completion by the\n\
+     queueing delay (~6x at the median here); the DCTCP family keeps the\n\
+     queue at the marking threshold so short flows cut through, and\n\
+     DT-DCTCP's lower queue floor shaves latency further - the paper's\n\
+     motivation for low, stable queues in one table.\n"

@@ -1,0 +1,75 @@
+(* Figure-reproduction harness: one section per table/figure of the paper's
+   evaluation, plus ablations and substrate micro-benchmarks.
+
+   Usage: main.exe [--quick] [section ...]
+   Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid perf
+   (default: all). *)
+
+let sections =
+  [
+    ("fig1", Fig_queue.fig1);
+    ("fig2", Fig_queue.fig2);
+    ("fig_df", Fig_stability.fig_df);
+    ("fig9", Fig_stability.fig9);
+    ("sweep", Fig_sweep.figs_10_11_12);
+    ("fig14", Fig_incast.fig14);
+    ("fig15", Fig_incast.fig15);
+    ( "ablations",
+      fun () ->
+        Ablations.ablation_thresholds ();
+        Ablations.ablation_g ();
+        Ablations.ablation_policies ();
+        Ablations.ablation_testbed_labels () );
+    ("fluid", Ablations.fluid_vs_sim);
+    ("df_vs_fluid", Ablations.df_vs_fluid);
+    ("spectrum", Fig_spectrum.run);
+    ( "extensions",
+      fun () ->
+        Extensions.d2tcp ();
+        Extensions.sack ();
+        Extensions.queue_buildup ();
+        Extensions.convergence ();
+        Extensions.parking_lot () );
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          Bench_common.quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> sections
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name sections with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown section %S; known: %s\n" name
+                  (String.concat ", " (List.map fst sections));
+                exit 2)
+          names
+  in
+  Printf.printf
+    "DT-DCTCP reproduction harness (%s mode)\n\
+     Paper: Ease the Queue Oscillation: Analysis and Enhancement of DCTCP \
+     (ICDCS 2013)\n"
+    (if !Bench_common.quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let s0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "\n[%s done in %.1fs]\n%!" name
+        (Unix.gettimeofday () -. s0))
+    selected;
+  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

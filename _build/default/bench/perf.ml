@@ -1,0 +1,99 @@
+(* Bechamel micro-benchmarks of the simulator substrate: these are the
+   performance tables (events/second) rather than paper figures. *)
+
+open Bechamel
+open Toolkit
+
+let heap_churn () =
+  let h = Engine.Heap.create ~cmp:compare () in
+  for i = 0 to 255 do
+    Engine.Heap.push h ((i * 2_654_435_761) land 0xFFFF)
+  done;
+  for _ = 0 to 255 do
+    ignore (Engine.Heap.pop h)
+  done
+
+let sim_event_churn () =
+  let sim = Engine.Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 1024 then
+      ignore (Engine.Sim.schedule_after sim 100L tick)
+  in
+  ignore (Engine.Sim.schedule_after sim 100L tick);
+  Engine.Sim.run sim
+
+let queue_churn () =
+  let sim = Engine.Sim.create () in
+  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  for _ = 0 to 127 do
+    ignore
+      (Net.Queue_disc.enqueue q
+         (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+            Net.Packet.No_payload))
+  done;
+  while Net.Queue_disc.dequeue q <> None do
+    ()
+  done
+
+let small_transfer () =
+  let sim = Engine.Sim.create () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:1 ~bottleneck_rate_bps:10e9
+      ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(100 * 1500)
+      ~marking:(Dctcp.Marking_policies.single_threshold ~k_bytes:(40 * 1500))
+      ()
+  in
+  let flow =
+    Tcp.Flow.create sim ~src:d.Net.Topology.senders.(0)
+      ~dst:d.Net.Topology.receiver ~flow:0
+      ~cc:(Dctcp.Dctcp_cc.cc ()) ~limit_segments:100 ()
+  in
+  Tcp.Flow.start flow;
+  Engine.Sim.run ~until:(Engine.Time.of_ms 50.) sim
+
+let tests =
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"heap 256 push+pop" (Staged.stage heap_churn);
+      Test.make ~name:"sim 1k chained events" (Staged.stage sim_event_churn);
+      Test.make ~name:"queue 128 enq+deq" (Staged.stage queue_churn);
+      Test.make ~name:"dctcp 100-segment transfer" (Staged.stage small_transfer);
+    ]
+
+let run () =
+  Bench_common.section_header "Performance: simulator micro-benchmarks";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !Bench_common.quick then 0.25 else 1.0))
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Stats.Table.create ~title:"time per call (OLS fit on monotonic clock)"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "benchmark";
+          Stats.Table.column "ns/call";
+        ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | Some [] | None -> "n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Stats.Table.add_row t [ name; est ])
+    (List.sort compare !rows);
+  Stats.Table.print t

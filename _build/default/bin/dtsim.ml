@@ -1,0 +1,559 @@
+(* dtsim: command-line driver for the DT-DCTCP reproduction.
+
+   Subcommands run one scenario each and print a summary (optionally
+   dumping CSV traces), so individual experiments are scriptable without
+   touching the bench harness. *)
+
+open Cmdliner
+module Time = Engine.Time
+
+(* --- shared protocol arguments --- *)
+
+type proto_choice = P_dctcp | P_dt | P_reno | P_ecn_reno
+
+let proto_conv =
+  Arg.enum
+    [
+      ("dctcp", P_dctcp);
+      ("dt-dctcp", P_dt);
+      ("reno", P_reno);
+      ("ecn-reno", P_ecn_reno);
+    ]
+
+let proto_arg =
+  Arg.(
+    value
+    & opt proto_conv P_dctcp
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"Transport protocol: dctcp, dt-dctcp, reno or ecn-reno.")
+
+let k_arg =
+  Arg.(
+    value
+    & opt int 40
+    & info [ "k" ] ~docv:"PKTS" ~doc:"DCTCP marking threshold in packets.")
+
+let k1_arg =
+  Arg.(
+    value
+    & opt int 30
+    & info [ "k1" ] ~docv:"PKTS"
+        ~doc:"DT-DCTCP start-marking threshold (packets, rising).")
+
+let k2_arg =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "k2" ] ~docv:"PKTS"
+        ~doc:"DT-DCTCP stop-marking threshold (packets, falling).")
+
+let g_arg =
+  Arg.(
+    value
+    & opt float (1. /. 16.)
+    & info [ "g" ] ~docv:"G" ~doc:"DCTCP EWMA gain.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int64 1L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let segment_bytes = 1500
+
+let make_protocol proto g k k1 k2 =
+  match proto with
+  | P_dctcp -> Dctcp.Protocol.dctcp_pkts ~g ~k ()
+  | P_dt -> Dctcp.Protocol.dt_dctcp_pkts ~g ~k1 ~k2 ()
+  | P_reno -> Dctcp.Protocol.reno ()
+  | P_ecn_reno -> Dctcp.Protocol.ecn_reno ~k_bytes:(k * segment_bytes)
+
+(* --- longlived --- *)
+
+let longlived_cmd =
+  let run proto g k k1 k2 seed n rate_gbps rtt_us warmup_ms measure_ms
+      trace_csv cwnd_csv =
+    let protocol = make_protocol proto g k k1 k2 in
+    (* The cwnd trace needs direct access to a flow, so it runs its own
+       small scenario mirroring the workload's configuration. *)
+    (if cwnd_csv <> "" then begin
+       let sim = Engine.Sim.create ~seed () in
+       let d =
+         Net.Topology.dumbbell sim ~n_senders:n
+           ~bottleneck_rate_bps:(rate_gbps *. 1e9)
+           ~rtt:(Time.span_of_us rtt_us)
+           ~buffer_bytes:(1000 * segment_bytes)
+           ~marking:(protocol.Dctcp.Protocol.marking ())
+           ()
+       in
+       let flows =
+         Array.mapi
+           (fun i src ->
+             Tcp.Flow.create sim ~src ~dst:d.Net.Topology.receiver ~flow:i
+               ~cc:protocol.Dctcp.Protocol.cc
+               ~echo:protocol.Dctcp.Protocol.echo ())
+           d.Net.Topology.senders
+       in
+       Array.iter Tcp.Flow.start flows;
+       let stop = Time.of_ms (warmup_ms +. measure_ms) in
+       let inst =
+         Workloads.Instrument.attach sim flows.(0)
+           ~period:(Time.span_of_us 100.) ~stop_at:stop
+       in
+       Engine.Sim.run ~until:stop sim;
+       let oc = open_out cwnd_csv in
+       Workloads.Instrument.to_csv inst oc;
+       close_out oc;
+       Printf.printf "cwnd trace          %s\n" cwnd_csv
+     end);
+    let config =
+      {
+        Workloads.Longlived.default_config with
+        Workloads.Longlived.n_flows = n;
+        bottleneck_rate_bps = rate_gbps *. 1e9;
+        rtt = Time.span_of_us rtt_us;
+        warmup = Time.span_of_ms warmup_ms;
+        measure = Time.span_of_ms measure_ms;
+        trace_sampling =
+          (if trace_csv <> "" then Some (Time.span_of_us 20.) else None);
+        seed;
+      }
+    in
+    let r = Workloads.Longlived.run protocol config in
+    let open Workloads.Longlived in
+    Printf.printf "protocol            %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "flows               %d\n" n;
+    Printf.printf "mean queue          %.2f pkts\n" r.mean_queue_pkts;
+    Printf.printf "queue stddev        %.2f pkts\n" r.std_queue_pkts;
+    Printf.printf "max queue           %.0f pkts\n" r.max_queue_pkts;
+    Printf.printf "mean alpha          %.3f\n" r.mean_alpha;
+    Printf.printf "throughput          %.3f Gbps (util %.3f)\n"
+      (r.throughput_bps /. 1e9) r.utilization;
+    Printf.printf "marked fraction     %.3f\n" r.marked_fraction;
+    Printf.printf "drops / timeouts    %d / %d\n" r.drops r.timeouts;
+    Printf.printf "Jain fairness       %.3f\n" r.jain_fairness;
+    match (trace_csv, r.queue_series) with
+    | "", _ | _, None -> ()
+    | file, Some series ->
+        let oc = open_out file in
+        output_string oc "time_s,queue_pkts\n";
+        Array.iter (fun (t, v) -> Printf.fprintf oc "%.9f,%g\n" t v) series;
+        close_out oc;
+        Printf.printf "queue trace         %s (%d samples)\n" file
+          (Array.length series)
+  in
+  let n = Arg.(value & opt int 10 & info [ "n"; "flows" ] ~docv:"N") in
+  let rate =
+    Arg.(value & opt float 10. & info [ "rate-gbps" ] ~docv:"GBPS")
+  in
+  let rtt = Arg.(value & opt float 100. & info [ "rtt-us" ] ~docv:"US") in
+  let warmup = Arg.(value & opt float 100. & info [ "warmup-ms" ] ~docv:"MS") in
+  let measure =
+    Arg.(value & opt float 200. & info [ "measure-ms" ] ~docv:"MS")
+  in
+  let trace =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-csv" ] ~docv:"FILE"
+          ~doc:"Dump the sampled queue series to FILE.")
+  in
+  let cwnd_trace =
+    Arg.(
+      value & opt string ""
+      & info [ "cwnd-csv" ] ~docv:"FILE"
+          ~doc:"Dump flow 0's cwnd/alpha/srtt trace to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "longlived"
+       ~doc:"N long-lived flows over the 10 Gbps dumbbell (paper Figs 1, 10-12)")
+    Term.(
+      const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg $ n
+      $ rate $ rtt $ warmup $ measure $ trace $ cwnd_trace)
+
+(* --- incast --- *)
+
+let testbed_thresholds proto g kkb k1kb k2kb =
+  match proto with
+  | P_dctcp -> Dctcp.Protocol.dctcp ~g ~k_bytes:(kkb * 1024) ()
+  | P_dt ->
+      Dctcp.Protocol.dt_dctcp ~g ~k1_bytes:(k1kb * 1024)
+        ~k2_bytes:(k2kb * 1024) ()
+  | P_reno -> Dctcp.Protocol.reno ()
+  | P_ecn_reno -> Dctcp.Protocol.ecn_reno ~k_bytes:(kkb * 1024)
+
+let kkb_arg =
+  Arg.(value & opt int 32 & info [ "k-kb" ] ~docv:"KB" ~doc:"K in KB.")
+
+let k1kb_arg =
+  Arg.(value & opt int 28 & info [ "k1-kb" ] ~docv:"KB" ~doc:"K1 (start) in KB.")
+
+let k2kb_arg =
+  Arg.(value & opt int 34 & info [ "k2-kb" ] ~docv:"KB" ~doc:"K2 (stop) in KB.")
+
+let sack_arg =
+  Arg.(
+    value & flag
+    & info [ "sack" ]
+        ~doc:"Use selective-acknowledgment loss recovery instead of go-back-N.")
+
+let incast_cmd =
+  let run proto g kkb k1kb k2kb seed n bytes_kb repeats jitter_us sack =
+    let protocol = testbed_thresholds proto g kkb k1kb k2kb in
+    let config =
+      {
+        Workloads.Incast.default_config with
+        Workloads.Incast.n_flows = n;
+        bytes_per_flow = bytes_kb * 1024;
+        repeats;
+        start_jitter = Time.span_of_us jitter_us;
+        seed;
+      }
+    in
+    let r = Workloads.Incast.run_with_sack ~sack protocol config in
+    let open Workloads.Incast in
+    Printf.printf "protocol         %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "flows            %d x %d KB\n" n bytes_kb;
+    Printf.printf "goodput          %.1f Mbps (min %.1f, max %.1f)\n"
+      (r.mean_goodput_bps /. 1e6)
+      (r.min_goodput_bps /. 1e6)
+      (r.max_goodput_bps /. 1e6);
+    Printf.printf "completion       %.2f ms (p99 %.2f)\n"
+      (r.mean_completion *. 1e3)
+      (r.p99_completion *. 1e3);
+    Printf.printf "timeouts/run     %.1f\n" r.timeouts_per_run;
+    Printf.printf "incomplete runs  %d\n" r.incomplete
+  in
+  let n = Arg.(value & opt int 32 & info [ "n"; "flows" ] ~docv:"N") in
+  let bytes = Arg.(value & opt int 64 & info [ "bytes-kb" ] ~docv:"KB") in
+  let repeats = Arg.(value & opt int 20 & info [ "repeats" ] ~docv:"R") in
+  let jitter = Arg.(value & opt float 300. & info [ "jitter-us" ] ~docv:"US") in
+  Cmd.v
+    (Cmd.info "incast"
+       ~doc:"Synchronized fan-in on the 1 Gbps testbed star (paper Fig 14)")
+    Term.(
+      const run $ proto_arg $ g_arg $ kkb_arg $ k1kb_arg $ k2kb_arg $ seed_arg
+      $ n $ bytes $ repeats $ jitter $ sack_arg)
+
+let completion_cmd =
+  let run proto g kkb k1kb k2kb seed n total_kb repeats =
+    let protocol = testbed_thresholds proto g kkb k1kb k2kb in
+    let config =
+      {
+        Workloads.Completion.default_config with
+        Workloads.Completion.n_flows = n;
+        total_bytes = total_kb * 1024;
+        repeats;
+        seed;
+      }
+    in
+    let r = Workloads.Completion.run protocol config in
+    let open Workloads.Completion in
+    Printf.printf "protocol        %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "flows           %d sharing %d KB\n" n total_kb;
+    Printf.printf "completion      mean %.2f ms  min %.2f  max %.2f  p99 %.2f\n"
+      (r.mean_completion_s *. 1e3)
+      (r.min_completion_s *. 1e3)
+      (r.max_completion_s *. 1e3)
+      (r.p99_completion_s *. 1e3);
+    Printf.printf "stddev          %.2f ms\n" (r.stddev_completion_s *. 1e3);
+    Printf.printf "timeouts/run    %.1f\n" r.timeouts_per_run
+  in
+  let n = Arg.(value & opt int 32 & info [ "n"; "flows" ] ~docv:"N") in
+  let total = Arg.(value & opt int 1024 & info [ "total-kb" ] ~docv:"KB") in
+  let repeats = Arg.(value & opt int 20 & info [ "repeats" ] ~docv:"R") in
+  Cmd.v
+    (Cmd.info "completion"
+       ~doc:"Scatter-gather query completion time (paper Fig 15)")
+    Term.(
+      const run $ proto_arg $ g_arg $ kkb_arg $ k1kb_arg $ k2kb_arg $ seed_arg
+      $ n $ total $ repeats)
+
+(* --- stability --- *)
+
+let stability_cmd =
+  let run n rate_gbps rtt_us g k k1 k2 critical locus_csv =
+    let c = rate_gbps *. 1e9 /. (float_of_int segment_bytes *. 8.) in
+    let r0 = rtt_us *. 1e-6 in
+    let kf = float_of_int k in
+    let k1f = float_of_int k1 and k2f = float_of_int k2 in
+    if critical then begin
+      let dc =
+        Control.Stability.critical_n ~c ~r0 ~g ~n_max:300
+          ~verdict_at:(fun p -> Control.Stability.dctcp p ~k:kf)
+          ()
+      in
+      let dt =
+        Control.Stability.critical_n ~c ~r0 ~g ~n_max:300
+          ~verdict_at:(fun p ->
+            Control.Stability.dt_dctcp p ~k1:k1f ~k2:k2f)
+          ()
+      in
+      let str = function Some n -> string_of_int n | None -> "> 300" in
+      Printf.printf "critical N (oscillation onset):\n";
+      Printf.printf "  DCTCP    (K=%d)        %s\n" k (str dc);
+      Printf.printf "  DT-DCTCP (K1=%d,K2=%d)  %s\n" k1 k2 (str dt)
+    end
+    else begin
+      let params = Control.Plant.params ~c ~n ~r0 ~g in
+      Printf.printf "operating point: W0 = %.2f pkts, alpha0 = %.3f\n"
+        (Control.Plant.w0 params)
+        (Control.Plant.alpha0 params);
+      let vdc = Control.Stability.dctcp params ~k:kf in
+      let vdt = Control.Stability.dt_dctcp params ~k1:k1f ~k2:k2f in
+      Format.printf "DCTCP    (K=%d):        %a, gain margin %.3f@." k
+        Control.Stability.pp_verdict vdc
+        (Control.Stability.dctcp_margin params ~k:kf);
+      Format.printf "DT-DCTCP (K1=%d,K2=%d):  %a, gain margin %.3f@." k1 k2
+        Control.Stability.pp_verdict vdt
+        (Control.Stability.dt_dctcp_margin params ~k1:k1f ~k2:k2f)
+    end;
+    if locus_csv <> "" then begin
+      let params = Control.Plant.params ~c ~n ~r0 ~g in
+      let w = Control.Nyquist.log_space ~lo:1e2 ~hi:1e7 ~n:2000 in
+      let locus =
+        Control.Nyquist.plant_locus params ~k0:(1. /. kf) ~w
+      in
+      let oc = open_out locus_csv in
+      output_string oc "w_rad_s,re,im\n";
+      Array.iter
+        (fun (p : Control.Nyquist.point) ->
+          Printf.fprintf oc "%g,%g,%g\n" p.Control.Nyquist.param
+            p.Control.Nyquist.z.Control.Cplx.re
+            p.Control.Nyquist.z.Control.Cplx.im)
+        locus;
+      close_out oc;
+      Printf.printf "locus written to %s\n" locus_csv
+    end
+  in
+  let n = Arg.(value & opt int 60 & info [ "n"; "flows" ] ~docv:"N") in
+  let rate = Arg.(value & opt float 10. & info [ "rate-gbps" ] ~docv:"GBPS") in
+  let rtt = Arg.(value & opt float 100. & info [ "rtt-us" ] ~docv:"US") in
+  let critical =
+    Arg.(
+      value & flag
+      & info [ "critical" ] ~doc:"Scan N for the first predicted oscillation.")
+  in
+  let locus =
+    Arg.(
+      value & opt string ""
+      & info [ "locus-csv" ] ~docv:"FILE" ~doc:"Dump the K0 G(jw) locus.")
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:"Describing-function stability analysis (paper Fig 9, Theorems 1-2)")
+    Term.(
+      const run $ n $ rate $ rtt $ g_arg $ k_arg $ k1_arg $ k2_arg $ critical
+      $ locus)
+
+(* --- fluid --- *)
+
+let fluid_cmd =
+  let run n rate_gbps rtt_us g k k1 k2 dt_proto t_end_ms csv =
+    let c = rate_gbps *. 1e9 /. (float_of_int segment_bytes *. 8.) in
+    let marking =
+      if dt_proto then
+        Fluid.Dctcp_fluid.Double (float_of_int k1, float_of_int k2)
+      else Fluid.Dctcp_fluid.Single (float_of_int k)
+    in
+    let params =
+      Fluid.Dctcp_fluid.make ~n ~c ~r0:(rtt_us *. 1e-6) ~g ~marking ()
+    in
+    let traj =
+      Fluid.Dctcp_fluid.simulate params ~t_end:(t_end_ms *. 1e-3) ()
+    in
+    let discard = t_end_ms *. 1e-3 /. 3. in
+    let mean, std = Fluid.Dctcp_fluid.queue_stats traj ~discard in
+    Printf.printf "fluid model (%s)\n"
+      (if dt_proto then Printf.sprintf "DT, K1=%d K2=%d" k1 k2
+       else Printf.sprintf "single, K=%d" k);
+    Printf.printf "queue mean %.2f pkts, stddev %.2f, swing amplitude %.2f\n"
+      mean std
+      (Fluid.Dctcp_fluid.oscillation_amplitude traj ~discard);
+    if csv <> "" then begin
+      let oc = open_out csv in
+      output_string oc "t_s,w_pkts,alpha,q_pkts,p\n";
+      Array.iteri
+        (fun i t ->
+          Printf.fprintf oc "%g,%g,%g,%g,%g\n" t traj.Fluid.Dctcp_fluid.w.(i)
+            traj.Fluid.Dctcp_fluid.alpha.(i)
+            traj.Fluid.Dctcp_fluid.q.(i)
+            traj.Fluid.Dctcp_fluid.p.(i))
+        traj.Fluid.Dctcp_fluid.times;
+      close_out oc;
+      Printf.printf "trajectory written to %s\n" csv
+    end
+  in
+  let n = Arg.(value & opt int 10 & info [ "n"; "flows" ] ~docv:"N") in
+  let rate = Arg.(value & opt float 10. & info [ "rate-gbps" ] ~docv:"GBPS") in
+  let rtt = Arg.(value & opt float 100. & info [ "rtt-us" ] ~docv:"US") in
+  let dt_flag =
+    Arg.(value & flag & info [ "dt" ] ~doc:"Use the DT-DCTCP hysteresis.")
+  in
+  let t_end = Arg.(value & opt float 100. & info [ "t-end-ms" ] ~docv:"MS") in
+  let csv =
+    Arg.(
+      value & opt string ""
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Dump the full trajectory.")
+  in
+  Cmd.v
+    (Cmd.info "fluid" ~doc:"Integrate the DCTCP fluid model (paper Eqs 1-3)")
+    Term.(
+      const run $ n $ rate $ rtt $ g_arg $ k_arg $ k1_arg $ k2_arg $ dt_flag
+      $ t_end $ csv)
+
+(* --- deadline --- *)
+
+let deadline_cmd =
+  let run g kkb seed n bytes_kb repeats deadline_ms spread_ms d2tcp =
+    let marking () =
+      Dctcp.Marking_policies.single_threshold ~k_bytes:(kkb * 1024)
+    in
+    let kind =
+      if d2tcp then
+        Workloads.Deadline.Deadline_aware
+          (fun ~total_segments ~deadline ->
+            Dctcp.D2tcp_cc.cc ~total_segments ~deadline ())
+      else
+        Workloads.Deadline.Plain
+          (Dctcp.Dctcp_cc.cc
+             ~params:{ Dctcp.Dctcp_cc.default_params with g }
+             ())
+    in
+    let config =
+      {
+        Workloads.Deadline.default_config with
+        Workloads.Deadline.n_flows = n;
+        bytes_per_flow = bytes_kb * 1024;
+        repeats;
+        deadline = Time.span_of_ms deadline_ms;
+        deadline_spread = Time.span_of_ms spread_ms;
+        seed;
+      }
+    in
+    let r = Workloads.Deadline.run ~marking kind config in
+    let open Workloads.Deadline in
+    Printf.printf "sender           %s\n"
+      (if d2tcp then "D2TCP" else "DCTCP");
+    Printf.printf "deadlines met    %.1f%%\n" (100. *. r.met_fraction);
+    Printf.printf "completion mean  %.2f ms (p99 %.2f)\n"
+      (r.mean_completion_s *. 1e3)
+      (r.p99_completion_s *. 1e3);
+    Printf.printf "timeouts/run     %.1f, unfinished flows %d\n"
+      r.timeouts_per_run r.incomplete
+  in
+  let n = Arg.(value & opt int 16 & info [ "n"; "flows" ] ~docv:"N") in
+  let bytes = Arg.(value & opt int 64 & info [ "bytes-kb" ] ~docv:"KB") in
+  let repeats = Arg.(value & opt int 20 & info [ "repeats" ] ~docv:"R") in
+  let deadline =
+    Arg.(value & opt float 20. & info [ "deadline-ms" ] ~docv:"MS")
+  in
+  let spread = Arg.(value & opt float 20. & info [ "spread-ms" ] ~docv:"MS") in
+  let d2tcp =
+    Arg.(value & flag & info [ "d2tcp" ] ~doc:"Deadline-aware D2TCP backoff.")
+  in
+  Cmd.v
+    (Cmd.info "deadline"
+       ~doc:"Deadline-constrained fan-in, DCTCP or D2TCP senders (extension)")
+    Term.(
+      const run $ g_arg $ kkb_arg $ seed_arg $ n $ bytes $ repeats $ deadline
+      $ spread $ d2tcp)
+
+(* --- dynamic --- *)
+
+let dynamic_cmd =
+  let run proto g k k1 k2 seed rate_per_s segs duration_ms =
+    let protocol = make_protocol proto g k k1 k2 in
+    let config =
+      {
+        Workloads.Dynamic.default_config with
+        Workloads.Dynamic.arrival_rate = rate_per_s;
+        short_flow_segments = segs;
+        duration = Time.span_of_ms duration_ms;
+        seed;
+      }
+    in
+    let r = Workloads.Dynamic.run protocol config in
+    let open Workloads.Dynamic in
+    Printf.printf "protocol           %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "short flows        %d started, %d completed\n"
+      r.short_flows_started r.short_flows_completed;
+    Printf.printf "FCT p50/p99/max    %.0f / %.0f / %.0f us\n"
+      (r.fct_p50_s *. 1e6) (r.fct_p99_s *. 1e6) (r.fct_max_s *. 1e6);
+    Printf.printf "background tput    %.2f Gbps\n"
+      (r.background_throughput_bps /. 1e9);
+    Printf.printf "queue              %.1f +- %.1f pkts\n" r.mean_queue_pkts
+      r.std_queue_pkts
+  in
+  let rate =
+    Arg.(value & opt float 5000. & info [ "arrivals-per-s" ] ~docv:"R")
+  in
+  let segs = Arg.(value & opt int 14 & info [ "short-segments" ] ~docv:"S") in
+  let duration =
+    Arg.(value & opt float 200. & info [ "duration-ms" ] ~docv:"MS")
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:"Mixed traffic: background long flows + Poisson short flows \
+             (extension)")
+    Term.(
+      const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg
+      $ rate $ segs $ duration)
+
+(* --- convergence --- *)
+
+let convergence_cmd =
+  let run proto g k k1 k2 seed n interval_ms =
+    let protocol = make_protocol proto g k k1 k2 in
+    let config =
+      {
+        Workloads.Convergence.default_config with
+        Workloads.Convergence.n_flows = n;
+        join_interval = Time.span_of_ms interval_ms;
+        hold = Time.span_of_ms interval_ms;
+        seed;
+      }
+    in
+    let r = Workloads.Convergence.run protocol config in
+    let module C = Workloads.Convergence in
+    Printf.printf "protocol             %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "convergence times    %s ms\n"
+      (String.concat ", "
+         (Array.to_list
+            (Array.map
+               (fun t ->
+                 if Float.is_nan t then "-"
+                 else Printf.sprintf "%.0f" (t *. 1e3))
+               r.C.convergence_times_s)));
+    Printf.printf "Jain (all active)    %.3f\n" r.C.jain_steady;
+    Printf.printf "utilization          %.3f\n" r.C.utilization_steady
+  in
+  let n = Arg.(value & opt int 5 & info [ "n"; "flows" ] ~docv:"N") in
+  let interval =
+    Arg.(value & opt float 500. & info [ "join-interval-ms" ] ~docv:"MS")
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Fair-share convergence under flow churn (extension)")
+    Term.(
+      const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg $ n
+      $ interval)
+
+let () =
+  let doc =
+    "reproduction of 'Ease the Queue Oscillation: Analysis and Enhancement \
+     of DCTCP' (ICDCS 2013)"
+  in
+  let info = Cmd.info "dtsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            longlived_cmd;
+            incast_cmd;
+            completion_cmd;
+            stability_cmd;
+            fluid_cmd;
+            deadline_cmd;
+            dynamic_cmd;
+            convergence_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/deadline_scenario.ml: Dctcp Engine List Printf Workloads

@@ -1,0 +1,1 @@
+examples/fluid_trajectories.mli:

@@ -1,0 +1,1 @@
+examples/incast_scenario.ml: Dctcp List Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dctcp Engine Net Printf Tcp

@@ -1,0 +1,1 @@
+examples/stability_analysis.ml: Control Format List Printf

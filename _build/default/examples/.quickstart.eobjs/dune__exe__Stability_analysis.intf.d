@@ -1,0 +1,1 @@
+examples/stability_analysis.mli:

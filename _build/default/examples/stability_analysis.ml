@@ -1,0 +1,51 @@
+(* Stability analysis: apply the paper's describing-function method
+   (Section IV-V) programmatically — compute the plant, the DFs, the gain
+   margins, and the predicted oscillation onset.
+
+   Run with: dune exec examples/stability_analysis.exe *)
+
+module Plant = Control.Plant
+module St = Control.Stability
+module Df = Control.Df
+module C = Control.Cplx
+
+let grids = { St.default_grids with St.w_points = 1200; x_points = 600 }
+
+let () =
+  (* The paper's parameters: C = 10 Gbps of 1500 B packets, R0 = 100 us,
+     g = 1/16, K = 40 pkts, (K1, K2) = (30, 50). *)
+  let params = Plant.paper_params ~n:60 () in
+  Printf.printf "Operating point at N=60: W0 = %.2f pkts, alpha0 = %.3f\n"
+    (Plant.w0 params) (Plant.alpha0 params);
+
+  (* The describing functions themselves (Eqs. 22 and 27). *)
+  let x = 80. in
+  Printf.printf "\nDF at amplitude X = %.0f pkts:\n" x;
+  Printf.printf "  relay (DCTCP)      N(X) = %s\n"
+    (C.to_string (Df.relay ~k:40. ~x));
+  Printf.printf "  hysteresis (DT)    N(X) = %s   <- positive Im = phase lead\n"
+    (C.to_string (Df.hysteresis ~k1:30. ~k2:50. ~x));
+
+  (* Gain margins across the flow-count sweep. *)
+  Printf.printf "\nGain margin to oscillation onset (1.0 = limit cycle):\n";
+  Printf.printf "  %4s  %8s  %8s\n" "N" "DCTCP" "DT-DCTCP";
+  List.iter
+    (fun n ->
+      let p = Plant.paper_params ~n () in
+      Printf.printf "  %4d  %8.3f  %8.3f\n%!" n
+        (St.dctcp_margin ~grids p ~k:40.)
+        (St.dt_dctcp_margin ~grids p ~k1:30. ~k2:50.))
+    [ 10; 30; 50; 60; 70; 100 ];
+
+  (* A configuration where the loci really intersect: scale the RTT up. *)
+  let c = 10e9 /. 12000. and g = 1. /. 16. and r0 = 1e-3 in
+  let crit verdict_at = St.critical_n ~c ~r0 ~g ~n_max:200 ~verdict_at () in
+  let show = function Some n -> string_of_int n | None -> "> 200" in
+  Printf.printf "\nWith R0 = 1 ms the loci intersect (Theorems 1-2 verdicts):\n";
+  Printf.printf "  DCTCP oscillates from    N = %s\n"
+    (show (crit (fun p -> St.dctcp ~grids p ~k:40.)));
+  Printf.printf "  DT-DCTCP oscillates from N = %s\n"
+    (show (crit (fun p -> St.dt_dctcp ~grids p ~k1:30. ~k2:50.)));
+  let p100 = Plant.params ~c ~n:100 ~r0 ~g in
+  Format.printf "  predicted DCTCP limit cycle at N=100: %a@."
+    St.pp_verdict (St.dctcp ~grids p100 ~k:40.)

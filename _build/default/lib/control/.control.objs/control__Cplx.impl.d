@@ -1,0 +1,1 @@
+lib/control/cplx.ml: Complex Float Format

@@ -1,0 +1,1 @@
+lib/control/cplx.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/control/df.ml: Cplx Float

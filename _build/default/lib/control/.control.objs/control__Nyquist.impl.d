@@ -1,0 +1,1 @@
+lib/control/nyquist.ml: Array Cplx Df Float List Plant Stdlib

@@ -1,0 +1,1 @@
+lib/control/plant.ml: Cplx

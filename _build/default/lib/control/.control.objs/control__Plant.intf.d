@@ -1,0 +1,1 @@
+lib/control/plant.mli: Cplx

@@ -1,0 +1,1 @@
+lib/control/stability.ml: Array Cplx Float Format List Nyquist Plant

@@ -1,0 +1,1 @@
+lib/control/stability.mli: Format Plant

@@ -1,0 +1,38 @@
+open Cplx
+
+type params = { c : float; n : int; r0 : float; g : float }
+
+let params ~c ~n ~r0 ~g =
+  if c <= 0. then invalid_arg "Plant.params: c must be positive";
+  if n <= 0 then invalid_arg "Plant.params: n must be positive";
+  if r0 <= 0. then invalid_arg "Plant.params: r0 must be positive";
+  if g <= 0. || g > 1. then invalid_arg "Plant.params: g out of (0,1]";
+  { c; n; r0; g }
+
+let paper_params ?(n = 10) () =
+  params ~c:(10e9 /. (1500. *. 8.)) ~n ~r0:1e-4 ~g:(1. /. 16.)
+
+let w0 p = p.r0 *. p.c /. float_of_int p.n
+let alpha0 p = sqrt (2. /. w0 p)
+
+let p_alpha p s =
+  let gr = re (p.g /. p.r0) in
+  gr /: (s +: gr)
+
+let p_queue p s =
+  re (float_of_int p.n /. p.r0) /: (s +: re (1. /. p.r0))
+
+let p_dctcp p s =
+  (* Eq. 15:
+     P_dctcp(s) = - sqrt(C / 2NR0) * (1 + (s + g/R0) / (g/R0)) / (s + N/(R0^2 C)) *)
+  let gain = sqrt (p.c /. (2. *. float_of_int p.n *. p.r0)) in
+  let gr = p.g /. p.r0 in
+  let numer = one +: ((s +: re gr) /: re gr) in
+  let denom = s +: re (float_of_int p.n /. (p.r0 *. p.r0 *. p.c)) in
+  neg (scale gain (numer /: denom))
+
+let p params s = neg (p_alpha params s *: p_dctcp params s *: p_queue params s)
+
+let g_jw params w =
+  let s = im w in
+  p params s *: exp (im (-.w *. params.r0))

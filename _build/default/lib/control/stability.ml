@@ -1,0 +1,146 @@
+type limit_cycle = { amplitude : float; omega : float }
+
+type verdict = Stable | Oscillatory of limit_cycle
+
+let pp_verdict ppf = function
+  | Stable -> Format.fprintf ppf "stable"
+  | Oscillatory { amplitude; omega } ->
+      Format.fprintf ppf "oscillatory (X=%.2f, w=%.0f rad/s, f=%.0f Hz)"
+        amplitude omega
+        (omega /. (2. *. Float.pi))
+
+type grids = {
+  w_lo : float;
+  w_hi : float;
+  w_points : int;
+  x_factor_hi : float;
+  x_points : int;
+}
+
+let default_grids =
+  { w_lo = 1e2; w_hi = 1e7; w_points = 3000; x_factor_hi = 60.; x_points = 4000 }
+
+let dctcp ?(grids = default_grids) params ~k =
+  if k <= 0. then invalid_arg "Stability.dctcp: k must be positive";
+  let w = Nyquist.log_space ~lo:grids.w_lo ~hi:grids.w_hi ~n:grids.w_points in
+  let locus = Nyquist.plant_locus params ~k0:(1. /. k) ~w in
+  (* Candidate oscillations live where the plant locus crosses the real
+     axis left of max(-1/N0_dc) = -pi. Take the leftmost such crossing:
+     it corresponds to the outermost (stable) limit cycle. *)
+  let crossings =
+    Nyquist.real_axis_crossings locus
+    |> List.filter (fun (_, re) -> re < -.Float.pi)
+  in
+  match crossings with
+  | [] -> Stable
+  | _ :: _ ->
+      let w_star, c =
+        List.fold_left
+          (fun ((_, best_re) as best) ((_, re) as cand) ->
+            if re < best_re then cand else best)
+          (List.hd crossings) crossings
+      in
+      (* Solve N0_dc(X) = -1/c: with u = (K/X)^2, u(1-u) = (pi v / 2)^2,
+         v = -1/c. The stable (outer) limit cycle is the smaller root u. *)
+      let v = -1. /. c in
+      let disc = 1. -. (Float.pi *. v *. Float.pi *. v) in
+      if disc < 0. then Stable
+      else begin
+        let u = (1. -. sqrt disc) /. 2. in
+        let amplitude = k /. sqrt u in
+        Oscillatory { amplitude; omega = w_star }
+      end
+
+let dt_dctcp ?(grids = default_grids) params ~k1 ~k2 =
+  if k1 <= 0. || k2 < k1 then
+    invalid_arg "Stability.dt_dctcp: need 0 < k1 <= k2";
+  let w = Nyquist.log_space ~lo:grids.w_lo ~hi:grids.w_hi ~n:grids.w_points in
+  let locus = Nyquist.plant_locus params ~k0:(1. /. k2) ~w in
+  let x =
+    Nyquist.log_space ~lo:(k2 *. 1.0005) ~hi:(k2 *. grids.x_factor_hi)
+      ~n:grids.x_points
+  in
+  let df_locus = Nyquist.hysteresis_neg_recip_locus ~k1 ~k2 ~x in
+  match Nyquist.intersections df_locus locus with
+  | [] -> Stable
+  | crossings ->
+      (* The outermost intersection (largest amplitude) is the stable
+         limit cycle, as in the relay case. *)
+      let best =
+        List.fold_left
+          (fun best c ->
+            if c.Nyquist.param_a > best.Nyquist.param_a then c else best)
+          (List.hd crossings) crossings
+      in
+      Oscillatory
+        { amplitude = best.Nyquist.param_a; omega = best.Nyquist.param_b }
+
+let dctcp_margin ?(grids = default_grids) params ~k =
+  if k <= 0. then invalid_arg "Stability.dctcp_margin: k must be positive";
+  let w = Nyquist.log_space ~lo:grids.w_lo ~hi:grids.w_hi ~n:grids.w_points in
+  let locus = Nyquist.plant_locus params ~k0:(1. /. k) ~w in
+  let neg_crossings =
+    Nyquist.real_axis_crossings locus
+    |> List.filter_map (fun (_, re) -> if re < 0. then Some re else None)
+  in
+  match neg_crossings with
+  | [] -> infinity
+  | res ->
+      let leftmost = List.fold_left Float.min 0. res in
+      Float.pi /. Float.abs leftmost
+
+let dt_dctcp_margin ?(grids = default_grids) params ~k1 ~k2 =
+  if k1 <= 0. || k2 < k1 then
+    invalid_arg "Stability.dt_dctcp_margin: need 0 < k1 <= k2";
+  let w = Nyquist.log_space ~lo:grids.w_lo ~hi:grids.w_hi ~n:grids.w_points in
+  let locus = Nyquist.plant_locus params ~k0:(1. /. k2) ~w in
+  let x =
+    Nyquist.log_space ~lo:(k2 *. 1.0005) ~hi:(k2 *. grids.x_factor_hi)
+      ~n:grids.x_points
+  in
+  let df = Nyquist.hysteresis_neg_recip_locus ~k1 ~k2 ~x in
+  (* For each DF point z, phase-match against the plant locus: find
+     adjacent samples where the locus direction rotates across z's ray
+     (cross product sign change with positive alignment), interpolate the
+     modulus, and take |z| / |G| — the radial blow-up factor needed for
+     the loci to touch at that z. *)
+  let margin = ref infinity in
+  Array.iter
+    (fun (dfp : Nyquist.point) ->
+      let z = dfp.Nyquist.z in
+      let zr = z.Cplx.re and zi = z.Cplx.im in
+      for i = 0 to Array.length locus - 2 do
+        let (a : Nyquist.point) = locus.(i)
+        and (b : Nyquist.point) = locus.(i + 1) in
+        let cross p = (zr *. p.Cplx.im) -. (zi *. p.Cplx.re) in
+        let dot p = (zr *. p.Cplx.re) +. (zi *. p.Cplx.im) in
+        let ca = cross a.Nyquist.z and cb = cross b.Nyquist.z in
+        if
+          ((ca <= 0. && cb > 0.) || (ca >= 0. && cb < 0.))
+          && dot a.Nyquist.z > 0.
+        then begin
+          let t = if cb = ca then 0. else -.ca /. (cb -. ca) in
+          let gm =
+            Cplx.modulus a.Nyquist.z
+            +. (t *. (Cplx.modulus b.Nyquist.z -. Cplx.modulus a.Nyquist.z))
+          in
+          if gm > 0. then begin
+            let lambda = Cplx.modulus z /. gm in
+            if lambda < !margin then margin := lambda
+          end
+        end
+      done)
+    df;
+  !margin
+
+let critical_n ?grids:_ ?(n_max = 500) ~c ~r0 ~g ~verdict_at () =
+  let rec scan n =
+    if n > n_max then None
+    else begin
+      let params = Plant.params ~c ~n ~r0 ~g in
+      match verdict_at params with
+      | Oscillatory _ -> Some n
+      | Stable -> scan (n + 1)
+    end
+  in
+  scan 1

@@ -1,0 +1,78 @@
+(** Theorems 1 and 2: stability verdicts and limit-cycle prediction.
+
+    For DCTCP (Theorem 1) the locus [-1/N0_dc(X)] is the real ray
+    [(-inf, -pi]]; the system can oscillate only if the plant locus
+    [K0 G(jw)] crosses the negative real axis left of [-pi]. The crossing
+    real coordinate [c] then gives the limit-cycle amplitude in closed
+    form: [N0_dc(X) = -1/c] has two roots, and the outer (larger-X) root
+    is the stable limit cycle.
+
+    For DT-DCTCP (Theorem 2) the locus [-1/N0_dt(X)] is a genuine curve in
+    the upper half plane and the verdict comes from polyline intersection
+    with [K0 G(jw)].
+
+    Amplitudes are in the same unit as the thresholds (packets for the
+    paper's parameters); frequencies in rad/s. *)
+
+type limit_cycle = {
+  amplitude : float;  (** X of the stable limit cycle. *)
+  omega : float;  (** Oscillation frequency, rad/s. *)
+}
+
+type verdict =
+  | Stable
+  | Oscillatory of limit_cycle
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type grids = {
+  w_lo : float;
+  w_hi : float;
+  w_points : int;
+  x_factor_hi : float;  (** DF amplitudes sampled up to [x_factor_hi * K]. *)
+  x_points : int;
+}
+
+val default_grids : grids
+(** w in [1e2, 1e7] rad/s (3000 log points), X up to 60 K (4000 points). *)
+
+val dctcp : ?grids:grids -> Plant.params -> k:float -> verdict
+(** Theorem 1 for threshold [k] (in packets). *)
+
+val dt_dctcp : ?grids:grids -> Plant.params -> k1:float -> k2:float -> verdict
+(** Theorem 2 for thresholds [k1 <= k2] (in packets). *)
+
+(** {2 Gain margins}
+
+    With the paper's stated parameters the printed [G(jw)] never reaches
+    the DF loci (see EXPERIMENTS.md), so the binary verdicts above are all
+    "stable"; the quantitative content of Figure 9 is then the {e margin}:
+    the factor by which the loop gain would have to grow before the loci
+    touch. A margin of 1 is the oscillation onset; below 1 a limit cycle
+    is predicted. DT-DCTCP's DF locus sits strictly above the real axis
+    (positive imaginary part of [N0_dt]), so its margin is systematically
+    larger — the paper's Section V-D conclusion in quantitative form. *)
+
+val dctcp_margin : ?grids:grids -> Plant.params -> k:float -> float
+(** [pi / |Re crossing|] of the plant locus on the negative real axis;
+    [infinity] if the locus never crosses it. *)
+
+val dt_dctcp_margin :
+  ?grids:grids -> Plant.params -> k1:float -> k2:float -> float
+(** Minimal over the DF curve of [|z| / |K0 G(jw)|] where [w] is
+    phase-matched to [z] — the radial scaling of the plant locus needed to
+    touch [-1/N0_dt(X)]. *)
+
+val critical_n :
+  ?grids:grids ->
+  ?n_max:int ->
+  c:float ->
+  r0:float ->
+  g:float ->
+  verdict_at:(Plant.params -> verdict) ->
+  unit ->
+  int option
+(** Smallest number of flows in [1, n_max] (default 500) for which
+    [verdict_at] reports oscillation — the paper's "intersection occurs at
+    N = ..." quantity. Monotone bisection is not assumed; a linear scan is
+    used. *)

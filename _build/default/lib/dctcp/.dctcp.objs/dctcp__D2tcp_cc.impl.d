@@ -1,0 +1,1 @@
+lib/dctcp/d2tcp_cc.ml: Dctcp_cc Engine Float

@@ -1,0 +1,1 @@
+lib/dctcp/d2tcp_cc.mli: Dctcp_cc Engine Tcp

@@ -1,0 +1,1 @@
+lib/dctcp/dctcp_cc.ml: Engine Float Int64 Tcp

@@ -1,0 +1,1 @@
+lib/dctcp/dctcp_cc.mli: Engine Tcp

@@ -1,0 +1,1 @@
+lib/dctcp/marking_policies.mli: Net

@@ -1,0 +1,1 @@
+lib/dctcp/protocol.ml: Dctcp_cc Marking_policies Net Option Tcp

@@ -1,0 +1,1 @@
+lib/dctcp/protocol.mli: Net Tcp

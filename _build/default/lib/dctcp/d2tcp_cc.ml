@@ -1,0 +1,53 @@
+module Time = Engine.Time
+
+type deadline_params = {
+  base : Dctcp_cc.params;
+  d_min : float;
+  d_max : float;
+  fallback_rtt : Time.span;
+}
+
+let default_deadline_params =
+  {
+    base = Dctcp_cc.default_params;
+    d_min = 0.5;
+    d_max = 2.0;
+    fallback_rtt = Time.span_of_us 300.;
+  }
+
+let imminence ~params ~remaining_segments ~cwnd ~rtt ~time_left =
+  let d_left = Time.span_to_sec time_left in
+  if d_left <= 0. then params.d_max
+  else begin
+    let tc =
+      float_of_int remaining_segments *. Time.span_to_sec rtt
+      /. Float.max cwnd 1.
+    in
+    Float.min params.d_max (Float.max params.d_min (tc /. d_left))
+  end
+
+let cc ?(params = default_deadline_params) ~total_segments ~deadline () =
+  if total_segments <= 0 then
+    invalid_arg "D2tcp_cc.cc: total_segments must be positive";
+  if params.d_min <= 0. || params.d_min > params.d_max then
+    invalid_arg "D2tcp_cc.cc: need 0 < d_min <= d_max";
+  let penalty (ctx : Dctcp_cc.reduction_context) =
+    let remaining = total_segments - ctx.Dctcp_cc.snd_una in
+    if remaining <= 0 then ctx.Dctcp_cc.alpha
+    else begin
+      let rtt =
+        match ctx.Dctcp_cc.rtt_estimate with
+        | Some r -> r
+        | None -> params.fallback_rtt
+      in
+      let d =
+        imminence ~params ~remaining_segments:remaining
+          ~cwnd:ctx.Dctcp_cc.cwnd ~rtt
+          ~time_left:(Time.diff deadline ctx.Dctcp_cc.now)
+      in
+      (* alpha in [0,1]: alpha^d < alpha for d > 1 (gentler backoff when
+         the deadline is close), > alpha for d < 1. *)
+      Float.pow ctx.Dctcp_cc.alpha d
+    end
+  in
+  Dctcp_cc.cc_with_penalty ~params:params.base ~penalty ()

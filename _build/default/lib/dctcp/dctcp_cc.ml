@@ -1,0 +1,110 @@
+type params = { g : float; init_alpha : float }
+
+let default_params = { g = 1. /. 16.; init_alpha = 1.0 }
+
+type reduction_context = {
+  alpha : float;
+  cwnd : float;
+  now : Engine.Time.t;
+  rtt_estimate : Engine.Time.span option;
+  snd_una : int;
+}
+
+type state = {
+  mutable alpha : float;
+  mutable window_end : int;
+  mutable acked_total : int;
+  mutable acked_marked : int;
+  mutable cwr_end : int;
+  mutable epoch_started : Engine.Time.t;
+  mutable epoch_duration : Engine.Time.span option;
+}
+
+let cc_with_penalty ?(params = default_params) ~penalty () =
+  if params.g <= 0. || params.g > 1. then
+    invalid_arg "Dctcp_cc.cc: g out of (0,1]";
+  if params.init_alpha < 0. || params.init_alpha > 1. then
+    invalid_arg "Dctcp_cc.cc: init_alpha out of [0,1]";
+  fun (api : Tcp.Cc.flow_api) ->
+    let st =
+      {
+        alpha = params.init_alpha;
+        window_end = 0;
+        acked_total = 0;
+        acked_marked = 0;
+        cwr_end = 0;
+        epoch_started = api.Tcp.Cc.now ();
+        epoch_duration = None;
+      }
+    in
+    let grow newly_acked =
+      if newly_acked > 0 then begin
+        let cwnd = api.Tcp.Cc.get_cwnd () in
+        if cwnd < api.Tcp.Cc.get_ssthresh () then
+          api.Tcp.Cc.set_cwnd (cwnd +. float_of_int newly_acked)
+        else api.Tcp.Cc.set_cwnd (cwnd +. (float_of_int newly_acked /. cwnd))
+      end
+    in
+    let on_ack ~newly_acked ~ece ~snd_una ~snd_nxt =
+      if newly_acked > 0 then begin
+        st.acked_total <- st.acked_total + newly_acked;
+        if ece then st.acked_marked <- st.acked_marked + newly_acked
+      end;
+      if ece then begin
+        if snd_una > st.cwr_end then begin
+          (* Penalty-gated proportional backoff, once per window. *)
+          let cwnd = api.Tcp.Cc.get_cwnd () in
+          let ctx =
+            {
+              alpha = st.alpha;
+              cwnd;
+              now = api.Tcp.Cc.now ();
+              rtt_estimate = st.epoch_duration;
+              snd_una;
+            }
+          in
+          let p = Float.min 1. (Float.max 0. (penalty ctx)) in
+          let target = cwnd *. (1. -. (p /. 2.)) in
+          api.Tcp.Cc.set_cwnd target;
+          api.Tcp.Cc.set_ssthresh target;
+          st.cwr_end <- snd_nxt
+        end
+      end
+      else grow newly_acked;
+      if snd_una >= st.window_end then begin
+        (* End of the observation window: fold the marked fraction into
+           alpha and open the next window. *)
+        let f =
+          if st.acked_total = 0 then 0.
+          else float_of_int st.acked_marked /. float_of_int st.acked_total
+        in
+        st.alpha <- ((1. -. params.g) *. st.alpha) +. (params.g *. f);
+        st.acked_total <- 0;
+        st.acked_marked <- 0;
+        st.window_end <- snd_nxt;
+        let now = api.Tcp.Cc.now () in
+        let span = Engine.Time.diff now st.epoch_started in
+        if Int64.compare span 0L > 0 then st.epoch_duration <- Some span;
+        st.epoch_started <- now
+      end
+    in
+    let halve () =
+      let cwnd = api.Tcp.Cc.get_cwnd () in
+      let target = Float.max (cwnd /. 2.) 1. in
+      api.Tcp.Cc.set_ssthresh target;
+      api.Tcp.Cc.set_cwnd target
+    in
+    {
+      Tcp.Cc.name = "dctcp";
+      on_ack;
+      on_fast_retransmit = halve;
+      on_timeout =
+        (fun () ->
+          let cwnd = api.Tcp.Cc.get_cwnd () in
+          api.Tcp.Cc.set_ssthresh (Float.max (cwnd /. 2.) 1.);
+          api.Tcp.Cc.set_cwnd 1.);
+      alpha = (fun () -> Some st.alpha);
+    }
+
+let cc ?params () =
+  cc_with_penalty ?params ~penalty:(fun ctx -> ctx.alpha) ()

@@ -1,0 +1,42 @@
+let bytes_of_packets ?(packet_bytes = 1500) k =
+  if k < 0 || packet_bytes <= 0 then
+    invalid_arg "Marking_policies.bytes_of_packets";
+  k * packet_bytes
+
+let single_threshold ~k_bytes =
+  if k_bytes < 0 then invalid_arg "Marking_policies.single_threshold";
+  Net.Marking.make
+    ~name:(Printf.sprintf "dctcp(K=%dB)" k_bytes)
+    ~on_enqueue:(fun occ -> occ.Net.Marking.bytes > k_bytes)
+    ~on_dequeue:(fun _ -> ())
+
+let double_threshold ~k1_bytes ~k2_bytes =
+  if k1_bytes < 0 || k2_bytes < 0 then
+    invalid_arg "Marking_policies.double_threshold";
+  let lo = Stdlib.min k1_bytes k2_bytes in
+  let hi = Stdlib.max k1_bytes k2_bytes in
+  let marking = ref false in
+  let prev = ref 0 in
+  (* Zones: above [hi] always marking, at/below [lo] never; inside the band
+     the state depends on the configuration. With K1 < K2 (the paper's
+     simulation setup) the band is directional: entering it rising through
+     K1 starts marking early, entering it falling through K2 stops marking
+     early. With K1 > K2 the band is a classic thermostat (state held).
+     K1 = K2 degenerates to the single threshold. *)
+  let update now =
+    if now > hi then marking := true
+    else if now <= lo then marking := false
+    else if k1_bytes < k2_bytes then begin
+      if !prev <= lo then marking := true
+      else if !prev > hi then marking := false
+    end;
+    prev := now
+  in
+  let on_enqueue occ =
+    update occ.Net.Marking.bytes;
+    !marking
+  in
+  let on_dequeue occ = update occ.Net.Marking.bytes in
+  Net.Marking.make
+    ~name:(Printf.sprintf "dt-dctcp(K1=%dB,K2=%dB)" k1_bytes k2_bytes)
+    ~on_enqueue ~on_dequeue

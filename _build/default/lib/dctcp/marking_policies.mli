@@ -1,0 +1,39 @@
+(** The paper's switch-side marking mechanisms.
+
+    {b Single threshold} (DCTCP, Fig. 2a): an arriving packet is CE-marked
+    iff the instantaneous queue occupancy exceeds [K] at its arrival.
+
+    {b Double threshold} (DT-DCTCP, Fig. 2b): marking is a state, not a
+    per-packet comparison: it turns on when the queue rises through [K1]
+    and off when it falls back through [K2]. The paper only specifies the
+    behaviour on large swings that cross both thresholds; we implement the
+    zone semantics documented in DESIGN.md. With [lo = min K1 K2] and
+    [hi = max K1 K2]:
+
+    - occupancy above [hi]: always marking;
+    - occupancy at/below [lo]: never marking;
+    - inside the band ([lo], [hi]]: with [K1 < K2] (the paper's simulation
+      setup) the band is directional — entering it rising through [K1]
+      turns marking on (start early), entering it falling through [K2]
+      turns marking off (stop early), and the state is held while the
+      occupancy wanders inside the band; with [K1 > K2] (the paper's
+      testbed setup) the band is a classic thermostat and the state is
+      simply held.
+
+    With [K1 = K2 = K] the policy degenerates {e exactly} to the single
+    threshold (property-tested).
+
+    All thresholds are in bytes; use {!bytes_of_packets} for the paper's
+    packet-denominated parameters. *)
+
+val bytes_of_packets : ?packet_bytes:int -> int -> int
+(** [bytes_of_packets k] is [k * packet_bytes] (default 1500 B). *)
+
+val single_threshold : k_bytes:int -> Net.Marking.t
+(** Marks an arriving packet iff the occupancy including it is strictly
+    above [k_bytes] (i.e. the queue already held at least [k_bytes]).
+    @raise Invalid_argument if [k_bytes < 0]. *)
+
+val double_threshold : k1_bytes:int -> k2_bytes:int -> Net.Marking.t
+(** Hysteresis marker as described above.
+    @raise Invalid_argument if a threshold is negative. *)

@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  cc : Tcp.Cc.factory;
+  marking : unit -> Net.Marking.t;
+  echo : Tcp.Receiver.echo_policy;
+}
+
+let dctcp_params ?g ?init_alpha () =
+  let d = Dctcp_cc.default_params in
+  {
+    Dctcp_cc.g = Option.value g ~default:d.Dctcp_cc.g;
+    init_alpha = Option.value init_alpha ~default:d.Dctcp_cc.init_alpha;
+  }
+
+let dctcp ?g ?init_alpha ~k_bytes () =
+  {
+    name = "DCTCP";
+    cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
+    marking = (fun () -> Marking_policies.single_threshold ~k_bytes);
+    echo = Tcp.Receiver.Per_packet;
+  }
+
+let dt_dctcp ?g ?init_alpha ~k1_bytes ~k2_bytes () =
+  {
+    name = "DT-DCTCP";
+    cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
+    marking =
+      (fun () -> Marking_policies.double_threshold ~k1_bytes ~k2_bytes);
+    echo = Tcp.Receiver.Per_packet;
+  }
+
+let dctcp_pkts ?g ?packet_bytes ~k () =
+  dctcp ?g ~k_bytes:(Marking_policies.bytes_of_packets ?packet_bytes k) ()
+
+let dt_dctcp_pkts ?g ?packet_bytes ~k1 ~k2 () =
+  dt_dctcp ?g
+    ~k1_bytes:(Marking_policies.bytes_of_packets ?packet_bytes k1)
+    ~k2_bytes:(Marking_policies.bytes_of_packets ?packet_bytes k2)
+    ()
+
+let reno () =
+  {
+    name = "Reno";
+    cc = Tcp.Cc.reno;
+    marking = (fun () -> Net.Marking.none ());
+    echo = Tcp.Receiver.Per_packet;
+  }
+
+let ecn_reno ~k_bytes =
+  {
+    name = "ECN-Reno";
+    cc = Tcp.Cc.ecn_reno;
+    marking = (fun () -> Marking_policies.single_threshold ~k_bytes);
+    echo = Tcp.Receiver.Per_packet;
+  }

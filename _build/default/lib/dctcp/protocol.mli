@@ -1,0 +1,32 @@
+(** Protocol bundles: everything a scenario needs to deploy one of the
+    compared transports — a congestion-control factory for the senders, a
+    fresh marking policy for the bottleneck switch, and the receiver echo
+    policy. *)
+
+type t = {
+  name : string;
+  cc : Tcp.Cc.factory;
+  marking : unit -> Net.Marking.t;
+      (** Fresh policy instance (policies are stateful, one per queue). *)
+  echo : Tcp.Receiver.echo_policy;
+}
+
+val dctcp : ?g:float -> ?init_alpha:float -> k_bytes:int -> unit -> t
+(** DCTCP with single-threshold marking at [k_bytes]. *)
+
+val dt_dctcp :
+  ?g:float -> ?init_alpha:float -> k1_bytes:int -> k2_bytes:int -> unit -> t
+(** DT-DCTCP: the same DCTCP sender with double-threshold marking. *)
+
+val dctcp_pkts : ?g:float -> ?packet_bytes:int -> k:int -> unit -> t
+(** Packet-denominated convenience (the paper's K=40 packets etc.). *)
+
+val dt_dctcp_pkts :
+  ?g:float -> ?packet_bytes:int -> k1:int -> k2:int -> unit -> t
+
+val reno : unit -> t
+(** Plain drop-tail TCP Reno (no marking), as a baseline. *)
+
+val ecn_reno : k_bytes:int -> t
+(** Classic RFC-3168 ECN TCP with single-threshold marking: reacts to any
+    ECE by halving — the "ECN is not sufficient" comparison point. *)

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Heap Int64 Printf Rng Time

@@ -1,0 +1,33 @@
+(** Imperative binary min-heap.
+
+    The heap is parameterised by an element comparison given at creation.
+    Used by the simulator's event queue; kept generic so other subsystems
+    (e.g. token buckets, timer wheels in tests) can reuse it. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Amortised O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; O(n log n). Mainly for tests and debugging. *)
+
+val iter_unordered : ('a -> unit) -> 'a t -> unit
+(** Iterates over elements in unspecified order. *)

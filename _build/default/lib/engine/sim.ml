@@ -1,0 +1,84 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type event_id = event
+
+type t = {
+  heap : event Heap.t;
+  mutable now : Time.t;
+  mutable seq : int;
+  rng : Rng.t;
+  mutable processed : int;
+  mutable live : int;
+}
+
+let cmp_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    heap = Heap.create ~capacity:1024 ~cmp:cmp_event ();
+    now = Time.zero;
+    seq = 0;
+    rng = Rng.create ~seed;
+    processed = 0;
+    live = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule_at t time action =
+  if Time.(time < t.now) then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: %s is before now (%s)"
+         (Time.to_string time) (Time.to_string t.now));
+  let ev = { time; seq = t.seq; cancelled = false; action } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap ev;
+  ev
+
+let schedule_after t span action =
+  if Int64.compare span 0L < 0 then
+    invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t (Time.add t.now span) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some ev ->
+      if ev.cancelled then step t
+      else begin
+        t.now <- ev.time;
+        t.live <- t.live - 1;
+        t.processed <- t.processed + 1;
+        ev.action ();
+        true
+      end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | Some ev when Time.(ev.time <= stop) -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      if Time.(t.now < stop) then t.now <- stop
+
+let events_processed t = t.processed
+let pending t = t.live

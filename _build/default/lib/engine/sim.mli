@@ -1,0 +1,48 @@
+(** Discrete-event simulator core.
+
+    A simulator owns a virtual clock and an event queue. Events scheduled
+    for the same instant run in scheduling order (FIFO), which makes runs
+    fully deterministic for a given seed. *)
+
+type t
+
+type event_id
+(** Handle to a scheduled event, used for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** A fresh simulator with its clock at {!Time.zero}. [seed] (default 1)
+    initialises the simulation-wide {!Rng.t}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The simulation-wide random stream. Use {!Rng.split} to derive
+    per-component streams. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+(** [schedule_at sim t f] runs [f] when the clock reaches [t].
+    @raise Invalid_argument if [t] is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> event_id
+(** [schedule_after sim d f] is [schedule_at sim (add (now sim) d) f].
+    @raise Invalid_argument if [d] is negative. *)
+
+val cancel : t -> event_id -> unit
+(** Cancels a pending event; cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val step : t -> bool
+(** Runs the next event, advancing the clock. Returns [false] if the queue
+    was empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Runs events in time order. With [until], stops once all events at
+    instants [<= until] have run and leaves the clock at [until]; without
+    it, runs until the queue is empty. *)
+
+val events_processed : t -> int
+(** Number of events executed so far (cancelled events are not counted). *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)

@@ -1,0 +1,45 @@
+type t = int64
+
+and span = int64
+
+let zero = 0L
+
+let of_ns n =
+  if Int64.compare n 0L < 0 then invalid_arg "Time.of_ns: negative";
+  n
+
+let to_ns t = t
+
+let ns_per_sec = 1_000_000_000.
+
+let span_of_sec s =
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg "Time.span_of_sec: negative or non-finite";
+  Int64.of_float (Float.round (s *. ns_per_sec))
+
+let span_of_us us = span_of_sec (us *. 1e-6)
+let span_of_ms ms = span_of_sec (ms *. 1e-3)
+let span_to_sec d = Int64.to_float d /. ns_per_sec
+let of_sec s = of_ns (span_of_sec s)
+let to_sec t = Int64.to_float t /. ns_per_sec
+let of_us us = of_sec (us *. 1e-6)
+let of_ms ms = of_sec (ms *. 1e-3)
+let add t d = Int64.add t d
+let diff a b = Int64.sub a b
+let compare = Int64.compare
+let equal = Int64.equal
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+let ( > ) a b = compare a b > 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let pp ppf t =
+  let ns = Int64.to_float t in
+  if Stdlib.( < ) ns 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if Stdlib.( < ) ns 1e6 then Format.fprintf ppf "%.3fus" (ns /. 1e3)
+  else if Stdlib.( < ) ns 1e9 then Format.fprintf ppf "%.3fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.6fs" (ns /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

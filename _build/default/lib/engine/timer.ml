@@ -1,0 +1,27 @@
+type t = {
+  sim : Sim.t;
+  action : unit -> unit;
+  mutable pending : (Sim.event_id * Time.t) option;
+}
+
+let create sim ~action = { sim; action; pending = None }
+
+let cancel t =
+  match t.pending with
+  | None -> ()
+  | Some (ev, _) ->
+      Sim.cancel t.sim ev;
+      t.pending <- None
+
+let set_at t ~at =
+  cancel t;
+  let ev =
+    Sim.schedule_at t.sim at (fun () ->
+        t.pending <- None;
+        t.action ())
+  in
+  t.pending <- Some (ev, at)
+
+let set t ~after = set_at t ~at:(Time.add (Sim.now t.sim) after)
+let is_pending t = t.pending <> None
+let deadline t = Option.map snd t.pending

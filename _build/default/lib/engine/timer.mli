@@ -1,0 +1,24 @@
+(** Restartable one-shot timers.
+
+    A thin convenience layer over {!Sim} used for protocol timers (e.g. TCP
+    retransmission timeouts): setting a timer that is already pending
+    replaces its deadline. *)
+
+type t
+
+val create : Sim.t -> action:(unit -> unit) -> t
+(** An idle timer that runs [action] when it fires. *)
+
+val set : t -> after:Time.span -> unit
+(** Arms (or re-arms) the timer to fire [after] from now. *)
+
+val set_at : t -> at:Time.t -> unit
+(** Arms (or re-arms) the timer to fire at an absolute instant. *)
+
+val cancel : t -> unit
+(** Disarms the timer; no-op if idle. *)
+
+val is_pending : t -> bool
+
+val deadline : t -> Time.t option
+(** Instant at which the timer will fire, if armed. *)

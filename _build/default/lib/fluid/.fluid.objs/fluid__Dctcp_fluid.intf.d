@@ -1,0 +1,1 @@
+lib/fluid/dctcp_fluid.mli:

@@ -1,0 +1,1 @@
+lib/fluid/dde.mli:

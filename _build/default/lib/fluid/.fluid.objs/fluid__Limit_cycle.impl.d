@@ -1,0 +1,1 @@
+lib/fluid/limit_cycle.ml: Array Dctcp_fluid Float List

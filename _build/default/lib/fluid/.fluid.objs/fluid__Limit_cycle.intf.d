@@ -1,0 +1,1 @@
+lib/fluid/limit_cycle.mli: Dctcp_fluid

@@ -1,0 +1,34 @@
+(** Fixed-step integrator for delay-differential systems.
+
+    Integrates [x'(t) = f(t, x(t), y(t - tau))] where [y] is a scalar
+    "output" channel computed from the trajectory as it is produced
+    ([y(t) = output(t, x(t))]). The output function may be stateful (the
+    hysteresis marking of DT-DCTCP is), so it is evaluated exactly once
+    per accepted step, in time order; the delayed value is linearly
+    interpolated from the recorded history ([init_output] before t = 0).
+
+    The stepper is classic RK4 with the delayed input held per-stage from
+    the history buffer — adequate because [tau >> dt] and the interesting
+    right-hand sides here are discontinuous anyway. *)
+
+type problem = {
+  dim : int;
+  deriv : t:float -> state:float array -> delayed:float -> float array;
+  output : t:float -> state:float array -> float;
+  tau : float;  (** Delay on the output channel, seconds; must be >= 0. *)
+  init_state : float array;
+  init_output : float;  (** Output history for t < 0. *)
+}
+
+type solution = {
+  times : float array;
+  states : float array array;  (** [states.(i)] is the state at [times.(i)]. *)
+  outputs : float array;  (** Output channel at each instant. *)
+}
+
+val integrate : problem -> dt:float -> t_end:float -> solution
+(** @raise Invalid_argument on non-positive [dt]/[t_end], a negative
+    [tau], or an [init_state] whose length differs from [dim]. *)
+
+val component : solution -> int -> float array
+(** Column extraction, e.g. [component sol 2] is the queue trajectory. *)

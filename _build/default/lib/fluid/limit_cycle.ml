@@ -1,0 +1,76 @@
+type t = {
+  amplitude : float;
+  omega : float;
+  period : float;
+  cycles : int;
+  mean : float;
+}
+
+let measure ~times ~values ~discard =
+  let n = Array.length times in
+  if Array.length values <> n then
+    invalid_arg "Limit_cycle.measure: array length mismatch";
+  let start = ref 0 in
+  while !start < n && times.(!start) < discard do
+    incr start
+  done;
+  if !start >= n - 2 then
+    invalid_arg "Limit_cycle.measure: discard exceeds trajectory";
+  let start = !start in
+  let count = n - start in
+  let mean = ref 0. in
+  for i = start to n - 1 do
+    mean := !mean +. values.(i)
+  done;
+  let mean = !mean /. float_of_int count in
+  (* Upward mean-crossings delimit cycles; within each cycle record the
+     extremes. *)
+  let crossings = ref [] in
+  for i = start to n - 2 do
+    if values.(i) < mean && values.(i + 1) >= mean then begin
+      (* linear interpolation of the crossing instant *)
+      let frac =
+        if values.(i + 1) = values.(i) then 0.
+        else (mean -. values.(i)) /. (values.(i + 1) -. values.(i))
+      in
+      crossings := (times.(i) +. (frac *. (times.(i + 1) -. times.(i)))) :: !crossings
+    end
+  done;
+  let crossings = Array.of_list (List.rev !crossings) in
+  let cycles = Array.length crossings - 1 in
+  if cycles < 3 then None
+  else begin
+    let periods =
+      Array.init cycles (fun i -> crossings.(i + 1) -. crossings.(i))
+    in
+    let period = Array.fold_left ( +. ) 0. periods /. float_of_int cycles in
+    (* Peak-to-peak per cycle. *)
+    let amp_sum = ref 0. in
+    let idx = ref start in
+    for c = 0 to cycles - 1 do
+      let t_start = crossings.(c) and t_end = crossings.(c + 1) in
+      while !idx < n && times.(!idx) < t_start do
+        incr idx
+      done;
+      let lo = ref infinity and hi = ref neg_infinity in
+      let j = ref !idx in
+      while !j < n && times.(!j) < t_end do
+        if values.(!j) < !lo then lo := values.(!j);
+        if values.(!j) > !hi then hi := values.(!j);
+        incr j
+      done;
+      if Float.is_finite !lo && Float.is_finite !hi then
+        amp_sum := !amp_sum +. ((!hi -. !lo) /. 2.)
+    done;
+    Some
+      {
+        amplitude = !amp_sum /. float_of_int cycles;
+        omega = 2. *. Float.pi /. period;
+        period;
+        cycles;
+        mean;
+      }
+  end
+
+let of_queue (traj : Dctcp_fluid.trajectory) ~discard =
+  measure ~times:traj.Dctcp_fluid.times ~values:traj.Dctcp_fluid.q ~discard

@@ -1,0 +1,1 @@
+lib/net/marking.mli: Engine

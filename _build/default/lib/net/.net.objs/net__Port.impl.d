@@ -1,0 +1,1 @@
+lib/net/port.ml: Engine Int64 Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/net/port.mli: Engine Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/net/queue_disc.ml: Engine Marking Packet Queue Stdlib

@@ -1,0 +1,1 @@
+lib/net/switch.ml: Array Engine Hashtbl Packet Port Stdlib

@@ -1,0 +1,1 @@
+lib/net/switch.mli: Engine Packet Port

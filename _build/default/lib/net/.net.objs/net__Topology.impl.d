@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Engine Hashtbl Host Int64 Marking Port Printf Queue_disc Switch

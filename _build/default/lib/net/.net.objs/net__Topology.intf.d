@@ -1,0 +1,1 @@
+lib/net/topology.mli: Engine Host Marking Port Switch

@@ -1,0 +1,1 @@
+lib/net/trace.ml: Engine Int64 Queue_disc Stats

@@ -1,0 +1,37 @@
+type t = {
+  sim : Engine.Sim.t;
+  id : int;
+  mutable nic : Port.t option;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable unclaimed : int;
+}
+
+let create sim ~id = { sim; id; nic = None; handlers = Hashtbl.create 16; unclaimed = 0 }
+
+let id t = t.id
+let sim t = t.sim
+
+let attach_nic t port =
+  match t.nic with
+  | Some _ -> invalid_arg "Host.attach_nic: NIC already attached"
+  | None -> t.nic <- Some port
+
+let nic t =
+  match t.nic with
+  | Some p -> p
+  | None -> invalid_arg "Host.nic: no NIC attached"
+
+let send t pkt = Port.send (nic t) pkt
+
+let receive t pkt =
+  match Hashtbl.find_opt t.handlers pkt.Packet.flow with
+  | Some handler -> handler pkt
+  | None -> t.unclaimed <- t.unclaimed + 1
+
+let bind_flow t ~flow handler =
+  if Hashtbl.mem t.handlers flow then
+    invalid_arg "Host.bind_flow: flow already bound";
+  Hashtbl.replace t.handlers flow handler
+
+let unbind_flow t ~flow = Hashtbl.remove t.handlers flow
+let unclaimed t = t.unclaimed

@@ -1,0 +1,53 @@
+type occupancy = { bytes : int; packets : int }
+
+type t = {
+  name : string;
+  on_enqueue : occupancy -> bool;
+  on_dequeue : occupancy -> unit;
+}
+
+let make ~name ~on_enqueue ~on_dequeue = { name; on_enqueue; on_dequeue }
+
+let none () =
+  make ~name:"none" ~on_enqueue:(fun _ -> false) ~on_dequeue:(fun _ -> ())
+
+let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
+  if max_th_bytes <= min_th_bytes then
+    invalid_arg "Marking.red: max_th <= min_th";
+  if max_p <= 0. || max_p > 1. then invalid_arg "Marking.red: bad max_p";
+  if weight <= 0. || weight > 1. then invalid_arg "Marking.red: bad weight";
+  ignore avg_pkt_size;
+  let avg = ref 0. in
+  let count_since_mark = ref (-1) in
+  let on_enqueue occ =
+    avg := ((1. -. weight) *. !avg) +. (weight *. float_of_int occ.bytes);
+    if !avg < float_of_int min_th_bytes then begin
+      count_since_mark := -1;
+      false
+    end
+    else if !avg >= float_of_int max_th_bytes then begin
+      count_since_mark := 0;
+      true
+    end
+    else begin
+      incr count_since_mark;
+      let pb =
+        max_p
+        *. (!avg -. float_of_int min_th_bytes)
+        /. float_of_int (max_th_bytes - min_th_bytes)
+      in
+      let pa =
+        let denom = 1. -. (float_of_int !count_since_mark *. pb) in
+        if denom <= 0. then 1. else pb /. denom
+      in
+      let mark =
+        match rng with
+        | Some rng -> Engine.Rng.float rng < pa
+        | None -> pa > 0.5
+      in
+      if mark then count_since_mark := 0;
+      mark
+    end
+  in
+  let on_dequeue _ = () in
+  make ~name:"red" ~on_enqueue ~on_dequeue

@@ -1,0 +1,49 @@
+(** Active-queue-management marking policies.
+
+    A policy is consulted by {!Queue_disc} on every enqueue (may the
+    arriving packet be ECN-marked?) and informed of every dequeue (so
+    policies with hysteresis can observe queue descents). Policies are
+    stateful; create one instance per queue.
+
+    The network layer ships the trivial {!none} policy and the classic RED
+    marker used as an extra baseline; the paper's single-threshold (DCTCP)
+    and double-threshold (DT-DCTCP) policies live in [lib/dctcp] and are
+    built with {!make}. *)
+
+type occupancy = {
+  bytes : int;  (** Queue occupancy in bytes, including the arriving packet
+                    on enqueue. *)
+  packets : int;  (** Same instant, in packets. *)
+}
+
+type t = {
+  name : string;
+  on_enqueue : occupancy -> bool;
+      (** Called after the arriving packet is accepted; [true] = mark CE. *)
+  on_dequeue : occupancy -> unit;
+      (** Called after a packet leaves; occupancy excludes it. *)
+}
+
+val make :
+  name:string ->
+  on_enqueue:(occupancy -> bool) ->
+  on_dequeue:(occupancy -> unit) ->
+  t
+
+val none : unit -> t
+(** Never marks (plain drop-tail). *)
+
+val red :
+  ?rng:Engine.Rng.t ->
+  min_th_bytes:int ->
+  max_th_bytes:int ->
+  max_p:float ->
+  weight:float ->
+  avg_pkt_size:int ->
+  unit ->
+  t
+(** Random Early Detection (gentle variant off) operating on an EWMA of the
+    byte occupancy; marks (rather than drops) ECT packets, as in ECN-enabled
+    RED. Provided as a classical AQM baseline for the ablation benches.
+    Without [rng] the policy marks deterministically when the computed
+    probability exceeds 1/2 (useful for reproducible unit tests). *)

@@ -1,0 +1,33 @@
+type ecn = Not_ect | Ect | Ce
+
+type payload = ..
+
+type payload += No_payload
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  flow : int;
+  size : int;
+  mutable ecn : ecn;
+  payload : payload;
+}
+
+let next_id = ref 0
+
+let make ~src ~dst ~flow ~size ~ecn payload =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  incr next_id;
+  { id = !next_id; src; dst; flow; size; ecn; payload }
+
+let mark_ce t = match t.ecn with Not_ect -> () | Ect | Ce -> t.ecn <- Ce
+let is_ce t = t.ecn = Ce
+let is_ect t = match t.ecn with Ect | Ce -> true | Not_ect -> false
+
+let pp ppf t =
+  let ecn =
+    match t.ecn with Not_ect -> "not-ect" | Ect -> "ect" | Ce -> "CE"
+  in
+  Format.fprintf ppf "pkt#%d flow=%d %d->%d %dB %s" t.id t.flow t.src t.dst
+    t.size ecn

@@ -1,0 +1,40 @@
+(** Network packets.
+
+    A packet carries an opaque transport payload (extensible variant, so the
+    transport layer can define its own segments without a dependency cycle),
+    plus the fields the network layer acts on: size, addressing, and the ECN
+    codepoint. The ECN field is mutable because switches mark packets in
+    flight. *)
+
+type ecn =
+  | Not_ect  (** Sender does not support ECN; congested switches drop. *)
+  | Ect  (** ECN-capable transport. *)
+  | Ce  (** Congestion experienced (set by a switch). *)
+
+type payload = ..
+(** Transport payloads; extended by [lib/tcp]. *)
+
+type payload += No_payload
+
+type t = {
+  id : int;  (** Unique per-process id, for debugging. *)
+  src : int;  (** Source host id. *)
+  dst : int;  (** Destination host id. *)
+  flow : int;  (** Flow id, used by hosts to demultiplex. *)
+  size : int;  (** Bytes on the wire. *)
+  mutable ecn : ecn;
+  payload : payload;
+}
+
+val make :
+  src:int -> dst:int -> flow:int -> size:int -> ecn:ecn -> payload -> t
+(** @raise Invalid_argument if [size <= 0]. *)
+
+val mark_ce : t -> unit
+(** Sets CE; only legal on ECN-capable packets (no-op on [Not_ect], which
+    mirrors real switches that cannot mark non-ECT traffic). *)
+
+val is_ce : t -> bool
+val is_ect : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  sim : Sim.t;
+  rate_bps : float;
+  delay : Time.span;
+  queue : Queue_disc.t;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable bytes_sent : int;
+  mutable packets_sent : int;
+}
+
+let create sim ~rate_bps ~delay ~queue ~deliver =
+  if rate_bps <= 0. then invalid_arg "Port.create: rate must be positive";
+  if Int64.compare delay 0L < 0 then
+    invalid_arg "Port.create: negative delay";
+  {
+    sim;
+    rate_bps;
+    delay;
+    queue;
+    deliver;
+    busy = false;
+    bytes_sent = 0;
+    packets_sent = 0;
+  }
+
+let tx_time t ~bytes =
+  Time.span_of_sec (float_of_int (bytes * 8) /. t.rate_bps)
+
+let rec start_tx t =
+  match Queue_disc.dequeue t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx = tx_time t ~bytes:pkt.Packet.size in
+      ignore
+        (Sim.schedule_after t.sim tx (fun () ->
+             t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+             t.packets_sent <- t.packets_sent + 1;
+             ignore
+               (Sim.schedule_after t.sim t.delay (fun () -> t.deliver pkt));
+             start_tx t))
+
+let send t pkt =
+  match Queue_disc.enqueue t.queue pkt with
+  | `Dropped -> ()
+  | `Enqueued -> if not t.busy then start_tx t
+
+let queue t = t.queue
+let rate_bps t = t.rate_bps
+let bytes_sent t = t.bytes_sent
+let packets_sent t = t.packets_sent
+
+let reset_counters t =
+  t.bytes_sent <- 0;
+  t.packets_sent <- 0
+
+let is_busy t = t.busy

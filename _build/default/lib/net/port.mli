@@ -1,0 +1,35 @@
+(** Output port: queue + serializer + propagation.
+
+    A port drains its {!Queue_disc} at the line rate, then delivers each
+    packet to the remote end after the link's propagation delay. Ports are
+    unidirectional; a full-duplex cable is a pair of ports. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  rate_bps:float ->
+  delay:Engine.Time.span ->
+  queue:Queue_disc.t ->
+  deliver:(Packet.t -> unit) ->
+  t
+(** [deliver] is invoked at the remote end, [delay] after serialization
+    completes. @raise Invalid_argument if [rate_bps <= 0]. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueues (possibly tail-dropping) and starts transmitting if idle. *)
+
+val queue : t -> Queue_disc.t
+val rate_bps : t -> float
+
+val tx_time : t -> bytes:int -> Engine.Time.span
+(** Serialization time of [bytes] at the port's rate. *)
+
+val bytes_sent : t -> int
+(** Payload bytes fully serialized since creation or {!reset_counters}. *)
+
+val packets_sent : t -> int
+
+val reset_counters : t -> unit
+
+val is_busy : t -> bool

@@ -1,0 +1,153 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  capacity_bytes : int;
+  marking : Marking.t;
+  fifo : Packet.t Queue.t;
+  mutable occ_bytes : int;
+  mutable occ_pkts : int;
+  mutable drops : int;
+  mutable enqueued : int;
+  mutable marked : int;
+  mutable observer : unit -> unit;
+  (* time-weighted occupancy integrals *)
+  mutable stats_start : Time.t;
+  mutable last_change : Time.t;
+  mutable int_bytes : float;  (* integral of occ_bytes dt (seconds) *)
+  mutable int_bytes2 : float; (* integral of occ_bytes^2 dt *)
+  mutable int_pkts : float;
+  mutable int_pkts2 : float;
+  mutable max_bytes : int;
+}
+
+let create sim ~capacity_bytes ?(marking = Marking.none ()) ?(name = "queue")
+    () =
+  if capacity_bytes <= 0 then
+    invalid_arg "Queue_disc.create: capacity must be positive";
+  let now = Sim.now sim in
+  {
+    sim;
+    name;
+    capacity_bytes;
+    marking;
+    fifo = Queue.create ();
+    occ_bytes = 0;
+    occ_pkts = 0;
+    drops = 0;
+    enqueued = 0;
+    marked = 0;
+    observer = (fun () -> ());
+    stats_start = now;
+    last_change = now;
+    int_bytes = 0.;
+    int_bytes2 = 0.;
+    int_pkts = 0.;
+    int_pkts2 = 0.;
+    max_bytes = 0;
+  }
+
+let name t = t.name
+
+let accumulate t =
+  let now = Sim.now t.sim in
+  let dt = Time.span_to_sec (Time.diff now t.last_change) in
+  if dt > 0. then begin
+    let b = float_of_int t.occ_bytes and p = float_of_int t.occ_pkts in
+    t.int_bytes <- t.int_bytes +. (b *. dt);
+    t.int_bytes2 <- t.int_bytes2 +. (b *. b *. dt);
+    t.int_pkts <- t.int_pkts +. (p *. dt);
+    t.int_pkts2 <- t.int_pkts2 +. (p *. p *. dt)
+  end;
+  t.last_change <- now
+
+let enqueue t pkt =
+  if t.occ_bytes + pkt.Packet.size > t.capacity_bytes then begin
+    t.drops <- t.drops + 1;
+    t.observer ();
+    `Dropped
+  end
+  else begin
+    accumulate t;
+    Queue.push pkt t.fifo;
+    t.occ_bytes <- t.occ_bytes + pkt.Packet.size;
+    t.occ_pkts <- t.occ_pkts + 1;
+    t.enqueued <- t.enqueued + 1;
+    if t.occ_bytes > t.max_bytes then t.max_bytes <- t.occ_bytes;
+    let occ = { Marking.bytes = t.occ_bytes; packets = t.occ_pkts } in
+    if t.marking.Marking.on_enqueue occ then begin
+      if Packet.is_ect pkt then begin
+        Packet.mark_ce pkt;
+        t.marked <- t.marked + 1
+      end
+    end;
+    t.observer ();
+    `Enqueued
+  end
+
+let dequeue t =
+  match Queue.take_opt t.fifo with
+  | None -> None
+  | Some pkt ->
+      accumulate t;
+      t.occ_bytes <- t.occ_bytes - pkt.Packet.size;
+      t.occ_pkts <- t.occ_pkts - 1;
+      let occ = { Marking.bytes = t.occ_bytes; packets = t.occ_pkts } in
+      t.marking.Marking.on_dequeue occ;
+      t.observer ();
+      Some pkt
+
+let occupancy_bytes t = t.occ_bytes
+let occupancy_packets t = t.occ_pkts
+let capacity_bytes t = t.capacity_bytes
+let drops t = t.drops
+let enqueued t = t.enqueued
+let marked t = t.marked
+let set_observer t f = t.observer <- f
+
+let reset_stats t =
+  let now = Sim.now t.sim in
+  t.stats_start <- now;
+  t.last_change <- now;
+  t.int_bytes <- 0.;
+  t.int_bytes2 <- 0.;
+  t.int_pkts <- 0.;
+  t.int_pkts2 <- 0.;
+  t.max_bytes <- t.occ_bytes;
+  t.drops <- 0;
+  t.enqueued <- 0;
+  t.marked <- 0
+
+let elapsed t =
+  accumulate t;
+  Time.span_to_sec (Time.diff (Sim.now t.sim) t.stats_start)
+
+let mean_occupancy_bytes t =
+  let dt = elapsed t in
+  if dt <= 0. then float_of_int t.occ_bytes else t.int_bytes /. dt
+
+let stddev_occupancy_bytes t =
+  let dt = elapsed t in
+  if dt <= 0. then 0.
+  else begin
+    let mean = t.int_bytes /. dt in
+    let var = (t.int_bytes2 /. dt) -. (mean *. mean) in
+    sqrt (Stdlib.max var 0.)
+  end
+
+let mean_occupancy_packets t =
+  let dt = elapsed t in
+  if dt <= 0. then float_of_int t.occ_pkts else t.int_pkts /. dt
+
+let stddev_occupancy_packets t =
+  let dt = elapsed t in
+  if dt <= 0. then 0.
+  else begin
+    let mean = t.int_pkts /. dt in
+    let var = (t.int_pkts2 /. dt) -. (mean *. mean) in
+    sqrt (Stdlib.max var 0.)
+  end
+
+let max_occupancy_bytes t = t.max_bytes

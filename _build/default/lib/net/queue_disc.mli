@@ -1,0 +1,62 @@
+(** Drop-tail FIFO queue with a pluggable ECN marking policy.
+
+    The queue also keeps exact time-weighted occupancy statistics (integral
+    of occupancy over time), so experiments can compute the mean and the
+    standard deviation of the queue length without recording a full trace. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  capacity_bytes:int ->
+  ?marking:Marking.t ->
+  ?name:string ->
+  unit ->
+  t
+(** @raise Invalid_argument if [capacity_bytes <= 0]. *)
+
+val name : t -> string
+
+val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped ]
+(** Tail-drops if the packet does not fit. On acceptance the marking policy
+    decides whether to set CE on the arriving packet (only effective for
+    ECT packets). *)
+
+val dequeue : t -> Packet.t option
+
+val occupancy_bytes : t -> int
+val occupancy_packets : t -> int
+val capacity_bytes : t -> int
+
+val drops : t -> int
+(** Packets tail-dropped since creation. *)
+
+val enqueued : t -> int
+(** Packets accepted since creation. *)
+
+val marked : t -> int
+(** Packets CE-marked since creation. *)
+
+val set_observer : t -> (unit -> unit) -> unit
+(** Invoked after every occupancy change (enqueue, dequeue) and after every
+    drop; used by {!Trace}. *)
+
+(** {2 Time-weighted occupancy statistics} *)
+
+val reset_stats : t -> unit
+(** Restart the occupancy integrals at the current instant (call at the end
+    of a warm-up period). Also resets {!drops}/{!enqueued}/{!marked}. *)
+
+val mean_occupancy_bytes : t -> float
+(** Time-weighted mean occupancy since the last {!reset_stats}. *)
+
+val stddev_occupancy_bytes : t -> float
+
+val mean_occupancy_packets : t -> float
+(** Mean occupancy measured in packets (time-weighted over the packet
+    count, not bytes/MTU). *)
+
+val stddev_occupancy_packets : t -> float
+
+val max_occupancy_bytes : t -> int
+(** Peak occupancy since the last {!reset_stats}. *)

@@ -1,0 +1,42 @@
+type t = {
+  sim : Engine.Sim.t;
+  id : int;
+  mutable ports : Port.t array;
+  mutable nports : int;
+  routes : (int, int) Hashtbl.t;
+  mutable no_route : int;
+}
+
+let create sim ~id =
+  { sim; id; ports = [||]; nports = 0; routes = Hashtbl.create 16; no_route = 0 }
+
+let id t = t.id
+
+let add_port t port =
+  if t.nports = Array.length t.ports then begin
+    let cap = Stdlib.max 4 (2 * Array.length t.ports) in
+    let ports = Array.make cap port in
+    Array.blit t.ports 0 ports 0 t.nports;
+    t.ports <- ports
+  end;
+  t.ports.(t.nports) <- port;
+  t.nports <- t.nports + 1;
+  t.nports - 1
+
+let port t i =
+  if i < 0 || i >= t.nports then invalid_arg "Switch.port: bad index";
+  t.ports.(i)
+
+let port_count t = t.nports
+
+let set_route t ~dst ~port =
+  if port < 0 || port >= t.nports then
+    invalid_arg "Switch.set_route: bad port index";
+  Hashtbl.replace t.routes dst port
+
+let receive t pkt =
+  match Hashtbl.find_opt t.routes pkt.Packet.dst with
+  | Some i -> Port.send t.ports.(i) pkt
+  | None -> t.no_route <- t.no_route + 1
+
+let no_route_drops t = t.no_route

@@ -1,0 +1,29 @@
+(** Output-queued store-and-forward switch.
+
+    Each output port has its own queue (and hence its own marking policy);
+    forwarding uses a static routing table from destination host id to
+    output port index, installed by the topology builder. *)
+
+type t
+
+val create : Engine.Sim.t -> id:int -> t
+
+val id : t -> int
+
+val add_port : t -> Port.t -> int
+(** Registers an output port, returning its index. *)
+
+val port : t -> int -> Port.t
+(** @raise Invalid_argument on a bad index. *)
+
+val port_count : t -> int
+
+val set_route : t -> dst:int -> port:int -> unit
+(** Routes packets destined to host [dst] out of port index [port].
+    @raise Invalid_argument on a bad port index. *)
+
+val receive : t -> Packet.t -> unit
+(** Forwards according to the routing table. Packets with no route are
+    counted and dropped. *)
+
+val no_route_drops : t -> int

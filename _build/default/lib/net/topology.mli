@@ -1,0 +1,130 @@
+(** Topology builders.
+
+    These wire hosts, switches and ports into the two networks the paper
+    evaluates on: the ns-2 style dumbbell (N senders, one bottleneck, one
+    receiver) and the 1 Gbps NetFPGA testbed star (a root switch feeding an
+    aggregator host, with leaf switches feeding workers).
+
+    Host ids are assigned densely from 0 by each builder; the receiver /
+    aggregator always gets the highest id. *)
+
+(** {2 Primitives} *)
+
+val default_access_buffer : int
+(** Buffer for non-bottleneck queues (512 KB, a realistic NIC/leaf queue;
+    large enough never to be the bottleneck in the paper's scenarios,
+    small enough to avoid unbounded self-inflicted bufferbloat). *)
+
+val connect_host_to_switch :
+  Engine.Sim.t ->
+  Host.t ->
+  Switch.t ->
+  rate_bps:float ->
+  delay:Engine.Time.span ->
+  ?host_buffer:int ->
+  ?switch_buffer:int ->
+  ?switch_marking:Marking.t ->
+  unit ->
+  int
+(** Creates the full-duplex pair of ports (host NIC and a switch port),
+    installs the route to the host on the switch, and returns the switch
+    port index. *)
+
+val connect_switches :
+  Engine.Sim.t ->
+  Switch.t ->
+  Switch.t ->
+  rate_bps:float ->
+  delay:Engine.Time.span ->
+  ?buffer_ab:int ->
+  ?buffer_ba:int ->
+  ?marking_ab:Marking.t ->
+  ?marking_ba:Marking.t ->
+  unit ->
+  int * int
+(** Full-duplex switch-to-switch cable; returns (port index on a toward b,
+    port index on b toward a). Routes are installed by the caller. *)
+
+(** {2 Dumbbell (paper Section VI-A)} *)
+
+type dumbbell = {
+  senders : Host.t array;
+  receiver : Host.t;
+  switch : Switch.t;
+  bottleneck : Port.t;
+      (** The switch-to-receiver port; its queue is "the" queue under
+          study. *)
+}
+
+val dumbbell :
+  Engine.Sim.t ->
+  n_senders:int ->
+  bottleneck_rate_bps:float ->
+  ?access_rate_bps:float ->
+  rtt:Engine.Time.span ->
+  buffer_bytes:int ->
+  marking:Marking.t ->
+  unit ->
+  dumbbell
+(** N senders share one bottleneck toward a single receiver. [rtt] is the
+    two-way propagation delay (split equally across the four link
+    traversals); serialization adds on top. [access_rate_bps] defaults to
+    the bottleneck rate. *)
+
+(** {2 Parking lot (multi-bottleneck chain)} *)
+
+type parking_lot = {
+  chain : Switch.t array;  (** [hops + 1] switches in a line. *)
+  long_src : Host.t;  (** Sends across every hop. *)
+  long_dst : Host.t;
+  cross_srcs : Host.t array;  (** One per hop, entering at switch [i]. *)
+  cross_dsts : Host.t array;  (** Leaving at switch [i+1]. *)
+  trunks : Port.t array;
+      (** Forward inter-switch ports — the [hops] bottlenecks, each with
+          its own fresh marking policy. *)
+}
+
+val parking_lot :
+  Engine.Sim.t ->
+  hops:int ->
+  rate_bps:float ->
+  ?access_rate_bps:float ->
+  ?link_delay:Engine.Time.span ->
+  buffer_bytes:int ->
+  marking:(unit -> Marking.t) ->
+  unit ->
+  parking_lot
+(** The classic multi-bottleneck fairness topology: a long flow traverses
+    all [hops] trunk links while each hop also carries a one-hop cross
+    flow. Access links run at [access_rate_bps] (default 4x the trunk
+    rate) so the trunks are the only bottlenecks. [link_delay] (default
+    12.5 us) applies per link traversal. *)
+
+(** {2 Star testbed (paper Section VI-B, Figure 13)} *)
+
+type star = {
+  aggregator : Host.t;
+  workers : Host.t array;
+  root : Switch.t;
+  leaves : Switch.t array;
+  star_bottleneck : Port.t;  (** Root-to-aggregator port. *)
+}
+
+val star_testbed :
+  Engine.Sim.t ->
+  ?n_leaves:int ->
+  ?workers_per_leaf:int ->
+  rate_bps:float ->
+  ?host_delay:Engine.Time.span ->
+  ?trunk_delay:Engine.Time.span ->
+  bottleneck_buffer:int ->
+  ?leaf_buffer:int ->
+  marking:Marking.t ->
+  unit ->
+  star
+(** The testbed: [n_leaves] (default 3) leaf switches with
+    [workers_per_leaf] (default 3) workers each, all joined at a root
+    switch that also hosts the aggregator. All links run at [rate_bps]
+    (1 Gbps in the paper). Only the root-to-aggregator port carries the
+    marking policy and the small [bottleneck_buffer] (128 KB in the
+    paper); leaf buffers default to 512 KB drop-tail. *)

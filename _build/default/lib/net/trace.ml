@@ -1,0 +1,54 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type mode = Every_change | Sampled of Time.span
+
+type t = {
+  queue : Queue_disc.t;
+  pkts : Stats.Timeseries.t;
+  bytes : Stats.Timeseries.t;
+  mutable active : bool;
+}
+
+let record t now =
+  Stats.Timeseries.add t.pkts now
+    (float_of_int (Queue_disc.occupancy_packets t.queue));
+  Stats.Timeseries.add t.bytes now
+    (float_of_int (Queue_disc.occupancy_bytes t.queue))
+
+let on_queue sim queue ~mode ?stop_at () =
+  let t =
+    {
+      queue;
+      pkts = Stats.Timeseries.create ();
+      bytes = Stats.Timeseries.create ();
+      active = true;
+    }
+  in
+  record t (Sim.now sim);
+  (match mode with
+  | Every_change ->
+      Queue_disc.set_observer queue (fun () ->
+          if t.active then record t (Sim.now sim))
+  | Sampled period ->
+      if Int64.compare period 0L <= 0 then
+        invalid_arg "Trace.on_queue: non-positive sampling period";
+      let stop =
+        match stop_at with
+        | Some s -> s
+        | None -> invalid_arg "Trace.on_queue: Sampled requires stop_at"
+      in
+      let rec tick () =
+        if t.active then begin
+          record t (Sim.now sim);
+          let next = Time.add (Sim.now sim) period in
+          if Time.(next <= stop) then
+            ignore (Sim.schedule_at sim next tick)
+        end
+      in
+      ignore (Sim.schedule_after sim period tick));
+  t
+
+let series_packets t = t.pkts
+let series_bytes t = t.bytes
+let detach t = t.active <- false

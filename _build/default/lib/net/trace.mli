@@ -1,0 +1,28 @@
+(** Queue-occupancy tracing.
+
+    Attaches to a {!Queue_disc} and records its occupancy as a
+    {!Stats.Timeseries.t}, either on every occupancy change (exact, heavier)
+    or sampled on a fixed period (bounded memory, what the figures use). *)
+
+type mode =
+  | Every_change
+  | Sampled of Engine.Time.span
+      (** Periodic point samples; the sampler runs until [stop_at]. *)
+
+type t
+
+val on_queue :
+  Engine.Sim.t -> Queue_disc.t -> mode:mode -> ?stop_at:Engine.Time.t ->
+  unit -> t
+(** Starts recording immediately. [stop_at] bounds a [Sampled] recorder
+    (mandatory for it — otherwise the sampler would keep the simulation
+    alive forever).
+    @raise Invalid_argument if [Sampled] is used without [stop_at]. *)
+
+val series_packets : t -> Stats.Timeseries.t
+(** Occupancy in packets over time. *)
+
+val series_bytes : t -> Stats.Timeseries.t
+
+val detach : t -> unit
+(** Stops recording. *)

@@ -1,0 +1,1 @@
+lib/stats/spectrum.ml: Array Complex Float

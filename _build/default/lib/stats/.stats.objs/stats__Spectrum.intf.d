@@ -1,0 +1,1 @@
+lib/stats/spectrum.mli: Complex

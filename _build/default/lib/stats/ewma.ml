@@ -1,0 +1,13 @@
+type t = { gain : float; mutable value : float; mutable n : int }
+
+let create ?(init = 0.) ~gain () =
+  if gain <= 0. || gain > 1. then invalid_arg "Ewma.create: gain out of (0,1]";
+  { gain; value = init; n = 0 }
+
+let update t x =
+  t.value <- ((1. -. t.gain) *. t.value) +. (t.gain *. x);
+  t.n <- t.n + 1
+
+let value t = t.value
+let gain t = t.gain
+let observations t = t.n

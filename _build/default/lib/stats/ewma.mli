@@ -1,0 +1,16 @@
+(** Exponentially weighted moving average,
+    [avg <- (1 - g) * avg + g * sample].
+
+    This is exactly the estimator DCTCP uses for its congestion parameter
+    alpha; exposed here so the estimator used by the protocol and the one
+    used by analysis code are a single implementation. *)
+
+type t
+
+val create : ?init:float -> gain:float -> unit -> t
+(** [gain] must lie in (0, 1]. [init] (default 0) seeds the average. *)
+
+val update : t -> float -> unit
+val value : t -> float
+val gain : t -> float
+val observations : t -> int

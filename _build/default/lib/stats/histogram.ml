@@ -1,0 +1,61 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then
+    if x = t.hi then
+      (* Closed upper edge: count hi itself in the last bin. *)
+      t.counts.(bins t - 1) <- t.counts.(bins t - 1) + 1
+    else t.overflow <- t.overflow + 1
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+    let i = int_of_float ((x -. t.lo) /. width) in
+    let i = Stdlib.min i (bins t - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count: bad index";
+  t.counts.(i)
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_bounds: bad index";
+  let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let mode_bin t =
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iteri
+    (fun i c -> if c > !best_count then begin best := i; best_count := c end)
+    t.counts;
+  if !best < 0 then invalid_arg "Histogram.mode_bin: empty histogram";
+  !best
+
+let pp ppf t =
+  let max_count = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * 40 / max_count) '#' in
+      Format.fprintf ppf "[%8.2f, %8.2f) %6d %s@." lo hi c bar)
+    t.counts

@@ -1,0 +1,28 @@
+(** Fixed-width-bin histogram over a closed range. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins <= 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [lo, hi] are counted in underflow/overflow buckets. *)
+
+val count : t -> int
+(** Total observations including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** @raise Invalid_argument on an out-of-range bin index. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Lower and upper edge of a bin. *)
+
+val mode_bin : t -> int
+(** Index of the most populated bin (ties: lowest index).
+    @raise Invalid_argument if no in-range observation was recorded. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual rendering with bar lengths proportional to counts. *)

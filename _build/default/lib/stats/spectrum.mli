@@ -1,0 +1,26 @@
+(** Spectral analysis of evenly-sampled series.
+
+    Used to extract the dominant oscillation frequency of a queue trace so
+    the packet simulator's limit cycle can be compared against the
+    describing-function prediction (which yields an angular frequency). *)
+
+val fft : Complex.t array -> Complex.t array
+(** In-order radix-2 Cooley-Tukey FFT.
+    @raise Invalid_argument if the length is not a power of two. *)
+
+val power_spectrum : float array -> float array
+(** Magnitude-squared spectrum of a real series (mean removed, Hann
+    window applied, zero-padded to the next power of two). Index [k] is
+    frequency [k * fs / n_fft]; only the first half (positive
+    frequencies) is returned. *)
+
+type peak = {
+  frequency_hz : float;
+  power : float;
+  total_power : float;
+}
+
+val dominant_frequency :
+  samples:float array -> sample_rate_hz:float -> peak option
+(** The strongest non-DC spectral peak. [None] when the series is too
+    short (< 16 samples) or has no variation. *)

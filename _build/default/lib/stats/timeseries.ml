@@ -1,0 +1,137 @@
+module Time = Engine.Time
+
+type t = {
+  mutable times : Time.t array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create () = { times = Array.make 256 Time.zero; values = Array.make 256 0.; size = 0 }
+
+let grow t =
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap Time.zero in
+  let values = Array.make cap 0. in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.times <- times;
+  t.values <- values
+
+let add t time v =
+  if t.size > 0 && Time.(time < t.times.(t.size - 1)) then
+    invalid_arg "Timeseries.add: out-of-order sample";
+  if t.size = Array.length t.times then grow t;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- v;
+  t.size <- t.size + 1
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Index of the last sample at or before [time]; -1 if none. *)
+let index_at t time =
+  let rec bsearch lo hi =
+    (* invariant: samples before lo are <= time, samples from hi on are > time *)
+    if lo >= hi then lo - 1
+    else begin
+      let mid = (lo + hi) / 2 in
+      if Time.(t.times.(mid) <= time) then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  bsearch 0 t.size
+
+let value_at t time =
+  let i = index_at t time in
+  if i < 0 then invalid_arg "Timeseries.value_at: before first sample";
+  t.values.(i)
+
+let fold_window t ~from ~until ~init ~f =
+  (* Folds over constant segments [seg_start, seg_end) clipped to the
+     window, passing the segment duration in seconds and its value. *)
+  if t.size = 0 || Time.(until <= from) then init
+  else begin
+    let acc = ref init in
+    let start_idx = Stdlib.max (index_at t from) 0 in
+    let i = ref start_idx in
+    let continue = ref true in
+    while !continue && !i < t.size do
+      let seg_start = Time.max t.times.(!i) from in
+      let seg_end =
+        if !i + 1 < t.size then Time.min t.times.(!i + 1) until else until
+      in
+      if Time.(seg_start >= until) then continue := false
+      else begin
+        if Time.(seg_end > seg_start) then begin
+          let dt = Time.span_to_sec (Time.diff seg_end seg_start) in
+          acc := f !acc dt t.values.(!i)
+        end;
+        incr i
+      end
+    done;
+    !acc
+  end
+
+let default_window ?from ?until t =
+  let from = match from with Some f -> f | None -> t.times.(0) in
+  let until = match until with Some u -> u | None -> t.times.(t.size - 1) in
+  (from, until)
+
+let time_weighted_mean ?from ?until t =
+  if t.size = 0 then 0.
+  else begin
+    let from, until = default_window ?from ?until t in
+    let total, weighted =
+      fold_window t ~from ~until ~init:(0., 0.) ~f:(fun (tot, w) dt v ->
+          (tot +. dt, w +. (dt *. v)))
+    in
+    if total <= 0. then 0. else weighted /. total
+  end
+
+let time_weighted_stddev ?from ?until t =
+  if t.size = 0 then 0.
+  else begin
+    let from, until = default_window ?from ?until t in
+    let mean = time_weighted_mean ~from ~until t in
+    let total, weighted_sq =
+      fold_window t ~from ~until ~init:(0., 0.) ~f:(fun (tot, w) dt v ->
+          let d = v -. mean in
+          (tot +. dt, w +. (dt *. d *. d)))
+    in
+    if total <= 0. then 0. else sqrt (weighted_sq /. total)
+  end
+
+let min_value t =
+  if t.size = 0 then invalid_arg "Timeseries.min_value: empty";
+  let m = ref t.values.(0) in
+  for i = 1 to t.size - 1 do
+    if t.values.(i) < !m then m := t.values.(i)
+  done;
+  !m
+
+let max_value t =
+  if t.size = 0 then invalid_arg "Timeseries.max_value: empty";
+  let m = ref t.values.(0) in
+  for i = 1 to t.size - 1 do
+    if t.values.(i) > !m then m := t.values.(i)
+  done;
+  !m
+
+let resample t ~from ~until ~n =
+  if n <= 0 then invalid_arg "Timeseries.resample: n must be positive";
+  let span = Time.diff until from in
+  Array.init n (fun i ->
+      let frac = if n = 1 then 0. else float_of_int i /. float_of_int (n - 1) in
+      let offset = Int64.of_float (Int64.to_float span *. frac) in
+      let time = Time.add from offset in
+      let v = if index_at t time < 0 then 0. else value_at t time in
+      (time, v))
+
+let samples t =
+  Array.init t.size (fun i -> (t.times.(i), t.values.(i)))
+
+let to_csv t oc =
+  output_string oc "time_s,value\n";
+  for i = 0 to t.size - 1 do
+    Printf.fprintf oc "%.9f,%g\n" (Time.to_sec t.times.(i)) t.values.(i)
+  done

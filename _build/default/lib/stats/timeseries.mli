@@ -1,0 +1,46 @@
+(** Piecewise-constant time series.
+
+    Records [(t, v)] samples where [v] holds from [t] until the next sample
+    (a step function — the natural shape for queue-occupancy traces).
+    Provides time-weighted statistics, which is what "average queue length"
+    means for a fluctuating queue. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Engine.Time.t -> float -> unit
+(** Appends a sample. Samples must be added in non-decreasing time order.
+    @raise Invalid_argument on out-of-order samples. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val time_weighted_mean : ?from:Engine.Time.t -> ?until:Engine.Time.t -> t -> float
+(** Mean of the step function over [[from, until]] (defaults: first sample
+    to last sample). 0 for an empty series or an empty interval. *)
+
+val time_weighted_stddev :
+  ?from:Engine.Time.t -> ?until:Engine.Time.t -> t -> float
+(** Standard deviation of the step function over the window. *)
+
+val min_value : t -> float
+(** @raise Invalid_argument if empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument if empty. *)
+
+val value_at : t -> Engine.Time.t -> float
+(** Value of the step function at an instant (last sample at or before it).
+    @raise Invalid_argument if the instant precedes the first sample. *)
+
+val resample :
+  t -> from:Engine.Time.t -> until:Engine.Time.t -> n:int
+  -> (Engine.Time.t * float) array
+(** [n] evenly spaced point samples over the window, for plotting. *)
+
+val samples : t -> (Engine.Time.t * float) array
+(** All raw samples, in order. Copies. *)
+
+val to_csv : t -> out_channel -> unit
+(** Writes "time_s,value" lines. *)

@@ -1,0 +1,1 @@
+lib/tcp/flow.ml: Engine Lazy Net Receiver Sender

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Engine Hashtbl List Net Option Segment

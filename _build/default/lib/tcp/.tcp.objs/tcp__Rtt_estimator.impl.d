@@ -1,0 +1,1 @@
+lib/tcp/rtt_estimator.ml: Engine Float Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: List Net Printf String

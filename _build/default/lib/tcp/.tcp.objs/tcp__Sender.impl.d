@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cc Engine Float Hashtbl List Net Rtt_estimator Segment Stdlib

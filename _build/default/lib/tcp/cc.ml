@@ -1,0 +1,101 @@
+type flow_api = {
+  now : unit -> Engine.Time.t;
+  get_cwnd : unit -> float;
+  set_cwnd : float -> unit;
+  get_ssthresh : unit -> float;
+  set_ssthresh : float -> unit;
+}
+
+type t = {
+  name : string;
+  on_ack : newly_acked:int -> ece:bool -> snd_una:int -> snd_nxt:int -> unit;
+  on_fast_retransmit : unit -> unit;
+  on_timeout : unit -> unit;
+  alpha : unit -> float option;
+}
+
+type factory = flow_api -> t
+
+(* Shared Reno-style window growth. *)
+let grow api newly_acked =
+  if newly_acked > 0 then begin
+    let cwnd = api.get_cwnd () in
+    if cwnd < api.get_ssthresh () then
+      api.set_cwnd (cwnd +. float_of_int newly_acked)
+    else api.set_cwnd (cwnd +. (float_of_int newly_acked /. cwnd))
+  end
+
+let halve_on_loss api =
+  let cwnd = api.get_cwnd () in
+  let target = Stdlib.max (cwnd /. 2.) 1. in
+  api.set_ssthresh target;
+  api.set_cwnd target
+
+let collapse_on_timeout api =
+  let cwnd = api.get_cwnd () in
+  api.set_ssthresh (Stdlib.max (cwnd /. 2.) 1.);
+  api.set_cwnd 1.
+
+let reno api =
+  {
+    name = "reno";
+    on_ack =
+      (fun ~newly_acked ~ece:_ ~snd_una:_ ~snd_nxt:_ -> grow api newly_acked);
+    on_fast_retransmit = (fun () -> halve_on_loss api);
+    on_timeout = (fun () -> collapse_on_timeout api);
+    alpha = (fun () -> None);
+  }
+
+let ecn_reno api =
+  (* One multiplicative decrease per window of data: after reacting to ECE
+     we ignore further ECE until snd_una passes the snd_nxt recorded at
+     reaction time. *)
+  let cwr_end = ref 0 in
+  {
+    name = "ecn-reno";
+    on_ack =
+      (fun ~newly_acked ~ece ~snd_una ~snd_nxt ->
+        if ece then begin
+          (* No growth on congestion-echo ACKs. *)
+          if snd_una > !cwr_end then begin
+            halve_on_loss api;
+            cwr_end := snd_nxt
+          end
+        end
+        else grow api newly_acked);
+    on_fast_retransmit = (fun () -> halve_on_loss api);
+    on_timeout = (fun () -> collapse_on_timeout api);
+    alpha = (fun () -> None);
+  }
+
+let ai_md ~increase ~decrease api =
+  if increase <= 0. then invalid_arg "Cc.ai_md: increase must be positive";
+  if decrease <= 0. || decrease >= 1. then
+    invalid_arg "Cc.ai_md: decrease must be in (0,1)";
+  let cwr_end = ref 0 in
+  let reduce () =
+    let cwnd = api.get_cwnd () in
+    let target = Stdlib.max (cwnd *. (1. -. decrease)) 1. in
+    api.set_ssthresh target;
+    api.set_cwnd target
+  in
+  {
+    name = Printf.sprintf "aimd(%.2f,%.2f)" increase decrease;
+    on_ack =
+      (fun ~newly_acked ~ece ~snd_una ~snd_nxt ->
+        if ece && snd_una > !cwr_end then begin
+          reduce ();
+          cwr_end := snd_nxt
+        end
+        else if newly_acked > 0 then begin
+          let cwnd = api.get_cwnd () in
+          if cwnd < api.get_ssthresh () then
+            api.set_cwnd (cwnd +. float_of_int newly_acked)
+          else
+            api.set_cwnd
+              (cwnd +. (increase *. float_of_int newly_acked /. cwnd))
+        end);
+    on_fast_retransmit = reduce;
+    on_timeout = (fun () -> collapse_on_timeout api);
+    alpha = (fun () -> None);
+  }

@@ -1,0 +1,61 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  sender : Sender.t;
+  receiver : Receiver.t;
+  segment_bytes : int;
+}
+
+let create sim ~src ~dst ~flow ~cc ?(config = Sender.default_config) ?echo
+    ?limit_segments ?on_complete () =
+  let receiver =
+    Receiver.create sim ~host:dst ~flow ~peer:(Net.Host.id src) ?echo
+      ~sack:config.Sender.sack ~ack_bytes:config.Sender.ack_bytes ()
+  in
+  let rec t =
+    lazy
+      (let on_complete () =
+         match on_complete with
+         | Some f -> f (Lazy.force t)
+         | None -> ()
+       in
+       let sender =
+         Sender.create sim ~host:src ~peer:(Net.Host.id dst) ~flow ~cc
+           ~config ?limit_segments ~on_complete ()
+       in
+       {
+         sim;
+         id = flow;
+         sender;
+         receiver;
+         segment_bytes = config.Sender.segment_bytes;
+       })
+  in
+  Lazy.force t
+
+let start t = Sender.start t.sender
+
+let start_at t at =
+  ignore (Sim.schedule_at t.sim at (fun () -> Sender.start t.sender))
+
+let flow_id t = t.id
+let sender t = t.sender
+let receiver t = t.receiver
+let cwnd t = Sender.cwnd t.sender
+let alpha t = Sender.alpha t.sender
+let completed t = Sender.completed t.sender
+let completion_time t = Sender.completion_time t.sender
+let segments_delivered t = Receiver.segments_delivered t.receiver
+
+let goodput_bps t ~since ~until =
+  let dt = Time.span_to_sec (Time.diff until since) in
+  if dt <= 0. then 0.
+  else
+    float_of_int (segments_delivered t * t.segment_bytes * 8) /. dt
+
+let close t =
+  Sender.close t.sender;
+  Receiver.close t.receiver

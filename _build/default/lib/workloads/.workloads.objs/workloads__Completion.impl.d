@@ -1,0 +1,1 @@
+lib/workloads/completion.ml: Array Engine Incast Int64 Stats

@@ -1,0 +1,1 @@
+lib/workloads/completion.mli: Dctcp Engine

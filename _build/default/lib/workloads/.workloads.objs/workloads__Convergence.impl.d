@@ -1,0 +1,1 @@
+lib/workloads/convergence.ml: Array Dctcp Engine Float Int64 List Net Stdlib Tcp

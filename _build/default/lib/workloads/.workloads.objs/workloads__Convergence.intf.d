@@ -1,0 +1,1 @@
+lib/workloads/convergence.mli: Dctcp Engine

@@ -1,0 +1,1 @@
+lib/workloads/deadline.ml: Array Engine Int64 Net Stats Tcp

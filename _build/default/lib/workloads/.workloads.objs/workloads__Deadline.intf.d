@@ -1,0 +1,1 @@
+lib/workloads/deadline.mli: Engine Net Tcp

@@ -1,0 +1,1 @@
+lib/workloads/dynamic.ml: Array Dctcp Engine List Net Stats Tcp

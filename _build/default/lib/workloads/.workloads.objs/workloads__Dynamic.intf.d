@@ -1,0 +1,1 @@
+lib/workloads/dynamic.mli: Dctcp Engine

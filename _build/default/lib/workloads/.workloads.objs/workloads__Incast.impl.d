@@ -1,0 +1,1 @@
+lib/workloads/incast.ml: Array Dctcp Engine Int64 Net Stats Tcp

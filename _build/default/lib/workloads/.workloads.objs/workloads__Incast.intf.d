@@ -1,0 +1,1 @@
+lib/workloads/incast.mli: Dctcp Engine

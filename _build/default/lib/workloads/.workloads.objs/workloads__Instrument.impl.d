@@ -1,0 +1,1 @@
+lib/workloads/instrument.ml: Engine Int64 List Option Printf Stats Tcp

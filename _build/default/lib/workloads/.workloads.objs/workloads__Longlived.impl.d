@@ -1,0 +1,1 @@
+lib/workloads/longlived.ml: Array Dctcp Engine Net Option Stats Tcp

@@ -1,0 +1,1 @@
+lib/workloads/longlived.mli: Dctcp Engine

@@ -1,0 +1,35 @@
+(** Scatter-gather completion time — the paper's Section VI-B-2
+    (Figure 15).
+
+    The aggregator requests a fixed total (1 MB in the paper) split evenly
+    over [n] workers; each responds with [total/n] simultaneously, and the
+    query completes when the last response arrives. With a 1 Gbps
+    bottleneck the floor is ~10 ms for 1 MB; once Incast timeouts begin,
+    the mean jumps roughly 20x. *)
+
+type config = {
+  n_flows : int;
+  total_bytes : int;  (** Default 1 MB. *)
+  repeats : int;  (** Default 20. *)
+  rate_bps : float;
+  buffer_bytes : int;
+  leaf_buffer_bytes : int;
+  segment_bytes : int;
+  min_rto : Engine.Time.span;
+  time_cap : Engine.Time.span;
+  seed : int64;
+}
+
+val default_config : config
+
+type result = {
+  mean_completion_s : float;
+  min_completion_s : float;
+  max_completion_s : float;
+  p99_completion_s : float;
+  stddev_completion_s : float;
+  timeouts_per_run : float;
+  incomplete : int;
+}
+
+val run : Dctcp.Protocol.t -> config -> result

@@ -1,0 +1,48 @@
+(** Deadline-constrained fan-in (extension, not in the reproduced paper).
+
+    The OLDI-style workload D2TCP targets: [n] synchronized responses, each
+    carrying its own completion deadline; the figure of merit is the
+    fraction of flows that meet their deadlines rather than aggregate
+    goodput. Deadlines are assigned uniformly over
+    [[deadline, deadline + deadline_spread]], so near- and far-deadline
+    flows coexist (which is where deadline-aware backoff pays off). *)
+
+type sender_kind =
+  | Plain of Tcp.Cc.factory
+      (** Every flow uses the same factory (DCTCP, Reno, ...). *)
+  | Deadline_aware of
+      (total_segments:int -> deadline:Engine.Time.t -> Tcp.Cc.factory)
+      (** The factory sees each flow's size and deadline (D2TCP). *)
+
+type config = {
+  n_flows : int;
+  bytes_per_flow : int;  (** Default 64 KB. *)
+  deadline : Engine.Time.span;  (** Base deadline from flow start (20 ms). *)
+  deadline_spread : Engine.Time.span;  (** Uniform extra slack (20 ms). *)
+  repeats : int;  (** Default 20. *)
+  rate_bps : float;
+  buffer_bytes : int;
+  leaf_buffer_bytes : int;
+  segment_bytes : int;
+  min_rto : Engine.Time.span;
+  start_jitter : Engine.Time.span;
+  time_cap : Engine.Time.span;
+  seed : int64;
+}
+
+val default_config : config
+
+type result = {
+  met_fraction : float;  (** Flows finishing before their deadline. *)
+  mean_completion_s : float;  (** Over all flows and repeats. *)
+  p99_completion_s : float;
+  timeouts_per_run : float;
+  incomplete : int;  (** Flows still unfinished at [time_cap]. *)
+}
+
+val run :
+  marking:(unit -> Net.Marking.t) ->
+  ?echo:Tcp.Receiver.echo_policy ->
+  sender_kind ->
+  config ->
+  result

@@ -1,0 +1,65 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = {
+  cwnd : Stats.Timeseries.t;
+  alpha : Stats.Timeseries.t;
+  srtt : Stats.Timeseries.t;
+  (* Joined view for CSV export: one row per sampling instant. *)
+  mutable rows : (Time.t * float * float option * float option) list;
+  mutable active : bool;
+}
+
+let sample t flow now =
+  let cwnd = Tcp.Flow.cwnd flow in
+  Stats.Timeseries.add t.cwnd now cwnd;
+  let alpha = Tcp.Flow.alpha flow in
+  (match alpha with
+  | Some a -> Stats.Timeseries.add t.alpha now a
+  | None -> ());
+  let srtt =
+    Option.map Time.span_to_sec (Tcp.Sender.srtt (Tcp.Flow.sender flow))
+  in
+  (match srtt with
+  | Some s -> Stats.Timeseries.add t.srtt now s
+  | None -> ());
+  t.rows <- (now, cwnd, alpha, srtt) :: t.rows
+
+let attach sim flow ~period ~stop_at =
+  if Int64.compare period 0L <= 0 then
+    invalid_arg "Instrument.attach: period must be positive";
+  let t =
+    {
+      cwnd = Stats.Timeseries.create ();
+      alpha = Stats.Timeseries.create ();
+      srtt = Stats.Timeseries.create ();
+      rows = [];
+      active = true;
+    }
+  in
+  let rec tick () =
+    if t.active then begin
+      sample t flow (Sim.now sim);
+      let next = Time.add (Sim.now sim) period in
+      if Time.(next <= stop_at) then ignore (Sim.schedule_at sim next tick)
+    end
+  in
+  tick ();
+  t
+
+let cwnd_series t = t.cwnd
+let alpha_series t = t.alpha
+let srtt_series t = t.srtt
+let detach t = t.active <- false
+
+let to_csv t oc =
+  output_string oc "time_s,cwnd_segments,alpha,srtt_s\n";
+  List.iter
+    (fun (now, cwnd, alpha, srtt) ->
+      let opt = function
+        | Some v -> Printf.sprintf "%g" v
+        | None -> ""
+      in
+      Printf.fprintf oc "%.9f,%g,%s,%s\n" (Time.to_sec now) cwnd (opt alpha)
+        (opt srtt))
+    (List.rev t.rows)

@@ -1,0 +1,34 @@
+(** Flow-level instrumentation: periodic samplers of sender state.
+
+    Attach a sampler to a flow to record its congestion window, DCTCP
+    alpha, and smoothed RTT as time series — the sender-side counterpart
+    of {!Net.Trace} for queues. Used by the CLI's trace dumps and by
+    examples that plot cwnd sawtooths. *)
+
+type t
+
+val attach :
+  Engine.Sim.t ->
+  Tcp.Flow.t ->
+  period:Engine.Time.span ->
+  stop_at:Engine.Time.t ->
+  t
+(** Samples immediately and then every [period] until [stop_at] (bounded,
+    so the sampler cannot keep the simulation alive).
+    @raise Invalid_argument on a non-positive period. *)
+
+val cwnd_series : t -> Stats.Timeseries.t
+(** Congestion window, segments. *)
+
+val alpha_series : t -> Stats.Timeseries.t
+(** DCTCP congestion estimate; empty for algorithms without one. *)
+
+val srtt_series : t -> Stats.Timeseries.t
+(** Smoothed RTT in seconds; empty until the first RTT sample. *)
+
+val detach : t -> unit
+(** Stops sampling early. *)
+
+val to_csv : t -> out_channel -> unit
+(** Writes "time_s,cwnd_segments,alpha,srtt_s" rows (missing values as
+    empty cells), joined on the sampling instants. *)

@@ -1,0 +1,170 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type config = {
+  n_flows : int;
+  bottleneck_rate_bps : float;
+  rtt : Time.span;
+  buffer_bytes : int;
+  segment_bytes : int;
+  warmup : Time.span;
+  measure : Time.span;
+  trace_sampling : Time.span option;
+  alpha_sample_period : Time.span;
+  stagger : Time.span;
+  min_rto : Time.span;
+  seed : int64;
+}
+
+let default_config =
+  {
+    n_flows = 10;
+    bottleneck_rate_bps = 10e9;
+    rtt = Time.span_of_us 100.;
+    buffer_bytes = 1000 * 1500;
+    segment_bytes = 1500;
+    warmup = Time.span_of_ms 100.;
+    measure = Time.span_of_ms 200.;
+    trace_sampling = None;
+    alpha_sample_period = Time.span_of_ms 1.;
+    stagger = Time.span_of_ms 1.;
+    min_rto = Time.span_of_ms 10.;
+    seed = 1L;
+  }
+
+type result = {
+  mean_queue_pkts : float;
+  std_queue_pkts : float;
+  max_queue_pkts : float;
+  mean_alpha : float;
+  throughput_bps : float;
+  utilization : float;
+  marked_fraction : float;
+  drops : int;
+  timeouts : int;
+  fast_retransmits : int;
+  jain_fairness : float;
+  queue_series : (float * float) array option;
+}
+
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
+  end
+
+let run (proto : Dctcp.Protocol.t) config =
+  if config.n_flows <= 0 then invalid_arg "Longlived.run: need flows";
+  let sim = Sim.create ~seed:config.seed () in
+  let net =
+    Net.Topology.dumbbell sim ~n_senders:config.n_flows
+      ~bottleneck_rate_bps:config.bottleneck_rate_bps ~rtt:config.rtt
+      ~buffer_bytes:config.buffer_bytes
+      ~marking:(proto.Dctcp.Protocol.marking ())
+      ()
+  in
+  let tcp_config =
+    {
+      Tcp.Sender.default_config with
+      segment_bytes = config.segment_bytes;
+      min_rto = config.min_rto;
+    }
+  in
+  let flows =
+    Array.mapi
+      (fun i src ->
+        Tcp.Flow.create sim ~src ~dst:net.Net.Topology.receiver ~flow:i
+          ~cc:proto.Dctcp.Protocol.cc ~config:tcp_config
+          ~echo:proto.Dctcp.Protocol.echo ())
+      net.Net.Topology.senders
+  in
+  let nf = Array.length flows in
+  let rng = Sim.rng sim in
+  Array.iter
+    (fun f ->
+      let offset = Engine.Rng.jitter_span rng ~max:config.stagger in
+      Tcp.Flow.start_at f (Time.of_ns offset))
+    flows;
+  let bottleneck = net.Net.Topology.bottleneck in
+  let bqueue = Net.Port.queue bottleneck in
+  let t_warm = Time.of_ns config.warmup in
+  let t_stop = Time.add t_warm config.measure in
+  (* Measurement bookkeeping armed at the end of the warm-up. *)
+  let alpha_stats = Stats.Descriptive.create () in
+  let delivered_at_warm = Array.make nf 0 in
+  let trace = ref None in
+  ignore
+    (Sim.schedule_at sim t_warm (fun () ->
+         Net.Queue_disc.reset_stats bqueue;
+         Net.Port.reset_counters bottleneck;
+         Array.iteri
+           (fun i f -> delivered_at_warm.(i) <- Tcp.Flow.segments_delivered f)
+           flows;
+         (match config.trace_sampling with
+         | Some period ->
+             trace :=
+               Some
+                 (Net.Trace.on_queue sim bqueue ~mode:(Net.Trace.Sampled period)
+                    ~stop_at:t_stop ())
+         | None -> ());
+         let rec sample_alpha () =
+           Array.iter
+             (fun f ->
+               match Tcp.Flow.alpha f with
+               | Some a -> Stats.Descriptive.add alpha_stats a
+               | None -> ())
+             flows;
+           let next = Time.add (Sim.now sim) config.alpha_sample_period in
+           if Time.(next <= t_stop) then
+             ignore (Sim.schedule_at sim next sample_alpha)
+         in
+         sample_alpha ()));
+  Sim.run ~until:t_stop sim;
+  let measure_s = Time.span_to_sec config.measure in
+  let throughput_bps =
+    float_of_int (Net.Port.bytes_sent bottleneck * 8) /. measure_s
+  in
+  let enq = Net.Queue_disc.enqueued bqueue in
+  let marked_fraction =
+    if enq = 0 then 0.
+    else float_of_int (Net.Queue_disc.marked bqueue) /. float_of_int enq
+  in
+  let per_flow =
+    Array.mapi
+      (fun i f ->
+        float_of_int (Tcp.Flow.segments_delivered f - delivered_at_warm.(i)))
+      flows
+  in
+  let queue_series =
+    Option.map
+      (fun tr ->
+        Array.map
+          (fun (t, v) -> (Time.to_sec t, v))
+          (Stats.Timeseries.samples (Net.Trace.series_packets tr)))
+      !trace
+  in
+  let pkt = float_of_int config.segment_bytes in
+  {
+    mean_queue_pkts = Net.Queue_disc.mean_occupancy_bytes bqueue /. pkt;
+    std_queue_pkts = Net.Queue_disc.stddev_occupancy_bytes bqueue /. pkt;
+    max_queue_pkts =
+      float_of_int (Net.Queue_disc.max_occupancy_bytes bqueue) /. pkt;
+    mean_alpha = Stats.Descriptive.mean alpha_stats;
+    throughput_bps;
+    utilization = throughput_bps /. config.bottleneck_rate_bps;
+    marked_fraction;
+    drops = Net.Queue_disc.drops bqueue;
+    timeouts =
+      Array.fold_left
+        (fun acc f -> acc + Tcp.Sender.timeouts (Tcp.Flow.sender f))
+        0 flows;
+    fast_retransmits =
+      Array.fold_left
+        (fun acc f -> acc + Tcp.Sender.fast_retransmits (Tcp.Flow.sender f))
+        0 flows;
+    jain_fairness = jain per_flow;
+    queue_series;
+  }

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Control Dctcp Float Format List Net Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dctcp.ml: Alcotest Dctcp Engine Float Fun Gen List Net Printf QCheck QCheck_alcotest Tcp

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Float Fun Gen Int64 List QCheck QCheck_alcotest

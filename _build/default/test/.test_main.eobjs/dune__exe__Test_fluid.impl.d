@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Float Fluid Printf Stdlib

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_control Test_dctcp Test_engine Test_fluid Test_net Test_stats Test_tcp Test_workloads

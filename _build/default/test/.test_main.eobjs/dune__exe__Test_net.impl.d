@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine Format List Net Printf Stats Tcp

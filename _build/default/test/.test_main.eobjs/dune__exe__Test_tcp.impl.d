@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Engine Float List Net Option Printf Tcp

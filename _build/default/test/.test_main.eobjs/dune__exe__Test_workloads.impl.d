@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dctcp Engine Filename Float Net Printf Stats Sys Tcp Workloads

@@ -1,0 +1,455 @@
+(* Tests for the discrete-event engine: time, heap, rng, simulator, timers. *)
+
+module Time = Engine.Time
+module Heap = Engine.Heap
+module Rng = Engine.Rng
+module Sim = Engine.Sim
+module Timer = Engine.Timer
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* --- Time --- *)
+
+let test_time_conversions () =
+  checkf "1s round trip" 1. (Time.to_sec (Time.of_sec 1.));
+  checkf "1us" 1e-6 (Time.to_sec (Time.of_us 1.));
+  checkf "1ms" 1e-3 (Time.to_sec (Time.of_ms 1.));
+  check Alcotest.int64 "of_ns" 123L (Time.to_ns (Time.of_ns 123L));
+  checkf "span 2.5ms" 2.5e-3 (Time.span_to_sec (Time.span_of_ms 2.5))
+
+let test_time_rounding () =
+  (* of_sec rounds to the nearest nanosecond. *)
+  check Alcotest.int64 "round down" 1L (Time.to_ns (Time.of_sec 1.4e-9));
+  check Alcotest.int64 "round up" 2L (Time.to_ns (Time.of_sec 1.6e-9))
+
+let test_time_ordering () =
+  let a = Time.of_us 1. and b = Time.of_us 2. in
+  checkb "lt" true Time.(a < b);
+  checkb "le" true Time.(a <= a);
+  checkb "gt" true Time.(b > a);
+  checkb "ge" true Time.(b >= b);
+  checkb "eq" true (Time.equal a a);
+  checkb "min" true (Time.equal (Time.min a b) a);
+  checkb "max" true (Time.equal (Time.max a b) b)
+
+let test_time_arith () =
+  let t = Time.add (Time.of_us 5.) (Time.span_of_us 3.) in
+  checkf "add" 8e-6 (Time.to_sec t);
+  check Alcotest.int64 "diff" 3000L (Time.diff t (Time.of_us 5.))
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1L)));
+  checkb "negative sec raises" true
+    (match Time.of_sec (-1.) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "nan raises" true
+    (match Time.of_sec Float.nan with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_time_pp () =
+  check Alcotest.string "ns" "500ns" (Time.to_string (Time.of_ns 500L));
+  check Alcotest.string "us" "1.500us" (Time.to_string (Time.of_ns 1500L));
+  check Alcotest.string "ms" "2.000ms" (Time.to_string (Time.of_ms 2.));
+  check Alcotest.string "s" "3.000000s" (Time.to_string (Time.of_sec 3.))
+
+(* --- Heap --- *)
+
+let int_heap () = Heap.create ~cmp:compare ()
+
+let test_heap_basic () =
+  let h = int_heap () in
+  checkb "empty" true (Heap.is_empty h);
+  checki "len 0" 0 (Heap.length h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  checki "len 5" 5 (Heap.length h);
+  checkb "peek" true (Heap.peek h = Some 1);
+  checki "pop1" 1 (Heap.pop_exn h);
+  checki "pop2" 1 (Heap.pop_exn h);
+  checki "pop3" 3 (Heap.pop_exn h);
+  checki "len 2" 2 (Heap.length h)
+
+let test_heap_pop_empty () =
+  let h = int_heap () in
+  checkb "pop none" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_sorted_drain () =
+  let h = int_heap () in
+  let data = [ 9; 2; 7; 2; 0; -3; 14; 8 ] in
+  List.iter (Heap.push h) data;
+  check
+    Alcotest.(list int)
+    "to_sorted_list" (List.sort compare data) (Heap.to_sorted_list h);
+  (* Non destructive *)
+  checki "still full" (List.length data) (Heap.length h)
+
+let test_heap_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  checkb "cleared" true (Heap.is_empty h)
+
+let test_heap_iter () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 4; 2; 6 ];
+  let sum = ref 0 in
+  Heap.iter_unordered (fun x -> sum := !sum + x) h;
+  checki "iter sum" 12 !sum
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drains any list in sorted order"
+    QCheck.(list int)
+    (fun l ->
+      let h = int_heap () in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare l)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~count:200
+    ~name:"heap min is correct under interleaved push/pop"
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = int_heap () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := v :: !model;
+            true
+          end
+          else begin
+            match (Heap.pop h, List.sort compare !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | None, _ :: _ | Some _, [] -> false
+          end)
+        ops)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:8L in
+  checkb "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:42L in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    checkb "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:42L in
+  for _ = 1 to 1000 do
+    let i = Rng.int r ~bound:17 in
+    checkb "in [0,17)" true (i >= 0 && i < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r ~bound:0))
+
+let test_rng_uniform () =
+  let r = Rng.create ~seed:1L in
+  for _ = 1 to 200 do
+    let x = Rng.uniform r ~lo:3. ~hi:5. in
+    checkb "uniform range" true (x >= 3. && x < 5.)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:11L in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:2.
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "exponential mean within 5%" true (Float.abs (mean -. 2.) < 0.1)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:3L in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  checkb "children differ" true (Rng.int64 c1 <> Rng.int64 c2)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:5L in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  checkb "is permutation" true (sorted = orig)
+
+let test_rng_jitter_bounds () =
+  let r = Rng.create ~seed:9L in
+  for _ = 1 to 500 do
+    let j = Rng.jitter_span r ~max:1000L in
+    checkb "jitter in range" true (Int64.compare j 0L >= 0 && Int64.compare j 1000L <= 0)
+  done;
+  check Alcotest.int64 "zero max" 0L (Rng.jitter_span r ~max:0L)
+
+(* --- Sim --- *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore (Sim.schedule_at sim (Time.of_us 3.) (fun () -> order := 3 :: !order));
+  ignore (Sim.schedule_at sim (Time.of_us 1.) (fun () -> order := 1 :: !order));
+  ignore (Sim.schedule_at sim (Time.of_us 2.) (fun () -> order := 2 :: !order));
+  Sim.run sim;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_sim_fifo_same_instant () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  let t = Time.of_us 1. in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim t (fun () -> order := i :: !order))
+  done;
+  Sim.run sim;
+  check Alcotest.(list int) "FIFO at same time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref Time.zero in
+  ignore (Sim.schedule_at sim (Time.of_us 7.) (fun () -> seen := Sim.now sim));
+  Sim.run sim;
+  checkf "now is event time" 7e-6 (Time.to_sec !seen)
+
+let test_sim_schedule_after () =
+  let sim = Sim.create () in
+  let fired = ref Time.zero in
+  ignore
+    (Sim.schedule_at sim (Time.of_us 5.) (fun () ->
+         ignore
+           (Sim.schedule_after sim (Time.span_of_us 10.) (fun () ->
+                fired := Sim.now sim))));
+  Sim.run sim;
+  checkf "after accumulates" 15e-6 (Time.to_sec !fired)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule_at sim (Time.of_us 1.) (fun () -> fired := true) in
+  checki "pending 1" 1 (Sim.pending sim);
+  Sim.cancel sim ev;
+  checki "pending 0" 0 (Sim.pending sim);
+  (* double cancel is a no-op *)
+  Sim.cancel sim ev;
+  checki "pending still 0" 0 (Sim.pending sim);
+  Sim.run sim;
+  checkb "not fired" false !fired;
+  checki "nothing processed" 0 (Sim.events_processed sim)
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim (Time.of_us 5.) (fun () -> ()));
+  Sim.run sim;
+  checkb "past raises" true
+    (match Sim.schedule_at sim (Time.of_us 1.) (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Sim.schedule_at sim (Time.of_us (float_of_int i)) (fun () -> incr count))
+  done;
+  Sim.run ~until:(Time.of_us 5.) sim;
+  checki "half processed" 5 !count;
+  checkf "clock at until" 5e-6 (Time.to_sec (Sim.now sim));
+  checki "half pending" 5 (Sim.pending sim);
+  Sim.run sim;
+  checki "rest processed" 10 !count
+
+let test_sim_until_inclusive () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule_at sim (Time.of_us 5.) (fun () -> fired := true));
+  Sim.run ~until:(Time.of_us 5.) sim;
+  checkb "event at boundary fires" true !fired
+
+let test_sim_until_advances_clock_when_idle () =
+  let sim = Sim.create () in
+  Sim.run ~until:(Time.of_ms 1.) sim;
+  checkf "clock moved" 1e-3 (Time.to_sec (Sim.now sim))
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  checkb "step on empty" false (Sim.step sim);
+  ignore (Sim.schedule_at sim (Time.of_us 1.) (fun () -> ()));
+  checkb "step runs" true (Sim.step sim);
+  checkb "empty again" false (Sim.step sim)
+
+let test_sim_events_processed () =
+  let sim = Sim.create () in
+  for i = 1 to 7 do
+    ignore (Sim.schedule_at sim (Time.of_us (float_of_int i)) (fun () -> ()))
+  done;
+  Sim.run sim;
+  checki "events" 7 (Sim.events_processed sim)
+
+(* --- Timer --- *)
+
+let test_timer_fires () =
+  let sim = Sim.create () in
+  let fired = ref Time.zero in
+  let t = Timer.create sim ~action:(fun () -> fired := Sim.now sim) in
+  Timer.set t ~after:(Time.span_of_us 50.);
+  checkb "pending" true (Timer.is_pending t);
+  Sim.run sim;
+  checkf "fired at deadline" 50e-6 (Time.to_sec !fired);
+  checkb "idle after" false (Timer.is_pending t)
+
+let test_timer_rearm_replaces () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let t = Timer.create sim ~action:(fun () -> incr count) in
+  Timer.set t ~after:(Time.span_of_us 10.);
+  Timer.set t ~after:(Time.span_of_us 20.);
+  Sim.run sim;
+  checki "fires once" 1 !count;
+  checkf "clock at second deadline" 20e-6 (Time.to_sec (Sim.now sim))
+
+let test_timer_cancel () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let t = Timer.create sim ~action:(fun () -> incr count) in
+  Timer.set t ~after:(Time.span_of_us 10.);
+  Timer.cancel t;
+  checkb "idle" false (Timer.is_pending t);
+  Sim.run sim;
+  checki "never fires" 0 !count
+
+let test_timer_deadline () =
+  let sim = Sim.create () in
+  let t = Timer.create sim ~action:(fun () -> ()) in
+  checkb "no deadline" true (Timer.deadline t = None);
+  Timer.set_at t ~at:(Time.of_us 42.);
+  (match Timer.deadline t with
+  | Some d -> checkf "deadline" 42e-6 (Time.to_sec d)
+  | None -> Alcotest.fail "expected deadline");
+  Timer.cancel t
+
+let test_timer_periodic_reuse () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let tmr = ref None in
+  let action () =
+    incr count;
+    if !count < 5 then
+      match !tmr with
+      | Some t -> Timer.set t ~after:(Time.span_of_us 10.)
+      | None -> ()
+  in
+  let t = Timer.create sim ~action in
+  tmr := Some t;
+  Timer.set t ~after:(Time.span_of_us 10.);
+  Sim.run sim;
+  checki "five firings" 5 !count;
+  checkf "50us elapsed" 50e-6 (Time.to_sec (Sim.now sim))
+
+let prop_sim_fires_in_time_order =
+  QCheck.Test.make ~count:200 ~name:"events fire in non-decreasing time order"
+    QCheck.(list_of_size Gen.(int_range 0 60) (int_bound 100_000))
+    (fun delays_us ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iter
+        (fun us ->
+          ignore
+            (Sim.schedule_at sim
+               (Time.of_us (float_of_int us))
+               (fun () -> fired := Time.to_ns (Sim.now sim) :: !fired)))
+        delays_us;
+      Sim.run sim;
+      let order = List.rev !fired in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) ->
+            Int64.compare a b <= 0 && non_decreasing rest
+        | [] | [ _ ] -> true
+      in
+      List.length order = List.length delays_us && non_decreasing order)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "engine.time",
+      [
+        Alcotest.test_case "conversions" `Quick test_time_conversions;
+        Alcotest.test_case "rounding" `Quick test_time_rounding;
+        Alcotest.test_case "ordering" `Quick test_time_ordering;
+        Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        Alcotest.test_case "invalid inputs" `Quick test_time_invalid;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+      ] );
+    ( "engine.heap",
+      [
+        Alcotest.test_case "push/pop basics" `Quick test_heap_basic;
+        Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+        Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "iter_unordered" `Quick test_heap_iter;
+        qtest prop_heap_sorts;
+        qtest prop_heap_interleaved;
+      ] );
+    ( "engine.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "jitter bounds" `Quick test_rng_jitter_bounds;
+      ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "time order" `Quick test_sim_runs_in_order;
+        Alcotest.test_case "FIFO at same instant" `Quick test_sim_fifo_same_instant;
+        Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
+        Alcotest.test_case "schedule_after" `Quick test_sim_schedule_after;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "scheduling in the past" `Quick test_sim_past_raises;
+        Alcotest.test_case "run until" `Quick test_sim_run_until;
+        Alcotest.test_case "until inclusive" `Quick test_sim_until_inclusive;
+        Alcotest.test_case "until advances idle clock" `Quick
+          test_sim_until_advances_clock_when_idle;
+        Alcotest.test_case "step" `Quick test_sim_step;
+        Alcotest.test_case "events processed" `Quick test_sim_events_processed;
+        qtest prop_sim_fires_in_time_order;
+      ] );
+    ( "engine.timer",
+      [
+        Alcotest.test_case "fires at deadline" `Quick test_timer_fires;
+        Alcotest.test_case "re-arm replaces" `Quick test_timer_rearm_replaces;
+        Alcotest.test_case "cancel" `Quick test_timer_cancel;
+        Alcotest.test_case "deadline introspection" `Quick test_timer_deadline;
+        Alcotest.test_case "periodic reuse" `Quick test_timer_periodic_reuse;
+      ] );
+  ]

@@ -1,0 +1,746 @@
+(* Tests for packets, marking policy plumbing, queues, ports, hosts,
+   switches, topologies, and traces. *)
+
+module Sim = Engine.Sim
+module Time = Engine.Time
+module Packet = Net.Packet
+module Marking = Net.Marking
+module Q = Net.Queue_disc
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+
+let mk_pkt ?(src = 0) ?(dst = 1) ?(flow = 0) ?(size = 1500)
+    ?(ecn = Packet.Ect) () =
+  Packet.make ~src ~dst ~flow ~size ~ecn Packet.No_payload
+
+(* --- Packet --- *)
+
+let test_packet_fields () =
+  let p = mk_pkt ~src:3 ~dst:9 ~flow:7 ~size:100 () in
+  checki "src" 3 p.Packet.src;
+  checki "dst" 9 p.Packet.dst;
+  checki "flow" 7 p.Packet.flow;
+  checki "size" 100 p.Packet.size
+
+let test_packet_ids_unique () =
+  let a = mk_pkt () and b = mk_pkt () in
+  checkb "distinct ids" true (a.Packet.id <> b.Packet.id)
+
+let test_packet_mark () =
+  let p = mk_pkt ~ecn:Packet.Ect () in
+  checkb "not ce" false (Packet.is_ce p);
+  checkb "ect" true (Packet.is_ect p);
+  Packet.mark_ce p;
+  checkb "ce" true (Packet.is_ce p);
+  checkb "ce is ect" true (Packet.is_ect p)
+
+let test_packet_mark_not_ect () =
+  let p = mk_pkt ~ecn:Packet.Not_ect () in
+  Packet.mark_ce p;
+  checkb "not-ect cannot be marked" false (Packet.is_ce p);
+  checkb "not ect" false (Packet.is_ect p)
+
+let test_packet_bad_size () =
+  checkb "zero size raises" true
+    (match mk_pkt ~size:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Marking: none & red --- *)
+
+let test_marking_none () =
+  let m = Marking.none () in
+  checkb "never marks" false
+    (m.Marking.on_enqueue { Marking.bytes = 1_000_000; packets = 1000 })
+
+let test_marking_red_below_min () =
+  let m =
+    Marking.red ~min_th_bytes:10_000 ~max_th_bytes:20_000 ~max_p:1.0
+      ~weight:1.0 ~avg_pkt_size:1500 ()
+  in
+  checkb "below min never marks" false
+    (m.Marking.on_enqueue { Marking.bytes = 5000; packets = 4 })
+
+let test_marking_red_above_max () =
+  let m =
+    Marking.red ~min_th_bytes:10_000 ~max_th_bytes:20_000 ~max_p:1.0
+      ~weight:1.0 ~avg_pkt_size:1500 ()
+  in
+  checkb "above max always marks" true
+    (m.Marking.on_enqueue { Marking.bytes = 30_000; packets = 20 })
+
+let test_marking_red_validation () =
+  checkb "max<=min raises" true
+    (match
+       Marking.red ~min_th_bytes:10 ~max_th_bytes:10 ~max_p:0.5 ~weight:0.5
+         ~avg_pkt_size:1500 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Queue_disc --- *)
+
+let test_queue_fifo_order () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:10_000 () in
+  let a = mk_pkt ~size:100 () and b = mk_pkt ~size:100 () in
+  checkb "enq a" true (Q.enqueue q a = `Enqueued);
+  checkb "enq b" true (Q.enqueue q b = `Enqueued);
+  checkb "fifo" true (Q.dequeue q = Some a);
+  checkb "fifo2" true (Q.dequeue q = Some b);
+  checkb "empty" true (Q.dequeue q = None)
+
+let test_queue_occupancy () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:10_000 () in
+  ignore (Q.enqueue q (mk_pkt ~size:600 ()));
+  ignore (Q.enqueue q (mk_pkt ~size:400 ()));
+  checki "bytes" 1000 (Q.occupancy_bytes q);
+  checki "pkts" 2 (Q.occupancy_packets q);
+  ignore (Q.dequeue q);
+  checki "bytes after deq" 400 (Q.occupancy_bytes q);
+  checki "pkts after deq" 1 (Q.occupancy_packets q)
+
+let test_queue_tail_drop () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1000 () in
+  checkb "fits" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Enqueued);
+  checkb "drops" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Dropped);
+  checki "drop count" 1 (Q.drops q);
+  checki "enqueued count" 1 (Q.enqueued q);
+  checkb "small still fits" true (Q.enqueue q (mk_pkt ~size:400 ()) = `Enqueued)
+
+let test_queue_marks_via_policy () =
+  let sim = Sim.create () in
+  let policy =
+    Marking.make ~name:"always" ~on_enqueue:(fun _ -> true)
+      ~on_dequeue:(fun _ -> ())
+  in
+  let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
+  let ect = mk_pkt ~ecn:Packet.Ect () in
+  let nect = mk_pkt ~ecn:Packet.Not_ect () in
+  ignore (Q.enqueue q ect);
+  ignore (Q.enqueue q nect);
+  checkb "ect marked" true (Packet.is_ce ect);
+  checkb "not-ect unmarked" false (Packet.is_ce nect);
+  checki "marked counts only ect" 1 (Q.marked q)
+
+let test_queue_policy_sees_occupancy () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  let policy =
+    Marking.make ~name:"spy"
+      ~on_enqueue:(fun occ ->
+        seen := `Enq (occ.Marking.bytes, occ.Marking.packets) :: !seen;
+        false)
+      ~on_dequeue:(fun occ ->
+        seen := `Deq (occ.Marking.bytes, occ.Marking.packets) :: !seen)
+  in
+  let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
+  ignore (Q.enqueue q (mk_pkt ~size:100 ()));
+  ignore (Q.enqueue q (mk_pkt ~size:200 ()));
+  ignore (Q.dequeue q);
+  Alcotest.check
+    (Alcotest.list
+       (Alcotest.testable
+          (fun ppf -> function
+            | `Enq (b, p) -> Format.fprintf ppf "Enq(%d,%d)" b p
+            | `Deq (b, p) -> Format.fprintf ppf "Deq(%d,%d)" b p)
+          ( = )))
+    "occupancies include arriving packet on enqueue, exclude on dequeue"
+    [ `Enq (100, 1); `Enq (300, 2); `Deq (200, 1) ]
+    (List.rev !seen)
+
+let test_queue_time_weighted_stats () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  (* occupancy 1500 over [0,10us), 3000 over [10,20us), drain at 20us;
+     measure at 30us: mean = (1500*10 + 3000*10 + 0*10)/30 = 1500 *)
+  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  ignore
+    (Sim.schedule_at sim (Time.of_us 10.) (fun () ->
+         ignore (Q.enqueue q (mk_pkt ~size:1500 ()))));
+  ignore
+    (Sim.schedule_at sim (Time.of_us 20.) (fun () ->
+         ignore (Q.dequeue q);
+         ignore (Q.dequeue q)));
+  Sim.run ~until:(Time.of_us 30.) sim;
+  checkf ~eps:1e-6 "mean bytes" 1500. (Q.mean_occupancy_bytes q);
+  checkf ~eps:1e-6 "mean pkts" 1. (Q.mean_occupancy_packets q);
+  (* variance of {1500,3000,0} equally weighted *)
+  checkf ~eps:1e-3 "stddev bytes"
+    (sqrt ((1500. ** 2. +. 3000. ** 2. +. 0.) /. 3. -. 1500. ** 2.))
+    (Q.stddev_occupancy_bytes q);
+  checki "max occupancy" 3000 (Q.max_occupancy_bytes q)
+
+let test_queue_reset_stats () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  Sim.run ~until:(Time.of_us 10.) sim;
+  Q.reset_stats q;
+  Sim.run ~until:(Time.of_us 20.) sim;
+  (* After reset, the standing packet still contributes occupancy. *)
+  checkf ~eps:1e-6 "mean after reset" 1500. (Q.mean_occupancy_bytes q);
+  checki "counters reset" 0 (Q.enqueued q)
+
+let test_queue_observer () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:2000 () in
+  let events = ref 0 in
+  Q.set_observer q (fun () -> incr events);
+  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  (* dropped, still observed *)
+  ignore (Q.dequeue q);
+  checki "three events" 3 !events
+
+let test_queue_validation () =
+  let sim = Sim.create () in
+  checkb "bad capacity raises" true
+    (match Q.create sim ~capacity_bytes:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Port --- *)
+
+let test_port_serialization_timing () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let arrivals = ref [] in
+  let port =
+    Net.Port.create sim ~rate_bps:1e9 ~delay:(Time.span_of_us 10.) ~queue:q
+      ~deliver:(fun pkt ->
+        arrivals := (Time.to_sec (Sim.now sim), pkt.Packet.id) :: !arrivals)
+  in
+  (* 1500 B at 1 Gbps = 12 us serialization + 10 us propagation. *)
+  let p = mk_pkt ~size:1500 () in
+  Net.Port.send port p;
+  Sim.run sim;
+  (match !arrivals with
+  | [ (t, _) ] -> checkf ~eps:1e-9 "arrival time" 22e-6 t
+  | _ -> Alcotest.fail "expected one arrival");
+  checki "bytes sent" 1500 (Net.Port.bytes_sent port);
+  checki "packets sent" 1 (Net.Port.packets_sent port)
+
+let test_port_back_to_back () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let arrivals = ref [] in
+  let port =
+    Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun _ ->
+        arrivals := Time.to_sec (Sim.now sim) :: !arrivals)
+  in
+  Net.Port.send port (mk_pkt ~size:1500 ());
+  Net.Port.send port (mk_pkt ~size:1500 ());
+  Sim.run sim;
+  (match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      checkf ~eps:1e-9 "first at 12us" 12e-6 t1;
+      checkf ~eps:1e-9 "second serialized after first" 24e-6 t2
+  | _ -> Alcotest.fail "expected two arrivals")
+
+let test_port_tx_time () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1000 () in
+  let port =
+    Net.Port.create sim ~rate_bps:10e9 ~delay:0L ~queue:q ~deliver:ignore
+  in
+  Alcotest.check Alcotest.int64 "1500B at 10G = 1.2us" 1200L
+    (Net.Port.tx_time port ~bytes:1500)
+
+let test_port_reset_counters () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:10_000 () in
+  let port = Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:ignore in
+  Net.Port.send port (mk_pkt ~size:1000 ());
+  Sim.run sim;
+  Net.Port.reset_counters port;
+  checki "bytes zero" 0 (Net.Port.bytes_sent port);
+  checki "packets zero" 0 (Net.Port.packets_sent port)
+
+let test_port_drops_dont_transmit () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1000 () in
+  let count = ref 0 in
+  let port =
+    Net.Port.create sim ~rate_bps:1e6 ~delay:0L ~queue:q ~deliver:(fun _ ->
+        incr count)
+  in
+  (* The first is dequeued for transmission immediately, so the queue can
+     hold one more; the third must be dropped. *)
+  Net.Port.send port (mk_pkt ~size:800 ());
+  Net.Port.send port (mk_pkt ~size:800 ());
+  Net.Port.send port (mk_pkt ~size:800 ());
+  Sim.run sim;
+  checki "two delivered" 2 !count;
+  checki "one dropped" 1 (Q.drops q)
+
+(* --- Host --- *)
+
+let test_host_dispatch () =
+  let sim = Sim.create () in
+  let h = Net.Host.create sim ~id:5 in
+  let got = ref [] in
+  Net.Host.bind_flow h ~flow:1 (fun p -> got := p.Packet.flow :: !got);
+  Net.Host.receive h (mk_pkt ~flow:1 ());
+  Net.Host.receive h (mk_pkt ~flow:2 ());
+  checki "dispatched" 1 (List.length !got);
+  checki "unclaimed" 1 (Net.Host.unclaimed h)
+
+let test_host_double_bind () =
+  let sim = Sim.create () in
+  let h = Net.Host.create sim ~id:0 in
+  Net.Host.bind_flow h ~flow:1 ignore;
+  checkb "double bind raises" true
+    (match Net.Host.bind_flow h ~flow:1 ignore with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Net.Host.unbind_flow h ~flow:1;
+  Net.Host.bind_flow h ~flow:1 ignore
+
+let test_host_nic_errors () =
+  let sim = Sim.create () in
+  let h = Net.Host.create sim ~id:0 in
+  checkb "nic before attach raises" true
+    (match Net.Host.nic h with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Switch --- *)
+
+let mk_port sim deliver =
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver
+
+let test_switch_routing () =
+  let sim = Sim.create () in
+  let sw = Net.Switch.create sim ~id:0 in
+  let to_a = ref 0 and to_b = ref 0 in
+  let pa = mk_port sim (fun _ -> incr to_a) in
+  let pb = mk_port sim (fun _ -> incr to_b) in
+  let ia = Net.Switch.add_port sw pa in
+  let ib = Net.Switch.add_port sw pb in
+  Net.Switch.set_route sw ~dst:1 ~port:ia;
+  Net.Switch.set_route sw ~dst:2 ~port:ib;
+  Net.Switch.receive sw (mk_pkt ~dst:1 ());
+  Net.Switch.receive sw (mk_pkt ~dst:2 ());
+  Net.Switch.receive sw (mk_pkt ~dst:2 ());
+  Sim.run sim;
+  checki "a got one" 1 !to_a;
+  checki "b got two" 2 !to_b;
+  checki "port count" 2 (Net.Switch.port_count sw)
+
+let test_switch_no_route () =
+  let sim = Sim.create () in
+  let sw = Net.Switch.create sim ~id:0 in
+  Net.Switch.receive sw (mk_pkt ~dst:42 ());
+  checki "counted" 1 (Net.Switch.no_route_drops sw)
+
+let test_switch_bad_port () =
+  let sim = Sim.create () in
+  let sw = Net.Switch.create sim ~id:0 in
+  checkb "bad route raises" true
+    (match Net.Switch.set_route sw ~dst:1 ~port:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "bad port raises" true
+    (match Net.Switch.port sw 3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Topology --- *)
+
+let test_dumbbell_connectivity () =
+  let sim = Sim.create () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:3 ~bottleneck_rate_bps:1e9
+      ~rtt:(Time.span_of_us 100.) ~buffer_bytes:100_000
+      ~marking:(Marking.none ()) ()
+  in
+  checki "three senders" 3 (Array.length d.Net.Topology.senders);
+  let got = ref 0 in
+  Net.Host.bind_flow d.Net.Topology.receiver ~flow:9 (fun _ -> incr got);
+  Array.iter
+    (fun s ->
+      Net.Host.send s
+        (mk_pkt
+           ~src:(Net.Host.id s)
+           ~dst:(Net.Host.id d.Net.Topology.receiver)
+           ~flow:9 ()))
+    d.Net.Topology.senders;
+  Sim.run sim;
+  checki "all delivered" 3 !got
+
+let test_dumbbell_reverse_path () =
+  let sim = Sim.create () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:2 ~bottleneck_rate_bps:1e9
+      ~rtt:(Time.span_of_us 100.) ~buffer_bytes:100_000
+      ~marking:(Marking.none ()) ()
+  in
+  let got = ref 0 in
+  Net.Host.bind_flow d.Net.Topology.senders.(1) ~flow:3 (fun _ -> incr got);
+  Net.Host.send d.Net.Topology.receiver
+    (mk_pkt
+       ~src:(Net.Host.id d.Net.Topology.receiver)
+       ~dst:(Net.Host.id d.Net.Topology.senders.(1))
+       ~flow:3 ());
+  Sim.run sim;
+  checki "ack path works" 1 !got
+
+let test_dumbbell_rtt () =
+  (* One-way latency for a small packet should be half the propagation RTT
+     plus serialization at both hops. *)
+  let sim = Sim.create () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:1 ~bottleneck_rate_bps:1e9
+      ~rtt:(Time.span_of_us 100.) ~buffer_bytes:100_000
+      ~marking:(Marking.none ()) ()
+  in
+  let arrival = ref 0. in
+  Net.Host.bind_flow d.Net.Topology.receiver ~flow:0 (fun _ ->
+      arrival := Time.to_sec (Sim.now sim));
+  Net.Host.send d.Net.Topology.senders.(0)
+    (mk_pkt ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ~size:1500 ());
+  Sim.run sim;
+  (* 25us + 25us propagation + 2 * 12us serialization at 1 Gbps *)
+  checkf ~eps:1e-7 "one-way latency" 74e-6 !arrival
+
+let test_dumbbell_bottleneck_marks () =
+  let sim = Sim.create () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:1 ~bottleneck_rate_bps:1e9
+      ~rtt:(Time.span_of_us 100.) ~buffer_bytes:100_000
+      ~marking:
+        (Marking.make ~name:"always" ~on_enqueue:(fun _ -> true)
+           ~on_dequeue:(fun _ -> ()))
+      ()
+  in
+  let ce = ref false in
+  Net.Host.bind_flow d.Net.Topology.receiver ~flow:0 (fun p ->
+      ce := Packet.is_ce p);
+  Net.Host.send d.Net.Topology.senders.(0)
+    (mk_pkt ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ());
+  Sim.run sim;
+  checkb "bottleneck marked data" true !ce
+
+let test_star_connectivity () =
+  let sim = Sim.create () in
+  let s =
+    Net.Topology.star_testbed sim ~rate_bps:1e9 ~bottleneck_buffer:128_000
+      ~marking:(Marking.none ()) ()
+  in
+  checki "nine workers" 9 (Array.length s.Net.Topology.workers);
+  checki "three leaves" 3 (Array.length s.Net.Topology.leaves);
+  let got = ref 0 in
+  Net.Host.bind_flow s.Net.Topology.aggregator ~flow:1 (fun _ -> incr got);
+  Array.iter
+    (fun w ->
+      Net.Host.send w
+        (mk_pkt
+           ~src:(Net.Host.id w)
+           ~dst:(Net.Host.id s.Net.Topology.aggregator)
+           ~flow:1 ()))
+    s.Net.Topology.workers;
+  Sim.run sim;
+  checki "all workers reach aggregator" 9 !got
+
+let test_star_reverse_and_cross () =
+  let sim = Sim.create () in
+  let s =
+    Net.Topology.star_testbed sim ~rate_bps:1e9 ~bottleneck_buffer:128_000
+      ~marking:(Marking.none ()) ()
+  in
+  let w0 = s.Net.Topology.workers.(0) in
+  let w8 = s.Net.Topology.workers.(8) in
+  let got_w0 = ref 0 and got_w8 = ref 0 in
+  Net.Host.bind_flow w0 ~flow:2 (fun _ -> incr got_w0);
+  Net.Host.bind_flow w8 ~flow:3 (fun _ -> incr got_w8);
+  (* aggregator -> worker *)
+  Net.Host.send s.Net.Topology.aggregator
+    (mk_pkt
+       ~src:(Net.Host.id s.Net.Topology.aggregator)
+       ~dst:(Net.Host.id w0) ~flow:2 ());
+  (* worker -> worker across leaves *)
+  Net.Host.send w0
+    (mk_pkt ~src:(Net.Host.id w0) ~dst:(Net.Host.id w8) ~flow:3 ());
+  Sim.run sim;
+  checki "agg to worker" 1 !got_w0;
+  checki "worker to worker" 1 !got_w8
+
+let test_parking_lot_connectivity () =
+  let sim = Sim.create () in
+  let pl =
+    Net.Topology.parking_lot sim ~hops:3 ~rate_bps:1e9
+      ~buffer_bytes:100_000 ~marking:(fun () -> Marking.none ()) ()
+  in
+  checki "four switches" 4 (Array.length pl.Net.Topology.chain);
+  checki "three trunks" 3 (Array.length pl.Net.Topology.trunks);
+  (* long path end to end *)
+  let got_long = ref 0 in
+  Net.Host.bind_flow pl.Net.Topology.long_dst ~flow:7 (fun _ -> incr got_long);
+  Net.Host.send pl.Net.Topology.long_src
+    (mk_pkt
+       ~src:(Net.Host.id pl.Net.Topology.long_src)
+       ~dst:(Net.Host.id pl.Net.Topology.long_dst)
+       ~flow:7 ());
+  (* every cross path *)
+  let got_cross = Array.map (fun _ -> ref 0) pl.Net.Topology.cross_dsts in
+  Array.iteri
+    (fun i dst ->
+      Net.Host.bind_flow dst ~flow:(20 + i) (fun _ -> incr got_cross.(i));
+      Net.Host.send pl.Net.Topology.cross_srcs.(i)
+        (mk_pkt
+           ~src:(Net.Host.id pl.Net.Topology.cross_srcs.(i))
+           ~dst:(Net.Host.id dst) ~flow:(20 + i) ()))
+    pl.Net.Topology.cross_dsts;
+  (* reverse path for the long flow (ACKs) *)
+  let got_rev = ref 0 in
+  Net.Host.bind_flow pl.Net.Topology.long_src ~flow:9 (fun _ -> incr got_rev);
+  Net.Host.send pl.Net.Topology.long_dst
+    (mk_pkt
+       ~src:(Net.Host.id pl.Net.Topology.long_dst)
+       ~dst:(Net.Host.id pl.Net.Topology.long_src)
+       ~flow:9 ());
+  Sim.run sim;
+  checki "long delivered" 1 !got_long;
+  Array.iteri
+    (fun i r -> checki (Printf.sprintf "cross %d delivered" i) 1 !r)
+    got_cross;
+  checki "reverse delivered" 1 !got_rev
+
+let test_parking_lot_per_trunk_marking () =
+  (* Fresh policy per trunk: marking one trunk's queue must not mark
+     another's. *)
+  let sim = Sim.create () in
+  let instances = ref 0 in
+  let pl =
+    Net.Topology.parking_lot sim ~hops:2 ~rate_bps:1e9 ~buffer_bytes:100_000
+      ~marking:(fun () ->
+        incr instances;
+        Marking.none ())
+      ()
+  in
+  ignore pl;
+  checki "one policy per trunk" 2 !instances
+
+let test_parking_lot_validation () =
+  let sim = Sim.create () in
+  checkb "needs hops" true
+    (match
+       Net.Topology.parking_lot sim ~hops:0 ~rate_bps:1e9 ~buffer_bytes:1000
+         ~marking:(fun () -> Marking.none ())
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Trace --- *)
+
+let test_trace_every_change () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
+  ignore
+    (Sim.schedule_at sim (Time.of_us 1.) (fun () ->
+         ignore (Q.enqueue q (mk_pkt ()))));
+  ignore
+    (Sim.schedule_at sim (Time.of_us 2.) (fun () -> ignore (Q.dequeue q)));
+  Sim.run sim;
+  (* initial sample + enqueue + dequeue *)
+  checki "three samples" 3
+    (Stats.Timeseries.length (Net.Trace.series_packets tr));
+  checkf "max occupancy seen" 1.
+    (Stats.Timeseries.max_value (Net.Trace.series_packets tr))
+
+let test_trace_sampled () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let tr =
+    Net.Trace.on_queue sim q
+      ~mode:(Net.Trace.Sampled (Time.span_of_us 10.))
+      ~stop_at:(Time.of_us 100.) ()
+  in
+  Sim.run ~until:(Time.of_ms 1.) sim;
+  (* initial sample plus 10 periodic ones *)
+  checki "eleven samples" 11
+    (Stats.Timeseries.length (Net.Trace.series_packets tr))
+
+let test_trace_sampled_requires_stop () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  checkb "raises" true
+    (match
+       Net.Trace.on_queue sim q ~mode:(Net.Trace.Sampled 1000L) ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_trace_detach () =
+  let sim = Sim.create () in
+  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
+  Net.Trace.detach tr;
+  ignore (Q.enqueue q (mk_pkt ()));
+  checki "no further samples" 1
+    (Stats.Timeseries.length (Net.Trace.series_packets tr))
+
+(* --- cross-validation invariants --- *)
+
+(* The queue's built-in time-weighted statistics must agree with the
+   statistics computed from an exhaustive occupancy trace. *)
+let test_queue_stats_match_trace () =
+  let sim = Sim.create ~seed:77L () in
+  let q = Q.create sim ~capacity_bytes:20_000 () in
+  let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
+  let rng = Engine.Rng.create ~seed:3L in
+  for i = 1 to 400 do
+    let at = Time.of_us (float_of_int i *. 7.) in
+    ignore
+      (Sim.schedule_at sim at (fun () ->
+           if Engine.Rng.bool rng then
+             ignore (Q.enqueue q (mk_pkt ~size:(500 + Engine.Rng.int rng ~bound:1000) ()))
+           else ignore (Q.dequeue q)))
+  done;
+  let t_end = Time.of_us 3000. in
+  Sim.run ~until:t_end sim;
+  let series = Net.Trace.series_bytes tr in
+  let trace_mean =
+    Stats.Timeseries.time_weighted_mean ~from:Time.zero ~until:t_end series
+  in
+  let trace_std =
+    Stats.Timeseries.time_weighted_stddev ~from:Time.zero ~until:t_end series
+  in
+  checkf ~eps:1e-3 "means agree" trace_mean (Q.mean_occupancy_bytes q);
+  checkf ~eps:1e-3 "stddevs agree" trace_std (Q.stddev_occupancy_bytes q)
+
+(* Packet conservation at the bottleneck: everything accepted is either
+   transmitted or still queued once the network is idle. *)
+let test_bottleneck_conservation () =
+  let sim = Sim.create ~seed:9L () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:3 ~bottleneck_rate_bps:1e9
+      ~rtt:(Time.span_of_us 100.) ~buffer_bytes:(30 * 1500)
+      ~marking:(Marking.none ()) ()
+  in
+  let flows =
+    Array.mapi
+      (fun i src ->
+        Tcp.Flow.create sim ~src ~dst:d.Net.Topology.receiver ~flow:i
+          ~cc:Tcp.Cc.reno
+          ~config:
+            {
+              Tcp.Sender.default_config with
+              min_rto = Time.span_of_ms 10.;
+            }
+          ~limit_segments:400 ())
+      d.Net.Topology.senders
+  in
+  Array.iter Tcp.Flow.start flows;
+  Sim.run sim;
+  (* all flows done, network fully drained *)
+  Array.iter (fun f -> checkb "flow completed" true (Tcp.Flow.completed f)) flows;
+  let q = Net.Port.queue d.Net.Topology.bottleneck in
+  checki "queue drained" 0 (Q.occupancy_packets q);
+  checki "accepted = transmitted"
+    (Q.enqueued q)
+    (Net.Port.packets_sent d.Net.Topology.bottleneck);
+  (* every data segment the receiver delivered crossed the bottleneck *)
+  let delivered =
+    Array.fold_left (fun a f -> a + Tcp.Flow.segments_delivered f) 0 flows
+  in
+  checki "all segments delivered" (3 * 400) delivered
+
+let suites =
+  [
+    ( "net.packet",
+      [
+        Alcotest.test_case "fields" `Quick test_packet_fields;
+        Alcotest.test_case "unique ids" `Quick test_packet_ids_unique;
+        Alcotest.test_case "CE marking" `Quick test_packet_mark;
+        Alcotest.test_case "not-ect immune to marking" `Quick
+          test_packet_mark_not_ect;
+        Alcotest.test_case "size validation" `Quick test_packet_bad_size;
+      ] );
+    ( "net.marking",
+      [
+        Alcotest.test_case "none never marks" `Quick test_marking_none;
+        Alcotest.test_case "red below min" `Quick test_marking_red_below_min;
+        Alcotest.test_case "red above max" `Quick test_marking_red_above_max;
+        Alcotest.test_case "red validation" `Quick test_marking_red_validation;
+      ] );
+    ( "net.queue_disc",
+      [
+        Alcotest.test_case "FIFO order" `Quick test_queue_fifo_order;
+        Alcotest.test_case "occupancy accounting" `Quick test_queue_occupancy;
+        Alcotest.test_case "tail drop" `Quick test_queue_tail_drop;
+        Alcotest.test_case "policy marking" `Quick test_queue_marks_via_policy;
+        Alcotest.test_case "policy occupancy view" `Quick
+          test_queue_policy_sees_occupancy;
+        Alcotest.test_case "time-weighted stats" `Quick
+          test_queue_time_weighted_stats;
+        Alcotest.test_case "reset stats" `Quick test_queue_reset_stats;
+        Alcotest.test_case "observer" `Quick test_queue_observer;
+        Alcotest.test_case "validation" `Quick test_queue_validation;
+      ] );
+    ( "net.port",
+      [
+        Alcotest.test_case "serialization + propagation" `Quick
+          test_port_serialization_timing;
+        Alcotest.test_case "back-to-back serialization" `Quick
+          test_port_back_to_back;
+        Alcotest.test_case "tx_time" `Quick test_port_tx_time;
+        Alcotest.test_case "reset counters" `Quick test_port_reset_counters;
+        Alcotest.test_case "drops do not transmit" `Quick
+          test_port_drops_dont_transmit;
+      ] );
+    ( "net.host",
+      [
+        Alcotest.test_case "flow dispatch" `Quick test_host_dispatch;
+        Alcotest.test_case "double bind" `Quick test_host_double_bind;
+        Alcotest.test_case "nic errors" `Quick test_host_nic_errors;
+      ] );
+    ( "net.switch",
+      [
+        Alcotest.test_case "routing" `Quick test_switch_routing;
+        Alcotest.test_case "no route" `Quick test_switch_no_route;
+        Alcotest.test_case "bad indices" `Quick test_switch_bad_port;
+      ] );
+    ( "net.topology",
+      [
+        Alcotest.test_case "dumbbell forward path" `Quick
+          test_dumbbell_connectivity;
+        Alcotest.test_case "dumbbell reverse path" `Quick
+          test_dumbbell_reverse_path;
+        Alcotest.test_case "dumbbell latency" `Quick test_dumbbell_rtt;
+        Alcotest.test_case "bottleneck marking" `Quick
+          test_dumbbell_bottleneck_marks;
+        Alcotest.test_case "star connectivity" `Quick test_star_connectivity;
+        Alcotest.test_case "star reverse and cross-leaf" `Quick
+          test_star_reverse_and_cross;
+        Alcotest.test_case "parking lot connectivity" `Quick
+          test_parking_lot_connectivity;
+        Alcotest.test_case "parking lot per-trunk marking" `Quick
+          test_parking_lot_per_trunk_marking;
+        Alcotest.test_case "parking lot validation" `Quick
+          test_parking_lot_validation;
+      ] );
+    ( "net.trace",
+      [
+        Alcotest.test_case "every change" `Quick test_trace_every_change;
+        Alcotest.test_case "sampled" `Quick test_trace_sampled;
+        Alcotest.test_case "sampled requires stop_at" `Quick
+          test_trace_sampled_requires_stop;
+        Alcotest.test_case "detach" `Quick test_trace_detach;
+      ] );
+    ( "net.invariants",
+      [
+        Alcotest.test_case "queue stats match exhaustive trace" `Quick
+          test_queue_stats_match_trace;
+        Alcotest.test_case "bottleneck packet conservation" `Quick
+          test_bottleneck_conservation;
+      ] );
+  ]

@@ -1,0 +1,504 @@
+(* Tests for descriptive stats, percentiles, time series, EWMA, histograms,
+   tables, and plots. *)
+
+module D = Stats.Descriptive
+module P = Stats.Percentile
+module Ts = Stats.Timeseries
+module Time = Engine.Time
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+
+(* --- Descriptive --- *)
+
+let test_desc_empty () =
+  let d = D.create () in
+  checki "count" 0 (D.count d);
+  checkf "mean" 0. (D.mean d);
+  checkf "variance" 0. (D.variance d);
+  checkb "min raises" true
+    (match D.min d with exception Invalid_argument _ -> true | _ -> false)
+
+let test_desc_known () =
+  let d = D.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  checki "count" 8 (D.count d);
+  checkf "mean" 5. (D.mean d);
+  checkf "population variance" 4. (D.variance d);
+  checkf "stddev" 2. (D.stddev d);
+  checkf ~eps:1e-6 "sample variance" (32. /. 7.) (D.sample_variance d);
+  checkf "min" 2. (D.min d);
+  checkf "max" 9. (D.max d);
+  checkf "sum" 40. (D.sum d)
+
+let test_desc_single () =
+  let d = D.of_list [ 3.5 ] in
+  checkf "mean" 3.5 (D.mean d);
+  checkf "variance" 0. (D.variance d)
+
+let test_desc_merge () =
+  let a = D.of_list [ 1.; 2.; 3. ] in
+  let b = D.of_list [ 10.; 20. ] in
+  let m = D.merge a b in
+  let whole = D.of_list [ 1.; 2.; 3.; 10.; 20. ] in
+  checki "count" (D.count whole) (D.count m);
+  checkf ~eps:1e-9 "mean" (D.mean whole) (D.mean m);
+  checkf ~eps:1e-9 "variance" (D.variance whole) (D.variance m);
+  checkf "min" (D.min whole) (D.min m);
+  checkf "max" (D.max whole) (D.max m)
+
+let test_desc_merge_empty () =
+  let a = D.of_list [ 1.; 2. ] in
+  let e = D.create () in
+  checkf "merge right empty" (D.mean a) (D.mean (D.merge a e));
+  checkf "merge left empty" (D.mean a) (D.mean (D.merge e a))
+
+let prop_desc_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"welford matches naive mean/variance"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e3) 1e3))
+    (fun l ->
+      let d = D.of_list l in
+      let n = float_of_int (List.length l) in
+      let mean = List.fold_left ( +. ) 0. l /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. l /. n
+      in
+      Float.abs (D.mean d -. mean) < 1e-6 *. (1. +. Float.abs mean)
+      && Float.abs (D.variance d -. var) < 1e-5 *. (1. +. var))
+
+let prop_desc_merge_assoc =
+  QCheck.Test.make ~count:200 ~name:"merge equals concatenation"
+    QCheck.(pair (list (float_range (-100.) 100.)) (list (float_range (-100.) 100.)))
+    (fun (a, b) ->
+      let m = D.merge (D.of_list a) (D.of_list b) in
+      let w = D.of_list (a @ b) in
+      D.count m = D.count w
+      && Float.abs (D.mean m -. D.mean w) < 1e-8
+      && Float.abs (D.variance m -. D.variance w) < 1e-6)
+
+(* --- Percentile --- *)
+
+let test_percentile_known () =
+  let arr = [| 1.; 2.; 3.; 4.; 5. |] in
+  checkf "p0" 1. (P.of_array arr 0.);
+  checkf "p50" 3. (P.of_array arr 50.);
+  checkf "p100" 5. (P.of_array arr 100.);
+  checkf "p25" 2. (P.of_array arr 25.);
+  checkf "p10 interpolates" 1.4 (P.of_array arr 10.)
+
+let test_percentile_unsorted_input () =
+  checkf "median of shuffled" 3. (P.median [| 5.; 1.; 3.; 2.; 4. |])
+
+let test_percentile_single () =
+  checkf "single" 7. (P.of_array [| 7. |] 99.)
+
+let test_percentile_errors () =
+  checkb "empty raises" true
+    (match P.of_array [||] 50. with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "p>100 raises" true
+    (match P.of_array [| 1. |] 101. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_percentile_summary () =
+  let s = P.summary [| 1.; 2.; 3.; 4. |] in
+  checki "seven entries" 7 (List.length s);
+  checkf "min entry" 1. (List.assoc "min" s);
+  checkf "max entry" 4. (List.assoc "max" s)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentiles are monotone in p"
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0. 100.))
+    (fun l ->
+      let arr = Array.of_list l in
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let vals = List.map (P.of_array arr) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+(* --- Timeseries --- *)
+
+let series_of samples =
+  let ts = Ts.create () in
+  List.iter (fun (t_us, v) -> Ts.add ts (Time.of_us t_us) v) samples;
+  ts
+
+let test_ts_basic () =
+  let ts = series_of [ (0., 1.); (10., 3.); (20., 5.) ] in
+  checki "length" 3 (Ts.length ts);
+  checkb "not empty" false (Ts.is_empty ts);
+  (* step function: 1 over [0,10), 3 over [10,20) -> mean over [0,20] = 2 *)
+  checkf "time weighted mean" 2. (Ts.time_weighted_mean ts)
+
+let test_ts_weighted_mean_window () =
+  let ts = series_of [ (0., 2.); (10., 6.) ] in
+  checkf "window clips"
+    ((2. *. 5.) +. (6. *. 5.))
+    (10.
+    *. Ts.time_weighted_mean ~from:(Time.of_us 5.) ~until:(Time.of_us 15.) ts)
+
+let test_ts_stddev () =
+  (* half the time at 0, half at 2 -> mean 1, stddev 1 *)
+  let ts = series_of [ (0., 0.); (10., 2.); (20., 0.) ] in
+  checkf "mean" 1. (Ts.time_weighted_mean ts);
+  checkf "stddev" 1. (Ts.time_weighted_stddev ts)
+
+let test_ts_constant_series () =
+  let ts = series_of [ (0., 4.); (5., 4.); (30., 4.) ] in
+  checkf "mean" 4. (Ts.time_weighted_mean ts);
+  checkf "stddev" 0. (Ts.time_weighted_stddev ts)
+
+let test_ts_value_at () =
+  let ts = series_of [ (0., 1.); (10., 2.) ] in
+  checkf "at 0" 1. (Ts.value_at ts (Time.of_us 0.));
+  checkf "mid segment" 1. (Ts.value_at ts (Time.of_us 9.9));
+  checkf "boundary takes new" 2. (Ts.value_at ts (Time.of_us 10.));
+  checkf "after end" 2. (Ts.value_at ts (Time.of_us 100.))
+
+let test_ts_out_of_order () =
+  let ts = series_of [ (10., 1.) ] in
+  checkb "out of order raises" true
+    (match Ts.add ts (Time.of_us 5.) 2. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ts_min_max () =
+  let ts = series_of [ (0., 5.); (1., -2.); (2., 9.) ] in
+  checkf "min" (-2.) (Ts.min_value ts);
+  checkf "max" 9. (Ts.max_value ts)
+
+let test_ts_resample () =
+  let ts = series_of [ (0., 1.); (10., 2.) ] in
+  let pts = Ts.resample ts ~from:(Time.of_us 0.) ~until:(Time.of_us 10.) ~n:3 in
+  checki "three points" 3 (Array.length pts);
+  checkf "first" 1. (snd pts.(0));
+  checkf "last" 2. (snd pts.(2))
+
+let test_ts_empty_mean () =
+  let ts = Ts.create () in
+  checkf "empty mean 0" 0. (Ts.time_weighted_mean ts)
+
+let test_ts_samples_roundtrip () =
+  let ts = series_of [ (0., 1.); (3., 2.) ] in
+  let s = Ts.samples ts in
+  checki "two" 2 (Array.length s);
+  checkf "value kept" 2. (snd s.(1))
+
+let test_ts_growth () =
+  (* exceed the initial capacity of 256 *)
+  let ts = Ts.create () in
+  for i = 0 to 999 do
+    Ts.add ts (Time.of_us (float_of_int i)) (float_of_int (i mod 7))
+  done;
+  checki "1000 samples" 1000 (Ts.length ts)
+
+(* --- Ewma --- *)
+
+let test_ewma_constant_input () =
+  let e = Stats.Ewma.create ~gain:0.25 () in
+  for _ = 1 to 100 do
+    Stats.Ewma.update e 3.
+  done;
+  checkf ~eps:1e-6 "converges to input" 3. (Stats.Ewma.value e);
+  checki "observations" 100 (Stats.Ewma.observations e)
+
+let test_ewma_formula () =
+  let e = Stats.Ewma.create ~init:1. ~gain:0.5 () in
+  Stats.Ewma.update e 0.;
+  checkf "one step" 0.5 (Stats.Ewma.value e);
+  Stats.Ewma.update e 1.;
+  checkf "two steps" 0.75 (Stats.Ewma.value e)
+
+let test_ewma_bad_gain () =
+  checkb "gain 0 raises" true
+    (match Stats.Ewma.create ~gain:0. () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "gain 2 raises" true
+    (match Stats.Ewma.create ~gain:2. () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Histogram --- *)
+
+let test_hist_basic () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.; 1.; 2.5; 9.9; 10.; -1.; 11. ];
+  checki "total" 7 (Stats.Histogram.count h);
+  checki "underflow" 1 (Stats.Histogram.underflow h);
+  checki "overflow" 1 (Stats.Histogram.overflow h);
+  checki "bin0 has 0,1" 2 (Stats.Histogram.bin_count h 0);
+  checki "bin1 has 2.5" 1 (Stats.Histogram.bin_count h 1);
+  checki "last bin has 9.9 and 10" 2 (Stats.Histogram.bin_count h 4)
+
+let test_hist_bounds () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  let lo, hi = Stats.Histogram.bin_bounds h 2 in
+  checkf "lo" 4. lo;
+  checkf "hi" 6. hi
+
+let test_hist_mode () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 1.; 5.; 5.2; 5.9 ];
+  checki "mode bin" 2 (Stats.Histogram.mode_bin h)
+
+let test_hist_invalid () =
+  checkb "bad range" true
+    (match Stats.Histogram.create ~lo:1. ~hi:1. ~bins:5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "bad bins" true
+    (match Stats.Histogram.create ~lo:0. ~hi:1. ~bins:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Table --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let render_table t =
+  let buf_name = Filename.temp_file "table" ".txt" in
+  let oc = open_out buf_name in
+  Stats.Table.print ~oc t;
+  close_out oc;
+  let ic = open_in buf_name in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove buf_name;
+  s
+
+let test_table_renders () =
+  let t =
+    Stats.Table.create ~title:"demo"
+      ~columns:[ Stats.Table.column ~align:Stats.Table.Left "name";
+                 Stats.Table.column "value" ]
+  in
+  Stats.Table.add_row t [ "alpha"; "1.5" ];
+  Stats.Table.add_float_row t ~fmt:(Stats.Table.fmt_f 2) [ 3.14159; 2.71828 ];
+  let s = render_table t in
+  checkb "has title" true
+    (contains s "== demo ==");
+  checkb "has row" true (contains s "alpha");
+  checkb "has formatted float" true (contains s "3.14")
+
+let test_table_width_mismatch () =
+  let t = Stats.Table.create ~title:"t" ~columns:[ Stats.Table.column "a" ] in
+  checkb "row mismatch raises" true
+    (match Stats.Table.add_row t [ "1"; "2" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_table_fmt () =
+  Alcotest.check Alcotest.string "fmt_f" "3.14" (Stats.Table.fmt_f 2 3.14159);
+  Alcotest.check Alcotest.string "fmt_g" "1234" (Stats.Table.fmt_g 1234.)
+
+(* --- Ascii_plot --- *)
+
+let test_plot_renders () =
+  let s =
+    Stats.Ascii_plot.render
+      ~series:[ ("queue", Array.init 100 (fun i -> sin (float_of_int i /. 5.))) ]
+      ()
+  in
+  checkb "non-empty" true (String.length s > 100);
+  checkb "has legend" true (contains s "queue")
+
+let test_plot_empty () =
+  Alcotest.check Alcotest.string "empty plot" "(empty plot)\n"
+    (Stats.Ascii_plot.render ~series:[ ("x", [||]) ] ())
+
+let test_sparkline () =
+  let s = Stats.Ascii_plot.sparkline [| 0.; 1.; 2.; 3. |] in
+  checkb "non-empty" true (String.length s > 0);
+  Alcotest.check Alcotest.string "empty input" ""
+    (Stats.Ascii_plot.sparkline [||])
+
+let prop_percentile_extremes =
+  QCheck.Test.make ~count:200 ~name:"p0 is min and p100 is max"
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-50.) 50.))
+    (fun l ->
+      let arr = Array.of_list l in
+      let mn = List.fold_left min (List.hd l) l in
+      let mx = List.fold_left max (List.hd l) l in
+      Float.abs (P.of_array arr 0. -. mn) < 1e-9
+      && Float.abs (P.of_array arr 100. -. mx) < 1e-9)
+
+let prop_ts_mean_bounded =
+  QCheck.Test.make ~count:200
+    ~name:"time-weighted mean lies within [min, max] of samples"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range 0. 100.))
+    (fun values ->
+      let ts = Ts.create () in
+      List.iteri
+        (fun i v -> Ts.add ts (Time.of_us (float_of_int i)) v)
+        values;
+      let mean = Ts.time_weighted_mean ts in
+      mean >= Ts.min_value ts -. 1e-9 && mean <= Ts.max_value ts +. 1e-9)
+
+(* --- Spectrum --- *)
+
+let test_fft_impulse () =
+  let n = 8 in
+  let input =
+    Array.init n (fun i -> if i = 0 then Complex.one else Complex.zero)
+  in
+  let out = Stats.Spectrum.fft input in
+  Array.iter
+    (fun z ->
+      checkf ~eps:1e-12 "flat magnitude" 1. (Complex.norm z))
+    out
+
+let test_fft_sine_bin () =
+  (* sine exactly at bin 4 of a 64-point FFT -> energy only at bins 4, 60 *)
+  let n = 64 in
+  let input =
+    Array.init n (fun i ->
+        {
+          Complex.re = sin (2. *. Float.pi *. 4. *. float_of_int i /. float_of_int n);
+          im = 0.;
+        })
+  in
+  let out = Stats.Spectrum.fft input in
+  Array.iteri
+    (fun k z ->
+      let m = Complex.norm z in
+      if k = 4 || k = n - 4 then checkb "peak bins" true (m > 10.)
+      else checkb "quiet bins" true (m < 1e-9))
+    out
+
+let test_fft_parseval () =
+  let n = 32 in
+  let rng = Engine.Rng.create ~seed:5L in
+  let input =
+    Array.init n (fun _ ->
+        { Complex.re = Engine.Rng.uniform rng ~lo:(-1.) ~hi:1.; im = 0. })
+  in
+  let out = Stats.Spectrum.fft input in
+  let e_time =
+    Array.fold_left (fun a z -> a +. Complex.norm2 z) 0. input
+  in
+  let e_freq =
+    Array.fold_left (fun a z -> a +. Complex.norm2 z) 0. out
+    /. float_of_int n
+  in
+  checkf ~eps:1e-9 "parseval" e_time e_freq
+
+let test_fft_invalid_length () =
+  checkb "non power of two raises" true
+    (match Stats.Spectrum.fft (Array.make 12 Complex.zero) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dominant_frequency () =
+  let fs = 1000. in
+  let samples =
+    Array.init 1000 (fun i ->
+        5.
+        +. (3. *. sin (2. *. Float.pi *. 70. *. float_of_int i /. fs))
+        +. (0.3 *. sin (2. *. Float.pi *. 220. *. float_of_int i /. fs)))
+  in
+  match Stats.Spectrum.dominant_frequency ~samples ~sample_rate_hz:fs with
+  | Some p ->
+      checkb
+        (Printf.sprintf "70 Hz found (got %.1f)" p.Stats.Spectrum.frequency_hz)
+        true
+        (Float.abs (p.Stats.Spectrum.frequency_hz -. 70.) < 2.);
+      checkb "peak carries real power" true
+        (p.Stats.Spectrum.power > 0.01 *. p.Stats.Spectrum.total_power)
+  | None -> Alcotest.fail "expected a dominant frequency"
+
+let test_dominant_frequency_flat () =
+  checkb "flat has none" true
+    (Stats.Spectrum.dominant_frequency ~samples:(Array.make 256 3.)
+       ~sample_rate_hz:100.
+    = None);
+  checkb "short has none" true
+    (Stats.Spectrum.dominant_frequency ~samples:(Array.make 8 0.)
+       ~sample_rate_hz:100.
+    = None)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "stats.descriptive",
+      [
+        Alcotest.test_case "empty accumulator" `Quick test_desc_empty;
+        Alcotest.test_case "known values" `Quick test_desc_known;
+        Alcotest.test_case "single value" `Quick test_desc_single;
+        Alcotest.test_case "merge" `Quick test_desc_merge;
+        Alcotest.test_case "merge with empty" `Quick test_desc_merge_empty;
+        qtest prop_desc_matches_naive;
+        qtest prop_desc_merge_assoc;
+      ] );
+    ( "stats.percentile",
+      [
+        Alcotest.test_case "known percentiles" `Quick test_percentile_known;
+        Alcotest.test_case "unsorted input" `Quick test_percentile_unsorted_input;
+        Alcotest.test_case "single element" `Quick test_percentile_single;
+        Alcotest.test_case "errors" `Quick test_percentile_errors;
+        Alcotest.test_case "summary" `Quick test_percentile_summary;
+        qtest prop_percentile_monotone;
+        qtest prop_percentile_extremes;
+      ] );
+    ( "stats.timeseries",
+      [
+        Alcotest.test_case "time-weighted mean" `Quick test_ts_basic;
+        Alcotest.test_case "window clipping" `Quick test_ts_weighted_mean_window;
+        Alcotest.test_case "stddev" `Quick test_ts_stddev;
+        Alcotest.test_case "constant series" `Quick test_ts_constant_series;
+        Alcotest.test_case "value_at" `Quick test_ts_value_at;
+        Alcotest.test_case "out-of-order add" `Quick test_ts_out_of_order;
+        Alcotest.test_case "min/max" `Quick test_ts_min_max;
+        Alcotest.test_case "resample" `Quick test_ts_resample;
+        Alcotest.test_case "empty mean" `Quick test_ts_empty_mean;
+        Alcotest.test_case "samples roundtrip" `Quick test_ts_samples_roundtrip;
+        Alcotest.test_case "growth beyond capacity" `Quick test_ts_growth;
+        qtest prop_ts_mean_bounded;
+      ] );
+    ( "stats.ewma",
+      [
+        Alcotest.test_case "constant input" `Quick test_ewma_constant_input;
+        Alcotest.test_case "update formula" `Quick test_ewma_formula;
+        Alcotest.test_case "gain validation" `Quick test_ewma_bad_gain;
+      ] );
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "binning" `Quick test_hist_basic;
+        Alcotest.test_case "bin bounds" `Quick test_hist_bounds;
+        Alcotest.test_case "mode" `Quick test_hist_mode;
+        Alcotest.test_case "validation" `Quick test_hist_invalid;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "renders" `Quick test_table_renders;
+        Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+        Alcotest.test_case "formatters" `Quick test_table_fmt;
+      ] );
+    ( "stats.ascii_plot",
+      [
+        Alcotest.test_case "renders" `Quick test_plot_renders;
+        Alcotest.test_case "empty series" `Quick test_plot_empty;
+        Alcotest.test_case "sparkline" `Quick test_sparkline;
+      ] );
+    ( "stats.spectrum",
+      [
+        Alcotest.test_case "impulse is flat" `Quick test_fft_impulse;
+        Alcotest.test_case "sine concentrates in its bin" `Quick
+          test_fft_sine_bin;
+        Alcotest.test_case "parseval" `Quick test_fft_parseval;
+        Alcotest.test_case "length validation" `Quick test_fft_invalid_length;
+        Alcotest.test_case "dominant frequency" `Quick test_dominant_frequency;
+        Alcotest.test_case "degenerate inputs" `Quick
+          test_dominant_frequency_flat;
+      ] );
+  ]
