@@ -5,7 +5,7 @@ open Bechamel
 open Toolkit
 
 let heap_churn () =
-  let h = Engine.Heap.create ~cmp:compare () in
+  let h = Engine.Heap.create ~cmp:Int.compare () in
   for i = 0 to 255 do
     Engine.Heap.push h ((i * 2_654_435_761) land 0xFFFF)
   done;
@@ -95,5 +95,5 @@ let run () =
     results;
   List.iter
     (fun (name, est) -> Stats.Table.add_row t [ name; est ])
-    (List.sort compare !rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
   Stats.Table.print t

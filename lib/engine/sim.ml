@@ -18,7 +18,7 @@ type t = {
 
 let cmp_event a b =
   let c = Time.compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 1L) () =
   {

@@ -13,7 +13,7 @@ let of_sorted sorted p =
 
 let of_array arr p =
   let copy = Array.copy arr in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   of_sorted copy p
 
 let of_list l p = of_array (Array.of_list l) p
@@ -21,7 +21,7 @@ let median arr = of_array arr 50.
 
 let summary arr =
   let copy = Array.copy arr in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   [
     ("min", of_sorted copy 0.);
     ("p25", of_sorted copy 25.);

@@ -26,7 +26,7 @@ let sack_blocks t =
   else begin
     let seqs =
       Hashtbl.fold (fun seq () acc -> seq :: acc) t.ooo []
-      |> List.sort compare
+      |> List.sort Int.compare
     in
     let rec runs acc cur = function
       | [] -> List.rev (Option.to_list cur @ acc)

@@ -1,0 +1,83 @@
+(* dtlint CLI: parse arguments by hand (no dependency beyond
+   compiler-libs), lint the given files/directories, print compiler-style
+   violations and exit non-zero when any are found. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage () =
+  print_string
+    ("usage: dtlint [OPTIONS] [PATH...]\n\n\
+      Simulator-aware static analysis for the DT-DCTCP codebase. Lints\n\
+      every .ml under the given files/directories (default: lib bin bench\n\
+      examples) and exits 1 if any rule is violated, 2 on usage or parse\n\
+      errors.\n\n\
+      Options:\n\
+     \  --only R2[,R4...]   run only the listed rules\n\
+     \  --skip R5[,R6...]   run all rules except the listed ones\n\
+     \  --list-rules        print the rule table and exit\n\
+     \  --help              this message\n\n\
+      Suppress a single line with a trailing comment:\n\
+     \  let eq a b = a = b  (* dtlint: allow R2 *)\n\n\
+      Rules:\n"
+    ^ String.concat ""
+        (List.map
+           (fun r ->
+             Printf.sprintf "  %s  %s\n" (Dtlint.Rules.rule_id r)
+               (Dtlint.Rules.rule_doc r))
+           Dtlint.Rules.all_rules))
+
+let fail_usage msg =
+  prerr_endline ("dtlint: " ^ msg ^ " (try --help)");
+  exit 2
+
+let parse_rule_list s =
+  String.split_on_char ',' s
+  |> List.filter (fun t -> String.trim t <> "")
+  |> List.map (fun t ->
+         match Dtlint.Rules.rule_of_id t with
+         | Some r -> r
+         | None -> fail_usage (Printf.sprintf "unknown rule %S" t))
+
+let () =
+  let rec go only skip paths = function
+    | [] -> (only, skip, List.rev paths)
+    | ("--help" | "-help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | "--list-rules" :: _ ->
+        List.iter
+          (fun r ->
+            Printf.printf "%s  %s\n" (Dtlint.Rules.rule_id r)
+              (Dtlint.Rules.rule_doc r))
+          Dtlint.Rules.all_rules;
+        exit 0
+    | "--only" :: v :: rest -> go (only @ parse_rule_list v) skip paths rest
+    | "--skip" :: v :: rest -> go only (skip @ parse_rule_list v) paths rest
+    | [ ("--only" | "--skip") ] -> fail_usage "missing rule list"
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        fail_usage (Printf.sprintf "unknown option %S" a)
+    | p :: rest -> go only skip (p :: paths) rest
+  in
+  let only, skip, paths = go [] [] [] (List.tl (Array.to_list Sys.argv)) in
+  let rules =
+    (match only with [] -> Dtlint.Rules.all_rules | _ -> only)
+    |> List.filter (fun r -> not (List.mem r skip))
+  in
+  let paths = match paths with [] -> default_paths | _ -> paths in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then
+        fail_usage (Printf.sprintf "no such path %S" p))
+    paths;
+  match Dtlint.Rules.lint_paths ~rules paths with
+  | [] -> ()
+  | violations ->
+      List.iter
+        (fun v -> Format.printf "%a@." Dtlint.Rules.pp_violation v)
+        violations;
+      Printf.eprintf "dtlint: %d violation%s\n" (List.length violations)
+        (if List.length violations = 1 then "" else "s");
+      exit 1
+  | exception Dtlint.Rules.Parse_error (file, line, msg) ->
+      Printf.eprintf "dtlint: %s:%d: cannot parse: %s\n" file line msg;
+      exit 2

@@ -1,0 +1,345 @@
+open Parsetree
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6
+
+type violation = { rule : rule; file : string; line : int; message : string }
+
+exception Parse_error of string * int * string
+
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+
+let rule_of_id s =
+  match String.uppercase_ascii (String.trim s) with
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | _ -> None
+
+let rule_doc = function
+  | R1 ->
+      "no Random.* outside lib/engine/rng.ml; use the seeded Engine.Rng so \
+       runs are reproducible"
+  | R2 ->
+      "no float = / <> / == / !=; compare times with Time.compare and floats \
+       with an epsilon"
+  | R3 ->
+      "no polymorphic compare / Stdlib.compare / Hashtbl.hash; use an \
+       explicit monomorphic comparator"
+  | R4 ->
+      "no print_* / Printf.printf / Format.printf under lib/; log through \
+       Logs or Net.Trace"
+  | R5 -> "every lib/**/*.ml must have a matching .mli"
+  | R6 ->
+      "no assert false or bare failwith \"\" in lib/engine and lib/net; \
+       failures must carry a message with context"
+
+(* --- Path scoping ------------------------------------------------------ *)
+
+type scope = { in_lib : bool; in_hot_path : bool; is_rng : bool }
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let rec after_lib = function
+  | "lib" :: rest -> Some rest
+  | _ :: rest -> after_lib rest
+  | [] -> None
+
+let scope_of_file file =
+  match after_lib (segments file) with
+  | None -> { in_lib = false; in_hot_path = false; is_rng = false }
+  | Some rest ->
+      let in_hot_path =
+        match rest with ("engine" | "net") :: _ -> true | _ -> false
+      in
+      let is_rng = match rest with [ "engine"; "rng.ml" ] -> true | _ -> false in
+      { in_lib = true; in_hot_path; is_rng }
+
+(* --- Suppression comments ---------------------------------------------- *)
+
+type allow = All | Only of rule list
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Recognise [(* dtlint: allow R2 R4 *)] (or [allow all]) anywhere on a
+   line; the listed rules are suppressed for that line only. *)
+let suppressions source =
+  let tbl = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      match find_sub line "dtlint:" with
+      | None -> ()
+      | Some at -> (
+          let rest = String.sub line at (String.length line - at) in
+          match find_sub rest "allow" with
+          | None -> ()
+          | Some a ->
+              let tail =
+                String.sub rest (a + 5) (String.length rest - a - 5)
+              in
+              let tokens =
+                String.map
+                  (fun c -> if c = ',' || c = '*' || c = ')' then ' ' else c)
+                  tail
+                |> String.split_on_char ' '
+                |> List.filter (fun t -> t <> "")
+              in
+              let allow =
+                if List.exists (fun t -> String.lowercase_ascii t = "all") tokens
+                then All
+                else Only (List.filter_map rule_of_id tokens)
+              in
+              Hashtbl.replace tbl (i + 1) allow))
+    lines;
+  tbl
+
+(* --- Expression classification ----------------------------------------- *)
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+(* Drop the [Stdlib] prefix so [Stdlib.compare] and [compare] match alike. *)
+let norm lid =
+  match flatten lid with "Stdlib" :: rest -> rest | parts -> parts
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+(* Well-known float-returning functions, for the R2 heuristic. Bare names
+   must be unambiguous; module-qualified names match on the last component
+   only for [Float.*]. *)
+let float_fns =
+  [
+    "sqrt"; "exp"; "log"; "log10"; "expm1"; "log1p"; "cos"; "sin"; "tan";
+    "acos"; "asin"; "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor";
+    "abs_float"; "mod_float"; "float_of_int"; "float_of_string"; "ldexp";
+    "to_sec"; "span_to_sec"; "to_float";
+  ]
+
+let float_consts =
+  [ "infinity"; "nan"; "neg_infinity"; "epsilon_float"; "max_float"; "min_float" ]
+
+(* Syntactic "this is a float" evidence for R2. The parsetree is untyped,
+   so this is a heuristic: float literals, float arithmetic, float type
+   annotations and calls to well-known float producers. *)
+let rec is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ })
+    ->
+      true
+  | Pexp_ident { txt; _ } -> (
+      match norm txt with
+      | [ c ] -> List.mem c float_consts
+      | [ "Float"; f ] -> List.mem f float_consts || f = "pi"
+      | _ -> false)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match norm txt with
+      | [ op ] when List.mem op float_ops -> true
+      | [ "Float"; _ ] -> true
+      | parts -> (
+          match List.rev parts with
+          | last :: _ -> List.mem last float_fns
+          | [] -> false))
+  | Pexp_ifthenelse (_, a, Some b) -> is_floatish a || is_floatish b
+  | _ -> false
+
+let is_print_fn parts =
+  match parts with
+  | [ ("print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_int" | "print_float" | "print_bytes") ] ->
+      true
+  | [ "Printf"; "printf" ] -> true
+  | [ "Format"; f ] ->
+      (match find_sub f "print" with Some 0 -> true | _ -> f = "printf")
+  | _ -> false
+
+(* --- The linter itself -------------------------------------------------- *)
+
+let parse_structure ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf filename;
+  try Parse.implementation lexbuf
+  with exn ->
+    let line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum in
+    let msg =
+      match exn with
+      | Syntaxerr.Error _ -> "syntax error"
+      | e -> Printexc.to_string e
+    in
+    raise (Parse_error (filename, line, msg))
+
+(* Does the file itself bind a value called [compare]? If so, bare
+   [compare] refers to that monomorphic binding, not Stdlib's polymorphic
+   one, and R3 must not fire (cf. Engine.Time). *)
+let binds_compare str =
+  let found = ref false in
+  let pat sub p =
+    (match p.ppat_desc with
+    | Ppat_var { txt = "compare"; _ } -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.pat sub p
+  in
+  let it = { Ast_iterator.default_iterator with pat } in
+  it.structure it str;
+  !found
+
+let lint_source ?(rules = all_rules) ~filename source =
+  let sc = scope_of_file filename in
+  let active r = List.mem r rules in
+  let sup = suppressions source in
+  let out = ref [] in
+  let emit rule loc message =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    let allowed =
+      match Hashtbl.find_opt sup line with
+      | Some All -> true
+      | Some (Only rs) -> List.mem rule rs
+      | None -> false
+    in
+    if not allowed then out := { rule; file = filename; line; message } :: !out
+  in
+  let str = parse_structure ~filename source in
+  let compare_is_local = binds_compare str in
+  let check_ident loc lid =
+    let parts = norm lid in
+    if active R1 && (not sc.is_rng) && List.mem "Random" parts then
+      emit R1 loc
+        "Random is non-deterministic across runs; draw from the seeded \
+         Engine.Rng instead";
+    (if active R3 then
+       match parts with
+       | [ "compare" ] when not compare_is_local ->
+           emit R3 loc
+             "polymorphic compare; pass an explicit comparator (e.g. \
+              Time.compare, Int.compare)"
+       | [ "Hashtbl"; ("hash" | "seeded_hash") ] ->
+           emit R3 loc
+             "polymorphic Hashtbl.hash; hash a canonical key (e.g. the \
+              packet id) explicitly"
+       | _ -> ());
+    if active R4 && sc.in_lib && is_print_fn parts then
+      emit R4 loc
+        "direct console output inside lib/; route through Logs or Net.Trace \
+         so headless benches stay clean"
+  in
+  let expr sub e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident loc txt
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ },
+          [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] )
+      when active R2 && (op = "=" || op = "<>" || op = "==" || op = "!=") ->
+        if is_floatish a || is_floatish b then
+          emit R2 e.pexp_loc
+            (Printf.sprintf
+               "float %s is exact-bit comparison; use Time.compare or an \
+                epsilon test"
+               op)
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+      when active R6 && sc.in_hot_path ->
+        emit R6 e.pexp_loc
+          "assert false carries no context; raise with a message naming the \
+           invariant"
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+          [ (Asttypes.Nolabel, { pexp_desc = Pexp_constant (Pconst_string ("", _, _)); _ }) ] )
+      when active R6 && sc.in_hot_path
+           && (match norm txt with
+              | [ ("failwith" | "invalid_arg") ] -> true
+              | _ -> false) ->
+        emit R6 e.pexp_loc
+          "empty failure message; say which invariant broke and with what \
+           values"
+    | _ -> ());
+    Ast_iterator.default_iterator.expr sub e
+  in
+  let module_expr sub m =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } ->
+        if active R1 && (not sc.is_rng) && List.mem "Random" (norm txt) then
+          emit R1 loc
+            "Random is non-deterministic across runs; draw from the seeded \
+             Engine.Rng instead"
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr sub m
+  in
+  let it = { Ast_iterator.default_iterator with expr; module_expr } in
+  it.structure it str;
+  List.sort
+    (fun a b ->
+      match Int.compare a.line b.line with
+      | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+      | c -> c)
+    !out
+
+let check_mli ~ml_file ~mli_exists =
+  let sc = scope_of_file ml_file in
+  if sc.in_lib && Filename.check_suffix ml_file ".ml" && not mli_exists then
+    Some
+      {
+        rule = R5;
+        file = ml_file;
+        line = 1;
+        message =
+          Printf.sprintf
+            "missing interface %si; every lib module must state its public \
+             API"
+            ml_file;
+      }
+  else None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?(rules = all_rules) path =
+  if Filename.check_suffix path ".ml" then
+    let vs = lint_source ~rules ~filename:path (read_file path) in
+    if List.mem R5 rules then
+      match check_mli ~ml_file:path ~mli_exists:(Sys.file_exists (path ^ "i")) with
+      | Some v -> v :: vs
+      | None -> vs
+    else vs
+  else []
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name.[0] = '_' then acc
+           else walk (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths ?(rules = all_rules) paths =
+  let files = List.fold_left (fun acc p -> walk p acc) [] paths in
+  files
+  |> List.sort_uniq String.compare
+  |> List.concat_map (fun f -> lint_file ~rules f)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d: [%s] %s" v.file v.line (rule_id v.rule) v.message

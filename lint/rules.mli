@@ -1,0 +1,70 @@
+(** dtlint — simulator-aware static analysis for the DT-DCTCP codebase.
+
+    The simulator's headline results (describing-function loci, limit-cycle
+    verdicts, figure reproduction) depend on bit-exact, deterministic runs.
+    These rules catch the slips that silently break that property:
+
+    - {b R1} no [Random.*] outside [lib/engine/rng.ml]: all stochasticity
+      must flow through the seeded {!Engine.Rng} so runs are reproducible.
+    - {b R2} no float [=] / [<>] / [==] / [!=]: timestamps and queue depths
+      must use [Time.compare] / epsilon comparisons.
+    - {b R3} no polymorphic [compare] / [Stdlib.compare] / [Hashtbl.hash]:
+      event ordering must use an explicit monomorphic comparator.
+    - {b R4} no [print_string] / [print_endline] / [Printf.printf] /
+      [Format.printf] inside [lib/]: output goes through [Logs] or
+      [Net.Trace] so headless benches stay clean.
+    - {b R5} every [lib/**/*.ml] has a matching [.mli].
+    - {b R6} no [assert false] or bare [failwith ""] / [invalid_arg ""] in
+      the [lib/engine] and [lib/net] hot paths: failures must carry context.
+
+    Rules R1–R4 and R6 are detected on the parsetree ({!lint_source}); R2
+    is necessarily a syntactic heuristic (the parsetree is untyped): an
+    equality is flagged when either operand is recognisably a float — a
+    float literal, float arithmetic ([+.], [*.], ...), a [float] type
+    annotation, or a call to a well-known float-returning function
+    ([to_sec], [sqrt], [Float.*], ...).
+
+    Any line-based rule can be suppressed for one line with a trailing
+    comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
+    [all]). *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6
+
+type violation = {
+  rule : rule;
+  file : string;  (** path as given on the command line *)
+  line : int;  (** 1-based line of the offending expression *)
+  message : string;  (** human-readable explanation, no location prefix *)
+}
+
+exception Parse_error of string * int * string
+(** [(file, line, message)] — the file is not syntactically valid OCaml. *)
+
+val all_rules : rule list
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+val rule_doc : rule -> string
+
+val lint_source : ?rules:rule list -> filename:string -> string -> violation list
+(** Lint an implementation ([.ml]) given as a string. [filename] scopes the
+    rules (R1's rng exemption, R4's [lib/] scope, R6's hot-path scope) and
+    is reported in violations. Only expression-level rules apply; R5 is
+    checked by {!check_mli}. Violations are sorted by line. Raises
+    {!Parse_error} on syntax errors. *)
+
+val check_mli : ml_file:string -> mli_exists:bool -> violation option
+(** R5: [Some violation] when [ml_file] lives under [lib/] and has no
+    matching interface. *)
+
+val lint_file : ?rules:rule list -> string -> violation list
+(** Lint one file from disk. [.ml] files get the expression rules plus R5
+    (probing for the sibling [.mli]); other files yield []. *)
+
+val lint_paths : ?rules:rule list -> string list -> violation list
+(** Walk files and/or directories (recursively, skipping [_build], [.git]
+    and other [_]/[.]-prefixed entries) and lint every [.ml] found, in
+    deterministic (sorted) order. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** [file:line: [Rn] message] — one line, suitable for compiler-style
+    output. *)

@@ -4,4 +4,4 @@ let () =
   Alcotest.run "dt_dctcp"
     (Test_engine.suites @ Test_stats.suites @ Test_net.suites
    @ Test_tcp.suites @ Test_dctcp.suites @ Test_control.suites
-   @ Test_fluid.suites @ Test_workloads.suites)
+   @ Test_fluid.suites @ Test_workloads.suites @ Test_lint.suites)
