@@ -38,5 +38,22 @@ let longlived_config ~n ?(trace = false) () =
 let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Every section leaves a run-provenance record behind, so BENCH_*.json
+   results are comparable across PRs. *)
+let write_manifest ~section ~wall_s ?(seed = 0L) ?(events = 0) ?(params = [])
+    ?(metrics = []) () =
+  let manifest =
+    Obs.Manifest.make
+      ~name:("bench." ^ section)
+      ~seed
+      ~params:(("quick", Obs.Json.Bool !quick) :: params)
+      ~wall_clock_s:wall_s ~events ~metrics
+  in
+  let file = Printf.sprintf "BENCH_%s.json" section in
+  let oc = open_out file in
+  Obs.Manifest.write oc manifest;
+  close_out oc;
+  Printf.printf "[manifest %s]\n%!" file
+
 let mbps bps = bps /. 1e6
 let gbps bps = bps /. 1e9

@@ -175,7 +175,7 @@ let parking_lot () =
       let pl =
         Net.Topology.parking_lot sim ~hops:3 ~rate_bps:1e9
           ~buffer_bytes:(300 * 1500)
-          ~marking:proto.Dctcp.Protocol.marking ()
+          ~marking:(fun () -> proto.Dctcp.Protocol.marking ()) ()
       in
       let tcp_config =
         { Tcp.Sender.default_config with min_rto = Time.span_of_ms 10. }

@@ -102,7 +102,7 @@ let fig2 () =
   run "DCTCP (K=40)" (Dctcp.Marking_policies.single_threshold ~k_bytes:(40 * pkt));
   run "DT-DCTCP (K1=30,K2=50)"
     (Dctcp.Marking_policies.double_threshold ~k1_bytes:(30 * pkt)
-       ~k2_bytes:(50 * pkt));
+       ~k2_bytes:(50 * pkt) ());
   Printf.printf
     "\nDCTCP marks exactly while the queue exceeds K=40 (both directions).\n\
      DT-DCTCP starts earlier on the rise (K1=30) and, once past K2, keeps\n\

@@ -64,12 +64,13 @@ let () =
      Paper: Ease the Queue Oscillation: Analysis and Enhancement of DCTCP \
      (ICDCS 2013)\n"
     (if !Bench_common.quick then "quick" else "full");
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Profile.wall_clock () in
   List.iter
     (fun (name, f) ->
-      let s0 = Unix.gettimeofday () in
+      let s0 = Obs.Profile.wall_clock () in
       f ();
-      Printf.printf "\n[%s done in %.1fs]\n%!" name
-        (Unix.gettimeofday () -. s0))
+      let wall_s = Obs.Profile.wall_clock () -. s0 in
+      Bench_common.write_manifest ~section:name ~wall_s ();
+      Printf.printf "\n[%s done in %.1fs]\n%!" name wall_s)
     selected;
-  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal: %.1fs\n" (Obs.Profile.wall_clock () -. t0)

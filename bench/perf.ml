@@ -62,7 +62,88 @@ let tests =
       Test.make ~name:"dctcp 100-segment transfer" (Staged.stage small_transfer);
     ]
 
+(* --- tracing overhead: events/s with the observability layer in each of
+   its sink configurations, on a fixed DT-DCTCP dumbbell scenario. The
+   null-tracer row is the "<2% regression with sinks disabled" guard. --- *)
+
+let tracing_scenario tracer =
+  let sim = Engine.Sim.create ~seed:7L () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:4 ~bottleneck_rate_bps:10e9
+      ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(100 * 1500)
+      ~marking:
+        (Dctcp.Marking_policies.double_threshold ~k1_bytes:(30 * 1500)
+           ~k2_bytes:(50 * 1500) ())
+      ~tracer ()
+  in
+  let flows =
+    Array.mapi
+      (fun i src ->
+        Tcp.Flow.create sim ~src ~dst:d.Net.Topology.receiver ~flow:i
+          ~cc:(Dctcp.Dctcp_cc.cc ()) ~tracer ())
+      d.Net.Topology.senders
+  in
+  Array.iter Tcp.Flow.start flows;
+  let until =
+    Engine.Time.of_ns
+      (Bench_common.scale_span (Engine.Time.span_of_ms 200.))
+  in
+  Obs.Profile.run_sim ~until sim
+
+let tracing_overhead () =
+  Bench_common.section_header "Performance: tracing overhead (events/s)";
+  let untraced = tracing_scenario Obs.Trace.null in
+  let ring_buf = Obs.Trace.ring ~capacity:65536 in
+  let ring = tracing_scenario (Obs.Trace.create (Obs.Trace.Ring ring_buf)) in
+  let tmp = Filename.temp_file "dtsim_trace" ".csv" in
+  let oc = open_out tmp in
+  let csv = tracing_scenario (Obs.Trace.create (Obs.Trace.Csv oc)) in
+  close_out oc;
+  Sys.remove tmp;
+  let t =
+    Stats.Table.create ~title:"DT-DCTCP dumbbell, 4 flows"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "sink";
+          Stats.Table.column "events/s";
+          Stats.Table.column "vs null";
+        ]
+  in
+  let row name (r : Obs.Profile.run) =
+    Stats.Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f" r.Obs.Profile.events_per_s;
+        Printf.sprintf "%.2fx"
+          (r.Obs.Profile.events_per_s /. untraced.Obs.Profile.events_per_s);
+      ]
+  in
+  row "null (disabled)" untraced;
+  row "ring (64k records)" ring;
+  row "csv (tempfile)" csv;
+  Stats.Table.print t;
+  Bench_common.write_manifest ~section:"obs"
+    ~wall_s:
+      (untraced.Obs.Profile.wall_s +. ring.Obs.Profile.wall_s
+     +. csv.Obs.Profile.wall_s)
+    ~seed:7L ~events:untraced.Obs.Profile.events
+    ~params:
+      [
+        ("scenario", Obs.Json.String "dt-dctcp dumbbell, 4 flows");
+        ("ring_capacity", Obs.Json.Int 65536);
+      ]
+    ~metrics:
+      [
+        ("events_per_s.null", untraced.Obs.Profile.events_per_s);
+        ("events_per_s.ring", ring.Obs.Profile.events_per_s);
+        ("events_per_s.csv", csv.Obs.Profile.events_per_s);
+        ("ring.records_kept", float_of_int (Obs.Trace.ring_length ring_buf));
+        ("ring.records_total", float_of_int (Obs.Trace.ring_total ring_buf));
+      ]
+    ()
+
 let run () =
+  tracing_overhead ();
   Bench_common.section_header "Performance: simulator micro-benchmarks";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

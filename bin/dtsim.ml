@@ -70,9 +70,27 @@ let make_protocol proto g k k1 k2 =
 
 (* --- longlived --- *)
 
+let parse_trace_events spec =
+  match spec with
+  | "" -> None
+  | s ->
+      let names = String.split_on_char ',' s in
+      Some
+        (List.map
+           (fun name ->
+             match Obs.Trace.cls_of_name name with
+             | Some c -> c
+             | None ->
+                 Printf.eprintf
+                   "dtsim: unknown trace event %S (known: %s)\n" name
+                   (String.concat ", "
+                      (List.map Obs.Trace.cls_name Obs.Trace.all_classes));
+                 exit 2)
+           names)
+
 let longlived_cmd =
   let run proto g k k1 k2 seed n rate_gbps rtt_us warmup_ms measure_ms
-      trace_csv cwnd_csv =
+      trace_csv cwnd_csv trace_out trace_events metrics_out =
     let protocol = make_protocol proto g k k1 k2 in
     (* The cwnd trace needs direct access to a flow, so it runs its own
        small scenario mirroring the workload's configuration. *)
@@ -119,7 +137,55 @@ let longlived_cmd =
         seed;
       }
     in
-    let r = Workloads.Longlived.run protocol config in
+    let classes = parse_trace_events trace_events in
+    let trace_oc = if trace_out = "" then None else Some (open_out trace_out) in
+    let tracer =
+      match trace_oc with
+      | Some oc -> Obs.Trace.create ?classes (Obs.Trace.Jsonl oc)
+      | None -> Obs.Trace.null
+    in
+    let metrics =
+      if metrics_out = "" then None else Some (Obs.Metrics.create ())
+    in
+    let r, wall_s =
+      Obs.Profile.time (fun () ->
+          Workloads.Longlived.run ~tracer ?metrics protocol config)
+    in
+    (match trace_oc with
+    | Some oc ->
+        close_out oc;
+        Printf.printf "event trace         %s\n" trace_out
+    | None -> ());
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        let snap = Obs.Metrics.snapshot m in
+        let events =
+          match List.assoc_opt "engine.events_processed" snap with
+          | Some e -> int_of_float e
+          | None -> 0
+        in
+        let manifest =
+          Obs.Manifest.make ~name:"dtsim.longlived" ~seed
+            ~params:
+              [
+                ("protocol", Obs.Json.String protocol.Dctcp.Protocol.name);
+                ("flows", Obs.Json.Int n);
+                ("rate_gbps", Obs.Json.Float rate_gbps);
+                ("rtt_us", Obs.Json.Float rtt_us);
+                ("warmup_ms", Obs.Json.Float warmup_ms);
+                ("measure_ms", Obs.Json.Float measure_ms);
+                ("g", Obs.Json.Float g);
+                ("k_pkts", Obs.Json.Int k);
+                ("k1_pkts", Obs.Json.Int k1);
+                ("k2_pkts", Obs.Json.Int k2);
+              ]
+            ~wall_clock_s:wall_s ~events ~metrics:snap
+        in
+        let oc = open_out metrics_out in
+        Obs.Manifest.write oc manifest;
+        close_out oc;
+        Printf.printf "run manifest        %s\n" metrics_out);
     let open Workloads.Longlived in
     Printf.printf "protocol            %s\n" protocol.Dctcp.Protocol.name;
     Printf.printf "flows               %d\n" n;
@@ -163,12 +229,37 @@ let longlived_cmd =
       & info [ "cwnd-csv" ] ~docv:"FILE"
           ~doc:"Dump flow 0's cwnd/alpha/srtt trace to FILE.")
   in
+  let trace_out =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event stream (drops, marks, hysteresis \
+             flips, cwnd cuts, RTOs, ...) to FILE as JSON lines.")
+  in
+  let trace_events =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-events" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated event classes to trace (e.g. \
+             drop,mark,mark_state_flip). Default: all classes.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt string ""
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write an Obs.Manifest run-provenance record (seed, parameters, \
+             wall clock, events/s, final metrics snapshot) to FILE as JSON.")
+  in
   Cmd.v
     (Cmd.info "longlived"
        ~doc:"N long-lived flows over the 10 Gbps dumbbell (paper Figs 1, 10-12)")
     Term.(
       const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg $ n
-      $ rate $ rtt $ warmup $ measure $ trace $ cwnd_trace)
+      $ rate $ rtt $ warmup $ measure $ trace $ cwnd_trace $ trace_out
+      $ trace_events $ metrics_out)
 
 (* --- incast --- *)
 

@@ -65,6 +65,20 @@ let cc_with_penalty ?(params = default_params) ~penalty () =
           in
           let p = Float.min 1. (Float.max 0. (penalty ctx)) in
           let target = cwnd *. (1. -. (p /. 2.)) in
+          if Obs.Trace.enabled api.Tcp.Cc.tracer Obs.Trace.C_cwnd_cut then
+            Obs.Trace.emit api.Tcp.Cc.tracer
+              {
+                Obs.Trace.time = api.Tcp.Cc.now ();
+                component = Printf.sprintf "flow%d" api.Tcp.Cc.flow;
+                event =
+                  Obs.Trace.Cwnd_cut
+                    {
+                      flow = api.Tcp.Cc.flow;
+                      cwnd_before = cwnd;
+                      cwnd_after = target;
+                      alpha = st.alpha;
+                    };
+              };
           api.Tcp.Cc.set_cwnd target;
           api.Tcp.Cc.set_ssthresh target;
           st.cwr_end <- snd_nxt

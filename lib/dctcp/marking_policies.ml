@@ -10,7 +10,9 @@ let single_threshold ~k_bytes =
     ~on_enqueue:(fun occ -> occ.Net.Marking.bytes > k_bytes)
     ~on_dequeue:(fun _ -> ())
 
-let double_threshold ~k1_bytes ~k2_bytes =
+type flip_callback = marking:bool -> occ_bytes:int -> unit
+
+let double_threshold ?on_flip ~k1_bytes ~k2_bytes () =
   if k1_bytes < 0 || k2_bytes < 0 then
     invalid_arg "Marking_policies.double_threshold";
   let lo = Stdlib.min k1_bytes k2_bytes in
@@ -24,13 +26,19 @@ let double_threshold ~k1_bytes ~k2_bytes =
      early. With K1 > K2 the band is a classic thermostat (state held).
      K1 = K2 degenerates to the single threshold. *)
   let update now =
+    let before = !marking in
     if now > hi then marking := true
     else if now <= lo then marking := false
     else if k1_bytes < k2_bytes then begin
       if !prev <= lo then marking := true
       else if !prev > hi then marking := false
     end;
-    prev := now
+    prev := now;
+    if Bool.equal before !marking then ()
+    else
+      match on_flip with
+      | Some f -> f ~marking:!marking ~occ_bytes:now
+      | None -> ()
   in
   let on_enqueue occ =
     update occ.Net.Marking.bytes;

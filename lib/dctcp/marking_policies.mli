@@ -34,6 +34,14 @@ val single_threshold : k_bytes:int -> Net.Marking.t
     above [k_bytes] (i.e. the queue already held at least [k_bytes]).
     @raise Invalid_argument if [k_bytes < 0]. *)
 
-val double_threshold : k1_bytes:int -> k2_bytes:int -> Net.Marking.t
-(** Hysteresis marker as described above.
+type flip_callback = marking:bool -> occ_bytes:int -> unit
+(** Observer of hysteresis state changes: [marking] is the {e new} state,
+    [occ_bytes] the occupancy that caused the flip. *)
+
+val double_threshold :
+  ?on_flip:flip_callback -> k1_bytes:int -> k2_bytes:int -> unit -> Net.Marking.t
+(** Hysteresis marker as described above. [on_flip] fires on every state
+    change — the paper's mechanism made directly observable (with
+    [K1 = K2] the state never enters the band and flips still occur at
+    the single threshold's crossings).
     @raise Invalid_argument if a threshold is negative. *)

@@ -1,7 +1,7 @@
 type t = {
   name : string;
   cc : Tcp.Cc.factory;
-  marking : unit -> Net.Marking.t;
+  marking : ?on_flip:Marking_policies.flip_callback -> unit -> Net.Marking.t;
   echo : Tcp.Receiver.echo_policy;
 }
 
@@ -16,7 +16,8 @@ let dctcp ?g ?init_alpha ~k_bytes () =
   {
     name = "DCTCP";
     cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
-    marking = (fun () -> Marking_policies.single_threshold ~k_bytes);
+    marking =
+      (fun ?on_flip:_ () -> Marking_policies.single_threshold ~k_bytes);
     echo = Tcp.Receiver.Per_packet;
   }
 
@@ -25,7 +26,8 @@ let dt_dctcp ?g ?init_alpha ~k1_bytes ~k2_bytes () =
     name = "DT-DCTCP";
     cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
     marking =
-      (fun () -> Marking_policies.double_threshold ~k1_bytes ~k2_bytes);
+      (fun ?on_flip () ->
+        Marking_policies.double_threshold ?on_flip ~k1_bytes ~k2_bytes ());
     echo = Tcp.Receiver.Per_packet;
   }
 
@@ -42,7 +44,7 @@ let reno () =
   {
     name = "Reno";
     cc = Tcp.Cc.reno;
-    marking = (fun () -> Net.Marking.none ());
+    marking = (fun ?on_flip:_ () -> Net.Marking.none ());
     echo = Tcp.Receiver.Per_packet;
   }
 
@@ -50,6 +52,7 @@ let ecn_reno ~k_bytes =
   {
     name = "ECN-Reno";
     cc = Tcp.Cc.ecn_reno;
-    marking = (fun () -> Marking_policies.single_threshold ~k_bytes);
+    marking =
+      (fun ?on_flip:_ () -> Marking_policies.single_threshold ~k_bytes);
     echo = Tcp.Receiver.Per_packet;
   }

@@ -6,8 +6,11 @@
 type t = {
   name : string;
   cc : Tcp.Cc.factory;
-  marking : unit -> Net.Marking.t;
-      (** Fresh policy instance (policies are stateful, one per queue). *)
+  marking : ?on_flip:Marking_policies.flip_callback -> unit -> Net.Marking.t;
+      (** Fresh policy instance (policies are stateful, one per queue).
+          [on_flip] observes hysteresis state changes where the policy has
+          any (DT-DCTCP); stateless policies ignore it, so existing
+          [proto.marking ()] call sites are unchanged. *)
   echo : Tcp.Receiver.echo_policy;
 }
 

@@ -14,7 +14,11 @@ type t = {
   rng : Rng.t;
   mutable processed : int;
   mutable live : int;
+  mutable hwm : int;
+  mutable instrument : unit -> unit;
 }
+
+let noop () = ()
 
 let cmp_event a b =
   let c = Time.compare a.time b.time in
@@ -28,6 +32,8 @@ let create ?(seed = 1L) () =
     rng = Rng.create ~seed;
     processed = 0;
     live = 0;
+    hwm = 0;
+    instrument = noop;
   }
 
 let now t = t.now
@@ -41,6 +47,7 @@ let schedule_at t time action =
   let ev = { time; seq = t.seq; cancelled = false; action } in
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
+  if t.live > t.hwm then t.hwm <- t.live;
   Heap.push t.heap ev;
   ev
 
@@ -65,6 +72,7 @@ let rec step t =
         t.live <- t.live - 1;
         t.processed <- t.processed + 1;
         ev.action ();
+        t.instrument ();
         true
       end
 
@@ -82,3 +90,6 @@ let run ?until t =
 
 let events_processed t = t.processed
 let pending t = t.live
+let heap_high_water t = t.hwm
+let set_instrument t f = t.instrument <- f
+let clear_instrument t = t.instrument <- noop

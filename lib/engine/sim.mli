@@ -46,3 +46,16 @@ val events_processed : t -> int
 
 val pending : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val heap_high_water : t -> int
+(** Maximum number of simultaneously pending events seen so far — a
+    memory-pressure signal for the observability layer. *)
+
+val set_instrument : t -> (unit -> unit) -> unit
+(** Install a callback run after every executed event. Intended for the
+    observability layer (periodic flushing, progress accounting); the
+    callback must not perturb simulation state. At most one is installed;
+    setting replaces the previous one. *)
+
+val clear_instrument : t -> unit
+(** Restore the default no-op instrumentation callback. *)

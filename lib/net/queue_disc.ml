@@ -1,11 +1,13 @@
 module Sim = Engine.Sim
 module Time = Engine.Time
+module Trace_ev = Obs.Trace
 
 type t = {
   sim : Sim.t;
   name : string;
   capacity_bytes : int;
   marking : Marking.t;
+  tracer : Trace_ev.t;
   fifo : Packet.t Queue.t;
   mutable occ_bytes : int;
   mutable occ_pkts : int;
@@ -23,17 +25,19 @@ type t = {
   mutable max_bytes : int;
 }
 
-let create sim ~capacity_bytes ?(marking = Marking.none ()) ?(name = "queue")
-    () =
+let create sim ~capacity_bytes ?(marking = Marking.none ())
+    ?(tracer = Trace_ev.null) ?metrics ?(name = "queue") () =
   if capacity_bytes <= 0 then
     invalid_arg "Queue_disc.create: capacity must be positive";
   let now = Sim.now sim in
-  {
-    sim;
-    name;
-    capacity_bytes;
-    marking;
-    fifo = Queue.create ();
+  let t =
+    {
+      sim;
+      name;
+      capacity_bytes;
+      marking;
+      tracer;
+      fifo = Queue.create ();
     occ_bytes = 0;
     occ_pkts = 0;
     drops = 0;
@@ -42,14 +46,28 @@ let create sim ~capacity_bytes ?(marking = Marking.none ()) ?(name = "queue")
     observer = (fun () -> ());
     stats_start = now;
     last_change = now;
-    int_bytes = 0.;
-    int_bytes2 = 0.;
-    int_pkts = 0.;
-    int_pkts2 = 0.;
-    max_bytes = 0;
-  }
+      int_bytes = 0.;
+      int_bytes2 = 0.;
+      int_pkts = 0.;
+      int_pkts2 = 0.;
+      max_bytes = 0;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let pre = "queue." ^ name ^ "." in
+      Obs.Metrics.probe m (pre ^ "drops") (fun () -> float_of_int t.drops);
+      Obs.Metrics.probe m (pre ^ "marks") (fun () -> float_of_int t.marked);
+      Obs.Metrics.probe m (pre ^ "enqueues") (fun () ->
+          float_of_int t.enqueued));
+  t
 
 let name t = t.name
+
+let emit t event =
+  Trace_ev.emit t.tracer
+    { Trace_ev.time = Sim.now t.sim; component = t.name; event }
 
 let accumulate t =
   let now = Sim.now t.sim in
@@ -66,6 +84,9 @@ let accumulate t =
 let enqueue t pkt =
   if t.occ_bytes + pkt.Packet.size > t.capacity_bytes then begin
     t.drops <- t.drops + 1;
+    if Trace_ev.enabled t.tracer Trace_ev.C_drop then
+      emit t
+        (Trace_ev.Drop { flow = pkt.Packet.flow; occ_bytes = t.occ_bytes });
     t.observer ();
     `Dropped
   end
@@ -80,9 +101,25 @@ let enqueue t pkt =
     if t.marking.Marking.on_enqueue occ then begin
       if Packet.is_ect pkt then begin
         Packet.mark_ce pkt;
-        t.marked <- t.marked + 1
+        t.marked <- t.marked + 1;
+        if Trace_ev.enabled t.tracer Trace_ev.C_mark then
+          emit t
+            (Trace_ev.Mark
+               {
+                 flow = pkt.Packet.flow;
+                 occ_bytes = t.occ_bytes;
+                 occ_pkts = t.occ_pkts;
+               })
       end
     end;
+    if Trace_ev.enabled t.tracer Trace_ev.C_enqueue then
+      emit t
+        (Trace_ev.Enqueue
+           {
+             flow = pkt.Packet.flow;
+             occ_bytes = t.occ_bytes;
+             occ_pkts = t.occ_pkts;
+           });
     t.observer ();
     `Enqueued
   end
@@ -96,6 +133,14 @@ let dequeue t =
       t.occ_pkts <- t.occ_pkts - 1;
       let occ = { Marking.bytes = t.occ_bytes; packets = t.occ_pkts } in
       t.marking.Marking.on_dequeue occ;
+      if Trace_ev.enabled t.tracer Trace_ev.C_dequeue then
+        emit t
+          (Trace_ev.Dequeue
+             {
+               flow = pkt.Packet.flow;
+               occ_bytes = t.occ_bytes;
+               occ_pkts = t.occ_pkts;
+             });
       t.observer ();
       Some pkt
 

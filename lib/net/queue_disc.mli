@@ -10,10 +10,16 @@ val create :
   Engine.Sim.t ->
   capacity_bytes:int ->
   ?marking:Marking.t ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   ?name:string ->
   unit ->
   t
-(** @raise Invalid_argument if [capacity_bytes <= 0]. *)
+(** [tracer] (default {!Obs.Trace.null}) receives [Enqueue] / [Dequeue] /
+    [Drop] / [Mark] events with this queue's [name] as the component.
+    When [metrics] is given, probes [queue.<name>.drops], [.marks] and
+    [.enqueues] are registered against the live counters.
+    @raise Invalid_argument if [capacity_bytes <= 0]. *)
 
 val name : t -> string
 

@@ -6,7 +6,7 @@ let default_access_buffer = 512 * 1024
 let connect_host_to_switch sim host switch ~rate_bps ~delay
     ?(host_buffer = default_access_buffer)
     ?(switch_buffer = default_access_buffer)
-    ?(switch_marking = Marking.none ()) () =
+    ?(switch_marking = Marking.none ()) ?switch_tracer ?switch_metrics () =
   let host_q =
     Queue_disc.create sim ~capacity_bytes:host_buffer
       ~name:(Printf.sprintf "host%d-nic" (Host.id host))
@@ -19,7 +19,7 @@ let connect_host_to_switch sim host switch ~rate_bps ~delay
   Host.attach_nic host nic;
   let sw_q =
     Queue_disc.create sim ~capacity_bytes:switch_buffer
-      ~marking:switch_marking
+      ~marking:switch_marking ?tracer:switch_tracer ?metrics:switch_metrics
       ~name:(Printf.sprintf "sw%d->host%d" (Switch.id switch) (Host.id host))
       ()
   in
@@ -64,7 +64,7 @@ type dumbbell = {
 }
 
 let dumbbell sim ~n_senders ~bottleneck_rate_bps ?access_rate_bps ~rtt
-    ~buffer_bytes ~marking () =
+    ~buffer_bytes ~marking ?tracer ?metrics () =
   if n_senders <= 0 then invalid_arg "Topology.dumbbell: need senders";
   let access_rate_bps =
     match access_rate_bps with Some r -> r | None -> bottleneck_rate_bps
@@ -84,7 +84,8 @@ let dumbbell sim ~n_senders ~bottleneck_rate_bps ?access_rate_bps ~rtt
   let receiver = Host.create sim ~id:n_senders in
   let idx =
     connect_host_to_switch sim receiver switch ~rate_bps:bottleneck_rate_bps
-      ~delay:leg ~switch_buffer:buffer_bytes ~switch_marking:marking ()
+      ~delay:leg ~switch_buffer:buffer_bytes ~switch_marking:marking
+      ?switch_tracer:tracer ?switch_metrics:metrics ()
   in
   { senders; receiver; switch; bottleneck = Switch.port switch idx }
 

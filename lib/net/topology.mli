@@ -24,11 +24,14 @@ val connect_host_to_switch :
   ?host_buffer:int ->
   ?switch_buffer:int ->
   ?switch_marking:Marking.t ->
+  ?switch_tracer:Obs.Trace.t ->
+  ?switch_metrics:Obs.Metrics.t ->
   unit ->
   int
 (** Creates the full-duplex pair of ports (host NIC and a switch port),
     installs the route to the host on the switch, and returns the switch
-    port index. *)
+    port index. [switch_tracer] / [switch_metrics] instrument the
+    switch-side queue only (the host NIC queue stays untraced). *)
 
 val connect_switches :
   Engine.Sim.t ->
@@ -64,12 +67,15 @@ val dumbbell :
   rtt:Engine.Time.span ->
   buffer_bytes:int ->
   marking:Marking.t ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   dumbbell
 (** N senders share one bottleneck toward a single receiver. [rtt] is the
     two-way propagation delay (split equally across the four link
     traversals); serialization adds on top. [access_rate_bps] defaults to
-    the bottleneck rate. *)
+    the bottleneck rate. [tracer] / [metrics] instrument the bottleneck
+    queue only. *)
 
 (** {2 Parking lot (multi-bottleneck chain)} *)
 

@@ -8,6 +8,7 @@ type t = {
   pkts : Stats.Timeseries.t;
   bytes : Stats.Timeseries.t;
   mutable active : bool;
+  mutable sampler : Obs.Sampler.t option;
 }
 
 let record t now =
@@ -23,6 +24,7 @@ let on_queue sim queue ~mode ?stop_at () =
       pkts = Stats.Timeseries.create ();
       bytes = Stats.Timeseries.create ();
       active = true;
+      sampler = None;
     }
   in
   record t (Sim.now sim);
@@ -38,17 +40,13 @@ let on_queue sim queue ~mode ?stop_at () =
         | Some s -> s
         | None -> invalid_arg "Trace.on_queue: Sampled requires stop_at"
       in
-      let rec tick () =
-        if t.active then begin
-          record t (Sim.now sim);
-          let next = Time.add (Sim.now sim) period in
-          if Time.(next <= stop) then
-            ignore (Sim.schedule_at sim next tick)
-        end
-      in
-      ignore (Sim.schedule_after sim period tick));
+      t.sampler <-
+        Some (Obs.Sampler.start sim ~period ~stop_at:stop (record t)));
   t
 
 let series_packets t = t.pkts
 let series_bytes t = t.bytes
-let detach t = t.active <- false
+
+let detach t =
+  t.active <- false;
+  Option.iter Obs.Sampler.stop t.sampler

@@ -1,0 +1,39 @@
+(** Minimal JSON tree with a writer and a strict parser.
+
+    Just enough JSON for {!Manifest} records and JSONL trace sinks — no
+    dependency on an external JSON package (the container's toolchain is
+    fixed). The writer emits round-trippable floats (shortest decimal that
+    restores the same bits, always containing ['.'], ['e'] or ['E'] so a
+    [Float] never reparses as an [Int]); non-finite floats degrade to
+    [null] because JSON has no literal for them. The parser handles the
+    full escape set including [\uXXXX] (encoded to UTF-8; surrogate pairs
+    are not recombined). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering (no pretty-printing), valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val write : out_channel -> t -> unit
+(** [to_string] into a caller-owned channel (dtlint R4: the library never
+    writes to stdout). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete JSON value; trailing non-whitespace input
+    is an error. The error string carries a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality; floats compare by bit pattern (so [nan] equals
+    itself and [0.] differs from [-0.]), object fields by order. *)

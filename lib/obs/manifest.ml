@@ -1,0 +1,98 @@
+type t = {
+  name : string;
+  seed : int64;
+  params : (string * Json.t) list;
+  wall_clock_s : float;
+  events : int;
+  events_per_s : float;
+  metrics : (string * float) list;
+}
+
+let make ~name ~seed ~params ~wall_clock_s ~events ~metrics =
+  let events_per_s =
+    if wall_clock_s > 0. then float_of_int events /. wall_clock_s else 0.
+  in
+  {
+    name;
+    seed;
+    params;
+    wall_clock_s;
+    events;
+    events_per_s;
+    metrics = List.sort (fun (a, _) (b, _) -> String.compare a b) metrics;
+  }
+
+let to_json m =
+  Json.Obj
+    [
+      ("name", Json.String m.name);
+      (* int64 seeds can exceed a JSON reader's integer range; a string
+         survives any consumer. *)
+      ("seed", Json.String (Int64.to_string m.seed));
+      ("params", Json.Obj m.params);
+      ("wall_clock_s", Json.Float m.wall_clock_s);
+      ("events", Json.Int m.events);
+      ("events_per_s", Json.Float m.events_per_s);
+      ("metrics", Metrics.snapshot_to_json m.metrics);
+    ]
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "manifest: missing field %S" name)
+  in
+  let str name =
+    let* v = field name in
+    match v with
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "manifest: field %S is not a string" name)
+  in
+  let num name =
+    let* v = field name in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "manifest: field %S is not a number" name)
+  in
+  let* name = str "name" in
+  let* seed_s = str "seed" in
+  let* seed =
+    match Int64.of_string_opt seed_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "manifest: bad seed %S" seed_s)
+  in
+  let* params =
+    let* v = field "params" in
+    match v with
+    | Json.Obj kvs -> Ok kvs
+    | _ -> Error "manifest: field \"params\" is not an object"
+  in
+  let* wall_clock_s = num "wall_clock_s" in
+  let* events =
+    let* v = field "events" in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error "manifest: field \"events\" is not an integer"
+  in
+  let* events_per_s = num "events_per_s" in
+  let* metrics =
+    let* v = field "metrics" in
+    match v with
+    | Json.Obj kvs ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Float f) :: rest -> go ((k, f) :: acc) rest
+          | (k, Json.Int i) :: rest -> go ((k, float_of_int i) :: acc) rest
+          | (k, _) :: _ ->
+              Error (Printf.sprintf "manifest: metric %S is not a number" k)
+        in
+        go [] kvs
+    | _ -> Error "manifest: field \"metrics\" is not an object"
+  in
+  Ok { name; seed; params; wall_clock_s; events; events_per_s; metrics }
+
+let write oc m =
+  Json.write oc (to_json m);
+  output_char oc '\n'

@@ -1,0 +1,21 @@
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+type t = { mutable active : bool }
+
+let start sim ~period ~stop_at ?(immediate = false) f =
+  if Int64.compare period 0L <= 0 then
+    invalid_arg "Obs.Sampler.start: period must be positive";
+  let t = { active = true } in
+  let rec tick () =
+    if t.active then begin
+      f (Sim.now sim);
+      let next = Time.add (Sim.now sim) period in
+      if Time.(next <= stop_at) then ignore (Sim.schedule_at sim next tick)
+    end
+  in
+  if immediate then tick () else ignore (Sim.schedule_after sim period tick);
+  t
+
+let stop t = t.active <- false
+let active t = t.active

@@ -1,0 +1,29 @@
+(** Periodic sampling loop on simulation time.
+
+    The one fixed-period polling pattern the repo needs, extracted from
+    [Net.Trace] and [Workloads.Instrument] (which previously each
+    reimplemented it): call [f now] every [period] until the {e next}
+    tick would land after [stop_at]. The [stop_at] bound is mandatory —
+    an unbounded self-rescheduling loop would keep the simulation alive
+    forever. *)
+
+type t
+
+val start :
+  Engine.Sim.t ->
+  period:Engine.Time.span ->
+  stop_at:Engine.Time.t ->
+  ?immediate:bool ->
+  (Engine.Time.t -> unit) ->
+  t
+(** Start sampling. With [~immediate:true] the first call to [f] happens
+    synchronously at the current simulation time; otherwise the first
+    tick fires one [period] from now (and that first tick is
+    unconditional even if it lands past [stop_at], matching the historic
+    [Net.Trace] behaviour).
+    @raise Invalid_argument if [period <= 0]. *)
+
+val stop : t -> unit
+(** Detach: pending ticks become no-ops. Idempotent. *)
+
+val active : t -> bool

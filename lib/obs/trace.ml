@@ -1,0 +1,266 @@
+module Time = Engine.Time
+
+type event =
+  | Enqueue of { flow : int; occ_bytes : int; occ_pkts : int }
+  | Dequeue of { flow : int; occ_bytes : int; occ_pkts : int }
+  | Drop of { flow : int; occ_bytes : int }
+  | Mark of { flow : int; occ_bytes : int; occ_pkts : int }
+  | Mark_state_flip of { marking : bool; occ_bytes : int }
+  | Cwnd_cut of {
+      flow : int;
+      cwnd_before : float;
+      cwnd_after : float;
+      alpha : float;
+    }
+  | Fast_retransmit of { flow : int; snd_una : int }
+  | Rto of { flow : int; snd_una : int; timeouts : int }
+  | Flow_start of { flow : int }
+  | Flow_done of { flow : int; segments : int }
+
+type record = { time : Time.t; component : string; event : event }
+
+type cls =
+  | C_enqueue
+  | C_dequeue
+  | C_drop
+  | C_mark
+  | C_mark_state_flip
+  | C_cwnd_cut
+  | C_fast_retransmit
+  | C_rto
+  | C_flow_start
+  | C_flow_done
+
+let all_classes =
+  [
+    C_enqueue;
+    C_dequeue;
+    C_drop;
+    C_mark;
+    C_mark_state_flip;
+    C_cwnd_cut;
+    C_fast_retransmit;
+    C_rto;
+    C_flow_start;
+    C_flow_done;
+  ]
+
+let cls_index = function
+  | C_enqueue -> 0
+  | C_dequeue -> 1
+  | C_drop -> 2
+  | C_mark -> 3
+  | C_mark_state_flip -> 4
+  | C_cwnd_cut -> 5
+  | C_fast_retransmit -> 6
+  | C_rto -> 7
+  | C_flow_start -> 8
+  | C_flow_done -> 9
+
+let cls_of_event = function
+  | Enqueue _ -> C_enqueue
+  | Dequeue _ -> C_dequeue
+  | Drop _ -> C_drop
+  | Mark _ -> C_mark
+  | Mark_state_flip _ -> C_mark_state_flip
+  | Cwnd_cut _ -> C_cwnd_cut
+  | Fast_retransmit _ -> C_fast_retransmit
+  | Rto _ -> C_rto
+  | Flow_start _ -> C_flow_start
+  | Flow_done _ -> C_flow_done
+
+let cls_name = function
+  | C_enqueue -> "enqueue"
+  | C_dequeue -> "dequeue"
+  | C_drop -> "drop"
+  | C_mark -> "mark"
+  | C_mark_state_flip -> "mark_state_flip"
+  | C_cwnd_cut -> "cwnd_cut"
+  | C_fast_retransmit -> "fast_retransmit"
+  | C_rto -> "rto"
+  | C_flow_start -> "flow_start"
+  | C_flow_done -> "flow_done"
+
+let cls_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "enqueue" -> Some C_enqueue
+  | "dequeue" -> Some C_dequeue
+  | "drop" -> Some C_drop
+  | "mark" -> Some C_mark
+  | "mark_state_flip" -> Some C_mark_state_flip
+  | "cwnd_cut" -> Some C_cwnd_cut
+  | "fast_retransmit" -> Some C_fast_retransmit
+  | "rto" -> Some C_rto
+  | "flow_start" -> Some C_flow_start
+  | "flow_done" -> Some C_flow_done
+  | _ -> None
+
+(* --- serialization --- *)
+
+let record_to_json r =
+  let fields =
+    match r.event with
+    | Enqueue { flow; occ_bytes; occ_pkts } | Dequeue { flow; occ_bytes; occ_pkts }
+      ->
+        [
+          ("flow", Json.Int flow);
+          ("occ_bytes", Json.Int occ_bytes);
+          ("occ_pkts", Json.Int occ_pkts);
+        ]
+    | Drop { flow; occ_bytes } ->
+        [ ("flow", Json.Int flow); ("occ_bytes", Json.Int occ_bytes) ]
+    | Mark { flow; occ_bytes; occ_pkts } ->
+        [
+          ("flow", Json.Int flow);
+          ("occ_bytes", Json.Int occ_bytes);
+          ("occ_pkts", Json.Int occ_pkts);
+        ]
+    | Mark_state_flip { marking; occ_bytes } ->
+        [ ("marking", Json.Bool marking); ("occ_bytes", Json.Int occ_bytes) ]
+    | Cwnd_cut { flow; cwnd_before; cwnd_after; alpha } ->
+        [
+          ("flow", Json.Int flow);
+          ("cwnd_before", Json.Float cwnd_before);
+          ("cwnd_after", Json.Float cwnd_after);
+          ("alpha", Json.Float alpha);
+        ]
+    | Fast_retransmit { flow; snd_una } ->
+        [ ("flow", Json.Int flow); ("snd_una", Json.Int snd_una) ]
+    | Rto { flow; snd_una; timeouts } ->
+        [
+          ("flow", Json.Int flow);
+          ("snd_una", Json.Int snd_una);
+          ("timeouts", Json.Int timeouts);
+        ]
+    | Flow_start { flow } -> [ ("flow", Json.Int flow) ]
+    | Flow_done { flow; segments } ->
+        [ ("flow", Json.Int flow); ("segments", Json.Int segments) ]
+  in
+  Json.Obj
+    (("t_ns", Json.Int (Int64.to_int (Time.to_ns r.time)))
+    :: ("event", Json.String (cls_name (cls_of_event r.event)))
+    :: ("component", Json.String r.component)
+    :: fields)
+
+let csv_header = "time_ns,event,component,flow,occ_bytes,occ_pkts,detail"
+
+let record_to_csv r =
+  let flow, occ_bytes, occ_pkts, detail =
+    match r.event with
+    | Enqueue { flow; occ_bytes; occ_pkts }
+    | Dequeue { flow; occ_bytes; occ_pkts }
+    | Mark { flow; occ_bytes; occ_pkts } ->
+        (Some flow, Some occ_bytes, Some occ_pkts, "")
+    | Drop { flow; occ_bytes } -> (Some flow, Some occ_bytes, None, "")
+    | Mark_state_flip { marking; occ_bytes } ->
+        ( None,
+          Some occ_bytes,
+          None,
+          Printf.sprintf "marking=%d" (if marking then 1 else 0) )
+    | Cwnd_cut { flow; cwnd_before; cwnd_after; alpha } ->
+        ( Some flow,
+          None,
+          None,
+          Printf.sprintf "cwnd_before=%g;cwnd_after=%g;alpha=%g" cwnd_before
+            cwnd_after alpha )
+    | Fast_retransmit { flow; snd_una } ->
+        (Some flow, None, None, Printf.sprintf "snd_una=%d" snd_una)
+    | Rto { flow; snd_una; timeouts } ->
+        ( Some flow,
+          None,
+          None,
+          Printf.sprintf "snd_una=%d;timeouts=%d" snd_una timeouts )
+    | Flow_start { flow } -> (Some flow, None, None, "")
+    | Flow_done { flow; segments } ->
+        (Some flow, None, None, Printf.sprintf "segments=%d" segments)
+  in
+  let opt = function Some v -> string_of_int v | None -> "" in
+  Printf.sprintf "%Ld,%s,%s,%s,%s,%s,%s"
+    (Time.to_ns r.time)
+    (cls_name (cls_of_event r.event))
+    r.component (opt flow) (opt occ_bytes) (opt occ_pkts) detail
+
+(* --- ring buffer --- *)
+
+let dummy_record =
+  { time = Time.zero; component = ""; event = Flow_start { flow = -1 } }
+
+type ring = {
+  buf : record array;
+  cap : int;
+  mutable next : int;
+  mutable len : int;
+  mutable total : int;
+}
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.Trace.ring: capacity must be positive";
+  {
+    buf = Array.make capacity dummy_record;
+    cap = capacity;
+    next = 0;
+    len = 0;
+    total = 0;
+  }
+
+let ring_push r x =
+  r.buf.(r.next) <- x;
+  r.next <- (r.next + 1) mod r.cap;
+  if r.len < r.cap then r.len <- r.len + 1;
+  r.total <- r.total + 1
+
+let ring_length r = r.len
+let ring_total r = r.total
+
+let ring_records r =
+  List.init r.len (fun i ->
+      r.buf.(((r.next - r.len + i) mod r.cap + r.cap) mod r.cap))
+
+(* --- sinks and tracers --- *)
+
+type sink =
+  | Null
+  | Ring of ring
+  | Csv of out_channel
+  | Jsonl of out_channel
+  | Fn of (record -> unit)
+
+type t = { mutable mask : int; sink : sink }
+
+let full_mask = (1 lsl List.length all_classes) - 1
+let mask_of = List.fold_left (fun m c -> m lor (1 lsl cls_index c)) 0
+let null = { mask = 0; sink = Null }
+
+let create ?classes sink =
+  (match sink with
+  | Csv oc ->
+      output_string oc csv_header;
+      output_char oc '\n'
+  | Null | Ring _ | Jsonl _ | Fn _ -> ());
+  let mask =
+    match classes with None -> full_mask | Some cs -> mask_of cs
+  in
+  { mask; sink }
+
+let is_null t = match t.sink with Null -> true | _ -> false
+
+let set_classes t cs =
+  if is_null t then
+    invalid_arg "Obs.Trace.set_classes: the null tracer is shared and immutable"
+  else t.mask <- mask_of cs
+
+let enabled t c = t.mask land (1 lsl cls_index c) <> 0
+
+let dispatch sink r =
+  match sink with
+  | Null -> ()
+  | Ring ring -> ring_push ring r
+  | Csv oc ->
+      output_string oc (record_to_csv r);
+      output_char oc '\n'
+  | Jsonl oc ->
+      Json.write oc (record_to_json r);
+      output_char oc '\n'
+  | Fn f -> f r
+
+let emit t r = if enabled t (cls_of_event r.event) then dispatch t.sink r

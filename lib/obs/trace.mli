@@ -1,0 +1,120 @@
+(** Structured event tracing with pluggable sinks.
+
+    Components emit typed {!event}s through a {!t} (tracer). The tracer
+    filters by event class (a bitmask) and forwards surviving records to
+    its sink. The {!null} tracer has an empty mask, so the recommended
+    guard
+
+    {[
+      if Obs.Trace.enabled tr Obs.Trace.C_drop then
+        Obs.Trace.emit tr { time; component; event = Drop ... }
+    ]}
+
+    allocates nothing on an untraced run — [enabled] is one [land].
+
+    File sinks take a caller-owned [out_channel]; this module never opens
+    files or writes to stdout (dtlint R4). *)
+
+(** A simulation micro-event. Occupancy fields record the queue state
+    {e after} the event took effect. *)
+type event =
+  | Enqueue of { flow : int; occ_bytes : int; occ_pkts : int }
+  | Dequeue of { flow : int; occ_bytes : int; occ_pkts : int }
+  | Drop of { flow : int; occ_bytes : int }
+      (** Tail drop; [occ_bytes] is the occupancy that refused the packet. *)
+  | Mark of { flow : int; occ_bytes : int; occ_pkts : int }
+      (** CE mark applied on enqueue. *)
+  | Mark_state_flip of { marking : bool; occ_bytes : int }
+      (** Hysteresis zone machine changed state (DT-DCTCP, PAPER §IV). *)
+  | Cwnd_cut of {
+      flow : int;
+      cwnd_before : float;
+      cwnd_after : float;
+      alpha : float;
+    }  (** DCTCP alpha-proportional window reduction. *)
+  | Fast_retransmit of { flow : int; snd_una : int }
+  | Rto of { flow : int; snd_una : int; timeouts : int }
+  | Flow_start of { flow : int }
+  | Flow_done of { flow : int; segments : int }
+
+type record = { time : Engine.Time.t; component : string; event : event }
+
+(** {1 Event classes} *)
+
+(** One class per [event] constructor; the unit of filtering. *)
+type cls =
+  | C_enqueue
+  | C_dequeue
+  | C_drop
+  | C_mark
+  | C_mark_state_flip
+  | C_cwnd_cut
+  | C_fast_retransmit
+  | C_rto
+  | C_flow_start
+  | C_flow_done
+
+val all_classes : cls list
+val cls_of_event : event -> cls
+
+val cls_name : cls -> string
+(** Stable lowercase identifier, e.g. ["mark_state_flip"]; used in JSON,
+    CSV, and the [--trace-events] CLI flag. *)
+
+val cls_of_name : string -> cls option
+(** Inverse of {!cls_name}; trims and lowercases first. *)
+
+(** {1 Ring buffer} *)
+
+type ring
+
+val ring : capacity:int -> ring
+(** Bounded in-memory sink keeping the most recent [capacity] records.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val ring_length : ring -> int
+(** Records currently held ([<= capacity]). *)
+
+val ring_total : ring -> int
+(** Records ever pushed, including overwritten ones. *)
+
+val ring_records : ring -> record list
+(** Held records, oldest first. *)
+
+(** {1 Tracers} *)
+
+type sink =
+  | Null
+  | Ring of ring
+  | Csv of out_channel  (** One header line, then one CSV row per record. *)
+  | Jsonl of out_channel  (** One JSON object per line. *)
+  | Fn of (record -> unit)
+
+type t
+
+val null : t
+(** Shared no-op tracer: every class disabled, sink [Null]. Safe as a
+    default argument everywhere. *)
+
+val create : ?classes:cls list -> sink -> t
+(** New tracer accepting [classes] (default: all). A [Csv] sink gets its
+    header line written immediately. *)
+
+val enabled : t -> cls -> bool
+val set_classes : t -> cls list -> unit
+(** @raise Invalid_argument on the shared {!null} tracer. *)
+
+val emit : t -> record -> unit
+(** Forward to the sink if the record's class is enabled. Callers on hot
+    paths should guard with {!enabled} to avoid constructing the record. *)
+
+(** {1 Serialization} *)
+
+val csv_header : string
+
+val record_to_csv : record -> string
+(** One row matching {!csv_header}; event-specific extras go in the
+    [detail] column as [k=v;k=v]. *)
+
+val record_to_json : record -> Json.t
+(** Object with [t_ns], [event], [component], plus per-event fields. *)

@@ -1,5 +1,7 @@
 type flow_api = {
   now : unit -> Engine.Time.t;
+  flow : int;
+  tracer : Obs.Trace.t;
   get_cwnd : unit -> float;
   set_cwnd : float -> unit;
   get_ssthresh : unit -> float;

@@ -15,6 +15,10 @@
 
 type flow_api = {
   now : unit -> Engine.Time.t;
+  flow : int;  (** Flow id, for trace records. *)
+  tracer : Obs.Trace.t;
+      (** The sender's tracer ({!Obs.Trace.null} when untraced), so
+          algorithms can emit events such as [Cwnd_cut]. *)
   get_cwnd : unit -> float;  (** In segments. *)
   set_cwnd : float -> unit;  (** Clamped to >= 1 segment by the sender. *)
   get_ssthresh : unit -> float;

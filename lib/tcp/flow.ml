@@ -9,8 +9,8 @@ type t = {
   segment_bytes : int;
 }
 
-let create sim ~src ~dst ~flow ~cc ?(config = Sender.default_config) ?echo
-    ?limit_segments ?on_complete () =
+let create sim ~src ~dst ~flow ~cc ?tracer ?(config = Sender.default_config)
+    ?echo ?limit_segments ?on_complete () =
   let receiver =
     Receiver.create sim ~host:dst ~flow ~peer:(Net.Host.id src) ?echo
       ~sack:config.Sender.sack ~ack_bytes:config.Sender.ack_bytes ()
@@ -24,7 +24,7 @@ let create sim ~src ~dst ~flow ~cc ?(config = Sender.default_config) ?echo
        in
        let sender =
          Sender.create sim ~host:src ~peer:(Net.Host.id dst) ~flow ~cc
-           ~config ?limit_segments ~on_complete ()
+           ?tracer ~config ?limit_segments ~on_complete ()
        in
        {
          sim;

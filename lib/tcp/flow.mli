@@ -12,13 +12,15 @@ val create :
   dst:Net.Host.t ->
   flow:int ->
   cc:Cc.factory ->
+  ?tracer:Obs.Trace.t ->
   ?config:Sender.config ->
   ?echo:Receiver.echo_policy ->
   ?limit_segments:int ->
   ?on_complete:(t -> unit) ->
   unit ->
   t
-(** The flow does not transmit until {!start} (or {!start_at}). *)
+(** The flow does not transmit until {!start} (or {!start_at}). [tracer]
+    is forwarded to {!Sender.create}. *)
 
 val start : t -> unit
 

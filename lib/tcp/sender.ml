@@ -36,6 +36,7 @@ type t = {
   host : Net.Host.t;
   peer : int;
   flow : int;
+  tracer : Obs.Trace.t;
   config : config;
   mutable cc : Cc.t;
   mutable cwnd : float;
@@ -71,6 +72,14 @@ let dummy_cc =
   }
 
 let clamp_cwnd t c = Float.min (Float.max c 1.) t.config.max_cwnd
+
+let emit t event =
+  Obs.Trace.emit t.tracer
+    {
+      Obs.Trace.time = Sim.now t.sim;
+      component = Printf.sprintf "flow%d" t.flow;
+      event;
+    }
 
 let effective_window t = Stdlib.max 1 (int_of_float t.cwnd)
 
@@ -125,6 +134,8 @@ let check_complete t =
   | Some n when t.snd_una >= n && not (completed t) ->
       t.completed_at <- Some (Sim.now t.sim);
       Timer.cancel (rto_timer t);
+      if Obs.Trace.enabled t.tracer Obs.Trace.C_flow_done then
+        emit t (Obs.Trace.Flow_done { flow = t.flow; segments = n });
       t.on_complete ();
       true
   | Some _ | None -> false
@@ -196,6 +207,8 @@ let handle_dup_ack t ~ece =
     t.in_recovery <- true;
     t.recover <- t.snd_nxt;
     t.fast_retransmits <- t.fast_retransmits + 1;
+    if Obs.Trace.enabled t.tracer Obs.Trace.C_fast_retransmit then
+      emit t (Obs.Trace.Fast_retransmit { flow = t.flow; snd_una = t.snd_una });
     t.cc.Cc.on_fast_retransmit ();
     (match t.sample with Some _ -> t.sample <- None | None -> ());
     if t.config.sack then begin
@@ -230,6 +243,10 @@ let handle_ack t ~ack ~ece ~sack =
 let handle_rto t =
   if not (completed t) && outstanding t > 0 then begin
     t.timeouts <- t.timeouts + 1;
+    if Obs.Trace.enabled t.tracer Obs.Trace.C_rto then
+      emit t
+        (Obs.Trace.Rto
+           { flow = t.flow; snd_una = t.snd_una; timeouts = t.timeouts });
     Rtt_estimator.backoff t.rtt;
     t.cc.Cc.on_timeout ();
     t.in_recovery <- false;
@@ -247,8 +264,9 @@ let handle_rto t =
 
 let clamp_cwnd_raw config c = Float.min (Float.max c 1.) config.max_cwnd
 
-let create sim ~host ~peer ~flow ~cc ?(config = default_config)
-    ?limit_segments ?(on_complete = fun () -> ()) () =
+let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
+    ?(config = default_config) ?limit_segments ?(on_complete = fun () -> ())
+    () =
   if config.segment_bytes <= 0 || config.ack_bytes <= 0 then
     invalid_arg "Sender.create: bad segment sizes";
   (match limit_segments with
@@ -260,6 +278,7 @@ let create sim ~host ~peer ~flow ~cc ?(config = default_config)
       host;
       peer;
       flow;
+      tracer;
       config;
       cc = dummy_cc;
       cwnd = clamp_cwnd_raw config config.initial_cwnd;
@@ -291,6 +310,8 @@ let create sim ~host ~peer ~flow ~cc ?(config = default_config)
   let api =
     {
       Cc.now = (fun () -> Sim.now sim);
+      flow;
+      tracer;
       get_cwnd = (fun () -> t.cwnd);
       set_cwnd = (fun c -> t.cwnd <- clamp_cwnd t c);
       get_ssthresh = (fun () -> t.ssthresh);
@@ -307,6 +328,8 @@ let create sim ~host ~peer ~flow ~cc ?(config = default_config)
 let start t =
   if not t.started then begin
     t.started <- true;
+    if Obs.Trace.enabled t.tracer Obs.Trace.C_flow_start then
+      emit t (Obs.Trace.Flow_start { flow = t.flow });
     pump t
   end
 

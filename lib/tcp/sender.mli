@@ -41,6 +41,7 @@ val create :
   peer:int ->
   flow:int ->
   cc:Cc.factory ->
+  ?tracer:Obs.Trace.t ->
   ?config:config ->
   ?limit_segments:int ->
   ?on_complete:(unit -> unit) ->
@@ -49,7 +50,10 @@ val create :
 (** Binds the flow's ACK handler on [host]. Without [limit_segments] the
     flow is long-lived (infinite backlog); with it, [on_complete] fires
     when the last segment is cumulatively acknowledged. Transmission starts
-    only on {!start}. *)
+    only on {!start}. [tracer] (default {!Obs.Trace.null}) receives
+    [Flow_start] / [Flow_done] / [Fast_retransmit] / [Rto] events with
+    component ["flow<i>"], and is exposed to the congestion-control
+    algorithm through {!Cc.flow_api}. *)
 
 val start : t -> unit
 (** Begins transmitting at the current simulation instant. *)

@@ -7,7 +7,7 @@ type t = {
   srtt : Stats.Timeseries.t;
   (* Joined view for CSV export: one row per sampling instant. *)
   mutable rows : (Time.t * float * float option * float option) list;
-  mutable active : bool;
+  mutable sampler : Obs.Sampler.t option;
 }
 
 let sample t flow now =
@@ -34,23 +34,19 @@ let attach sim flow ~period ~stop_at =
       alpha = Stats.Timeseries.create ();
       srtt = Stats.Timeseries.create ();
       rows = [];
-      active = true;
+      sampler = None;
     }
   in
-  let rec tick () =
-    if t.active then begin
-      sample t flow (Sim.now sim);
-      let next = Time.add (Sim.now sim) period in
-      if Time.(next <= stop_at) then ignore (Sim.schedule_at sim next tick)
-    end
-  in
-  tick ();
+  t.sampler <-
+    Some
+      (Obs.Sampler.start sim ~period ~stop_at ~immediate:true (fun now ->
+           sample t flow now));
   t
 
 let cwnd_series t = t.cwnd
 let alpha_series t = t.alpha
 let srtt_series t = t.srtt
-let detach t = t.active <- false
+let detach t = Option.iter Obs.Sampler.stop t.sampler
 
 let to_csv t oc =
   output_string oc "time_s,cwnd_segments,alpha,srtt_s\n";

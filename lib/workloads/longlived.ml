@@ -56,15 +56,30 @@ let jain xs =
     if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
   end
 
-let run (proto : Dctcp.Protocol.t) config =
+let run ?(tracer = Obs.Trace.null) ?metrics (proto : Dctcp.Protocol.t) config
+    =
   if config.n_flows <= 0 then invalid_arg "Longlived.run: need flows";
   let sim = Sim.create ~seed:config.seed () in
+  (* The hysteresis flip observer: the policy lives inside the marking
+     closure, so the run — which has both the sim and the tracer in
+     scope — is the place to build it. *)
+  let flips_up = ref 0 and flips_down = ref 0 in
+  let on_flip ~marking ~occ_bytes =
+    if marking then incr flips_up else incr flips_down;
+    if Obs.Trace.enabled tracer Obs.Trace.C_mark_state_flip then
+      Obs.Trace.emit tracer
+        {
+          Obs.Trace.time = Sim.now sim;
+          component = "bottleneck";
+          event = Obs.Trace.Mark_state_flip { marking; occ_bytes };
+        }
+  in
   let net =
     Net.Topology.dumbbell sim ~n_senders:config.n_flows
       ~bottleneck_rate_bps:config.bottleneck_rate_bps ~rtt:config.rtt
       ~buffer_bytes:config.buffer_bytes
-      ~marking:(proto.Dctcp.Protocol.marking ())
-      ()
+      ~marking:(proto.Dctcp.Protocol.marking ~on_flip ())
+      ~tracer ?metrics ()
   in
   let tcp_config =
     {
@@ -77,10 +92,30 @@ let run (proto : Dctcp.Protocol.t) config =
     Array.mapi
       (fun i src ->
         Tcp.Flow.create sim ~src ~dst:net.Net.Topology.receiver ~flow:i
-          ~cc:proto.Dctcp.Protocol.cc ~config:tcp_config
+          ~cc:proto.Dctcp.Protocol.cc ~tracer ~config:tcp_config
           ~echo:proto.Dctcp.Protocol.echo ())
       net.Net.Topology.senders
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let sum f = float_of_int (Array.fold_left (fun a x -> a + f x) 0 flows) in
+      Obs.Metrics.probe m "marking.flips_up" (fun () ->
+          float_of_int !flips_up);
+      Obs.Metrics.probe m "marking.flips_down" (fun () ->
+          float_of_int !flips_down);
+      Obs.Metrics.probe m "engine.events_processed" (fun () ->
+          float_of_int (Sim.events_processed sim));
+      Obs.Metrics.probe m "engine.heap_high_water" (fun () ->
+          float_of_int (Sim.heap_high_water sim));
+      Obs.Metrics.probe m "sender.retransmissions" (fun () ->
+          sum (fun f -> Tcp.Sender.retransmissions (Tcp.Flow.sender f)));
+      Obs.Metrics.probe m "sender.timeouts" (fun () ->
+          sum (fun f -> Tcp.Sender.timeouts (Tcp.Flow.sender f)));
+      Obs.Metrics.probe m "sender.fast_retransmits" (fun () ->
+          sum (fun f -> Tcp.Sender.fast_retransmits (Tcp.Flow.sender f)));
+      Obs.Metrics.probe m "sender.ece_acks" (fun () ->
+          sum (fun f -> Tcp.Sender.ece_acks (Tcp.Flow.sender f))));
   let nf = Array.length flows in
   let rng = Sim.rng sim in
   Array.iter
@@ -110,18 +145,15 @@ let run (proto : Dctcp.Protocol.t) config =
                  (Net.Trace.on_queue sim bqueue ~mode:(Net.Trace.Sampled period)
                     ~stop_at:t_stop ())
          | None -> ());
-         let rec sample_alpha () =
-           Array.iter
-             (fun f ->
-               match Tcp.Flow.alpha f with
-               | Some a -> Stats.Descriptive.add alpha_stats a
-               | None -> ())
-             flows;
-           let next = Time.add (Sim.now sim) config.alpha_sample_period in
-           if Time.(next <= t_stop) then
-             ignore (Sim.schedule_at sim next sample_alpha)
-         in
-         sample_alpha ()));
+         ignore
+           (Obs.Sampler.start sim ~period:config.alpha_sample_period
+              ~stop_at:t_stop ~immediate:true (fun _now ->
+                Array.iter
+                  (fun f ->
+                    match Tcp.Flow.alpha f with
+                    | Some a -> Stats.Descriptive.add alpha_stats a
+                    | None -> ())
+                  flows))));
   Sim.run ~until:t_stop sim;
   let measure_s = Time.span_to_sec config.measure in
   let throughput_bps =

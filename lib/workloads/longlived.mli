@@ -46,4 +46,13 @@ type result = {
       (** (seconds, packets), present iff [trace_sampling] was set. *)
 }
 
-val run : Dctcp.Protocol.t -> config -> result
+val run :
+  ?tracer:Obs.Trace.t -> ?metrics:Obs.Metrics.t -> Dctcp.Protocol.t ->
+  config -> result
+(** [tracer] (default {!Obs.Trace.null}) is attached to the bottleneck
+    queue and every sender, and receives [Mark_state_flip] events
+    (component ["bottleneck"]) whenever the protocol's marking policy has
+    hysteresis state. When [metrics] is given, the scenario registers
+    probes [marking.flips_up]/[.flips_down], [engine.events_processed],
+    [engine.heap_high_water], and the summed [sender.*] counters on top
+    of the per-queue probes from {!Net.Queue_disc.create}. *)

@@ -1,12 +1,12 @@
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 type violation = { rule : rule; file : string; line : int; message : string }
 
 exception Parse_error of string * int * string
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -15,6 +15,7 @@ let rule_id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
 
 let rule_of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -24,6 +25,7 @@ let rule_of_id s =
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
   | _ -> None
 
 let rule_doc = function
@@ -43,10 +45,14 @@ let rule_doc = function
   | R6 ->
       "no assert false or bare failwith \"\" in lib/engine and lib/net; \
        failures must carry a message with context"
+  | R7 ->
+      "no wall-clock reads (Sys.time, Unix.gettimeofday, Unix.time) outside \
+       lib/obs; simulation logic must use Engine.Time, profiling must go \
+       through Obs.Profile"
 
 (* --- Path scoping ------------------------------------------------------ *)
 
-type scope = { in_lib : bool; in_hot_path : bool; is_rng : bool }
+type scope = { in_lib : bool; in_hot_path : bool; is_rng : bool; is_obs : bool }
 
 let segments path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
@@ -58,13 +64,14 @@ let rec after_lib = function
 
 let scope_of_file file =
   match after_lib (segments file) with
-  | None -> { in_lib = false; in_hot_path = false; is_rng = false }
+  | None -> { in_lib = false; in_hot_path = false; is_rng = false; is_obs = false }
   | Some rest ->
       let in_hot_path =
         match rest with ("engine" | "net") :: _ -> true | _ -> false
       in
       let is_rng = match rest with [ "engine"; "rng.ml" ] -> true | _ -> false in
-      { in_lib = true; in_hot_path; is_rng }
+      let is_obs = match rest with "obs" :: _ -> true | _ -> false in
+      { in_lib = true; in_hot_path; is_rng; is_obs }
 
 (* --- Suppression comments ---------------------------------------------- *)
 
@@ -162,6 +169,11 @@ let rec is_floatish e =
   | Pexp_ifthenelse (_, a, Some b) -> is_floatish a || is_floatish b
   | _ -> false
 
+let is_wall_clock parts =
+  match parts with
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] -> true
+  | _ -> false
+
 let is_print_fn parts =
   match parts with
   | [ ("print_string" | "print_endline" | "print_newline" | "print_char"
@@ -239,7 +251,11 @@ let lint_source ?(rules = all_rules) ~filename source =
     if active R4 && sc.in_lib && is_print_fn parts then
       emit R4 loc
         "direct console output inside lib/; route through Logs or Net.Trace \
-         so headless benches stay clean"
+         so headless benches stay clean";
+    if active R7 && (not sc.is_obs) && is_wall_clock parts then
+      emit R7 loc
+        "wall-clock read outside lib/obs; simulated time is Engine.Time and \
+         profiling goes through Obs.Profile, so runs stay deterministic"
   in
   let expr sub e =
     (match e.pexp_desc with

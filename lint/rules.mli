@@ -16,8 +16,13 @@
     - {b R5} every [lib/**/*.ml] has a matching [.mli].
     - {b R6} no [assert false] or bare [failwith ""] / [invalid_arg ""] in
       the [lib/engine] and [lib/net] hot paths: failures must carry context.
+    - {b R7} no wall-clock reads ([Sys.time], [Unix.gettimeofday],
+      [Unix.time]) outside [lib/obs]: simulated time is {!Engine.Time}, and
+      the only sanctioned wall-clock site is [Obs.Profile] — a stray read
+      leaking into simulation logic would silently break determinism, the
+      same hazard family as R1.
 
-    Rules R1–R4 and R6 are detected on the parsetree ({!lint_source}); R2
+    Rules R1–R4, R6 and R7 are detected on the parsetree ({!lint_source}); R2
     is necessarily a syntactic heuristic (the parsetree is untyped): an
     equality is flagged when either operand is recognisably a float — a
     float literal, float arithmetic ([+.], [*.], ...), a [float] type
@@ -28,7 +33,7 @@
     comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
     [all]). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 type violation = {
   rule : rule;

@@ -228,6 +228,7 @@ let df_of_policy ~k1_pkts ~k2_pkts ~x_pkts ~n =
     Dctcp.Marking_policies.double_threshold
       ~k1_bytes:(int_of_float (k1_pkts *. scale_bytes))
       ~k2_bytes:(int_of_float (k2_pkts *. scale_bytes))
+      ()
   in
   let occupancy theta =
     (* Offset so the sine is non-negative: the policy sees bytes. The DF

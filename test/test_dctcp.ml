@@ -68,7 +68,7 @@ let k1 = 3000 (* 2 packets *)
 let k2 = 6000 (* 4 packets *)
 
 let test_dt_starts_at_k1_rising () =
-  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 in
+  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 () in
   let marks =
     drive p (steps_of_walk [ 1500; 3000; 4500; 6000; 7500 ])
     |> List.filter_map Fun.id
@@ -80,7 +80,7 @@ let test_dt_starts_at_k1_rising () =
     marks
 
 let test_dt_stops_at_k2_falling () =
-  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 in
+  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 () in
   (* rise to 9000, then fall: marking stops when occupancy falls to K2 *)
   ignore (drive p (steps_of_walk [ 4500; 9000 ]));
   ignore (drive p [ (`Deq, 7500) ]);
@@ -95,7 +95,7 @@ let test_dt_stops_at_k2_falling () =
     [ false ] after
 
 let test_dt_turnaround_inside_band () =
-  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 in
+  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 () in
   (* Rise through K1 into the band, turn around before K2, fall below K1:
      marking on inside the band (entered rising), off below K1. *)
   let up = drive p (steps_of_walk [ 3000; 4500 ]) |> List.filter_map Fun.id in
@@ -110,7 +110,7 @@ let test_dt_turnaround_inside_band () =
   Alcotest.check (Alcotest.list Alcotest.bool) "off at/below K1" [ false ] off
 
 let test_dt_reentry_from_above () =
-  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 in
+  let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 () in
   (* Fall into the band from above K2 (marking off), wander, then rise
      above K2 again: marking must resume (no dead zone). *)
   ignore (drive p (steps_of_walk [ 4500; 9000 ]));
@@ -126,7 +126,7 @@ let test_dt_reentry_from_above () =
 
 let test_dt_thermostat () =
   (* on above 6000, held in (3000,6000], off at/below 3000 *)
-  let p = M.double_threshold ~k1_bytes:6000 ~k2_bytes:3000 in
+  let p = M.double_threshold ~k1_bytes:6000 ~k2_bytes:3000 () in
   let up =
     drive p (steps_of_walk [ 3000; 4500; 6000; 6100 ]) |> List.filter_map Fun.id
   in
@@ -145,7 +145,7 @@ let test_dt_thermostat () =
 
 let test_dt_validation () =
   checkb "negative raises" true
-    (match M.double_threshold ~k1_bytes:(-1) ~k2_bytes:5 with
+    (match M.double_threshold ~k1_bytes:(-1) ~k2_bytes:5 () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -167,7 +167,7 @@ let prop_dt_degenerates_to_single =
       let k = 7500 in
       let walk = steps_of_walk (List.map (fun p -> p * 1500) occupancies_pkts) in
       let single = M.single_threshold ~k_bytes:k in
-      let double = M.double_threshold ~k1_bytes:k ~k2_bytes:k in
+      let double = M.double_threshold ~k1_bytes:k ~k2_bytes:k () in
       drive single walk = drive double walk)
 
 (* Property: the double threshold marks a superset of nothing and is always
@@ -182,7 +182,7 @@ let prop_dt_zone_bounds =
       let k1 = a * 1500 and k2 = b * 1500 in
       let lo = min k1 k2 and hi = max k1 k2 in
       let walk = steps_of_walk (List.map (fun p -> p * 1500) occupancies_pkts) in
-      let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 in
+      let p = M.double_threshold ~k1_bytes:k1 ~k2_bytes:k2 () in
       List.for_all2
         (fun (dir, occ) verdict ->
           match (dir, verdict) with
@@ -203,6 +203,8 @@ let fake_api () =
   let api =
     {
       Tcp.Cc.now = (fun () -> Engine.Time.zero);
+      flow = 0;
+      tracer = Obs.Trace.null;
       get_cwnd = (fun () -> f.cwnd);
       set_cwnd = (fun c -> f.cwnd <- Float.max 1. c);
       get_ssthresh = (fun () -> f.ssthresh);
@@ -336,6 +338,8 @@ let fake_api_with_clock () =
   let api =
     {
       Tcp.Cc.now = (fun () -> !clock);
+      flow = 0;
+      tracer = Obs.Trace.null;
       get_cwnd = (fun () -> f.cwnd);
       set_cwnd = (fun c -> f.cwnd <- Float.max 1. c);
       get_ssthresh = (fun () -> f.ssthresh);

@@ -1,5 +1,5 @@
 (* Tests for the dtlint static-analysis rules (lint/rules.ml), driven by
-   inline fixture snippets: one positive case per rule R1-R6, the scoping
+   inline fixture snippets: one positive case per rule R1-R7, the scoping
    exemptions, and the suppression-comment escape hatch. *)
 
 module Rules = Dtlint.Rules
@@ -97,6 +97,28 @@ let test_r6_hot_path_failures () =
   check_findings "outside hot path exempt" []
     (findings ~file:"lib/stats/ewma.ml" "let f () = assert false\n")
 
+(* --- R7: wall-clock reads outside lib/obs --- *)
+
+let test_r7_wall_clock () =
+  check_findings "Unix.gettimeofday in lib" [ ("R7", 1) ]
+    (findings ~file:"lib/workloads/longlived.ml"
+       "let t0 = Unix.gettimeofday ()\n");
+  check_findings "Sys.time in bench" [ ("R7", 1) ]
+    (findings ~file:"bench/perf.ml" "let t0 = Sys.time ()\n");
+  check_findings "Unix.time in bin" [ ("R7", 1) ]
+    (findings ~file:"bin/dtsim.ml" "let now = Unix.time ()\n");
+  check_findings "Stdlib-qualified Sys.time" [ ("R7", 1) ]
+    (findings ~file:"lib/engine/sim.ml" "let t = Stdlib.Sys.time ()\n")
+
+let test_r7_obs_exempt () =
+  check_findings "lib/obs may read the wall clock" []
+    (findings ~file:"lib/obs/profile.ml"
+       "let wall_clock () = Unix.gettimeofday ()\nlet cpu () = Sys.time ()\n");
+  (* Simulated time lookalikes stay clean: Engine.Time and Sim.now are the
+     sanctioned clocks. *)
+  check_findings "Sim.now is not a wall clock" []
+    (findings ~file:"lib/net/trace.ml" "let t sim = Engine.Sim.now sim\n")
+
 (* --- suppression comments --- *)
 
 let test_suppression () =
@@ -150,6 +172,8 @@ let suites =
         Alcotest.test_case "R5 missing mli" `Quick test_r5_missing_mli;
         Alcotest.test_case "R6 hot-path failures" `Quick
           test_r6_hot_path_failures;
+        Alcotest.test_case "R7 wall-clock reads" `Quick test_r7_wall_clock;
+        Alcotest.test_case "R7 lib/obs exempt" `Quick test_r7_obs_exempt;
         Alcotest.test_case "suppression comment" `Quick test_suppression;
         Alcotest.test_case "rule selection" `Quick test_rule_selection;
         Alcotest.test_case "parse errors surface" `Quick test_parse_error;

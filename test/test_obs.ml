@@ -1,0 +1,350 @@
+(* Tests for the observability layer (lib/obs): trace filtering and ring
+   bounding, serialization, the metrics registry, manifest round-trips,
+   the shared sampler, engine profiling hooks, and the load-bearing
+   property that attaching observers never changes simulation results. *)
+
+module Trace = Obs.Trace
+module Json = Obs.Json
+module Sim = Engine.Sim
+module Time = Engine.Time
+
+let mk ?(t = Time.zero) ?(component = "q") event =
+  { Trace.time = t; component; event }
+
+let enq ?(t = Time.zero) flow =
+  mk ~t (Trace.Enqueue { flow; occ_bytes = 1500; occ_pkts = 1 })
+
+let drop ?(t = Time.zero) flow = mk ~t (Trace.Drop { flow; occ_bytes = 3000 })
+
+(* --- class filtering --- *)
+
+let test_filtering () =
+  let seen = ref [] in
+  let tr =
+    Trace.create ~classes:[ Trace.C_drop ]
+      (Trace.Fn (fun r -> seen := r :: !seen))
+  in
+  Alcotest.(check bool) "drop enabled" true (Trace.enabled tr Trace.C_drop);
+  Alcotest.(check bool)
+    "enqueue disabled" false
+    (Trace.enabled tr Trace.C_enqueue);
+  Trace.emit tr (enq 0);
+  Trace.emit tr (drop 1);
+  Trace.emit tr (enq 2);
+  Alcotest.(check int) "only the drop got through" 1 (List.length !seen);
+  Trace.set_classes tr [ Trace.C_enqueue ];
+  Trace.emit tr (drop 3);
+  Trace.emit tr (enq 4);
+  Alcotest.(check int) "reconfigured live" 2 (List.length !seen)
+
+let test_null_tracer () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Trace.cls_name c ^ " disabled on null")
+        false
+        (Trace.enabled Trace.null c))
+    Trace.all_classes;
+  (* Emitting into null is a silent no-op, but reconfiguring the shared
+     tracer would enable tracing globally, so it must be rejected. *)
+  Trace.emit Trace.null (drop 0);
+  Alcotest.(check bool)
+    "set_classes on null rejected" true
+    (match Trace.set_classes Trace.null [ Trace.C_drop ] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_cls_name_roundtrip () =
+  List.iter
+    (fun c ->
+      match Trace.cls_of_name (Trace.cls_name c) with
+      | Some c' ->
+          Alcotest.(check string)
+            "roundtrip" (Trace.cls_name c) (Trace.cls_name c')
+      | None -> Alcotest.fail ("cls_of_name failed for " ^ Trace.cls_name c))
+    Trace.all_classes;
+  Alcotest.(check bool)
+    "unknown name" true
+    (Trace.cls_of_name "no_such_event" = None)
+
+(* --- ring buffer --- *)
+
+let test_ring_bounding () =
+  let r = Trace.ring ~capacity:4 in
+  let tr = Trace.create (Trace.Ring r) in
+  for i = 1 to 10 do
+    Trace.emit tr (enq ~t:(Time.of_ns (Int64.of_int i)) i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.ring_length r);
+  Alcotest.(check int) "total uncapped" 10 (Trace.ring_total r);
+  let times =
+    List.map
+      (fun (rec_ : Trace.record) -> Time.to_ns rec_.Trace.time)
+      (Trace.ring_records r)
+  in
+  Alcotest.(check (list int64))
+    "keeps the most recent, oldest first" [ 7L; 8L; 9L; 10L ] times;
+  Alcotest.(check bool)
+    "capacity must be positive" true
+    (match Trace.ring ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- serialization --- *)
+
+let test_record_serialization () =
+  let r = mk ~t:(Time.of_ns 42L) ~component:"bottleneck" (Trace.Drop { flow = 3; occ_bytes = 9000 }) in
+  let j = Trace.record_to_json r in
+  Alcotest.(check bool)
+    "t_ns" true
+    (Json.member "t_ns" j = Some (Json.Int 42));
+  Alcotest.(check bool)
+    "event tag" true
+    (Json.member "event" j = Some (Json.String "drop"));
+  Alcotest.(check bool)
+    "flow" true
+    (Json.member "flow" j = Some (Json.Int 3));
+  let cols s = List.length (String.split_on_char ',' s) in
+  List.iter
+    (fun ev ->
+      Alcotest.(check int)
+        ("csv column count: " ^ Trace.cls_name (Trace.cls_of_event ev))
+        (cols Trace.csv_header)
+        (cols (Trace.record_to_csv (mk ev))))
+    [
+      Trace.Enqueue { flow = 0; occ_bytes = 1500; occ_pkts = 1 };
+      Trace.Dequeue { flow = 0; occ_bytes = 0; occ_pkts = 0 };
+      Trace.Drop { flow = 1; occ_bytes = 100 };
+      Trace.Mark { flow = 1; occ_bytes = 100; occ_pkts = 2 };
+      Trace.Mark_state_flip { marking = true; occ_bytes = 45000 };
+      Trace.Cwnd_cut { flow = 2; cwnd_before = 10.; cwnd_after = 6.; alpha = 0.4 };
+      Trace.Fast_retransmit { flow = 2; snd_una = 77 };
+      Trace.Rto { flow = 2; snd_una = 77; timeouts = 1 };
+      Trace.Flow_start { flow = 5 };
+      Trace.Flow_done { flow = 5; segments = 1000 };
+    ]
+
+(* --- Json parse / print --- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 0.1;
+      Json.Float 1e-9;
+      Json.Float 123456789.125;
+      Json.String "with \"quotes\" and \\ and \n";
+      Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ];
+      Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool false ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = Json.to_string j in
+      match Json.parse s with
+      | Ok j' ->
+          Alcotest.(check bool) ("roundtrip " ^ s) true (Json.equal j j')
+      | Error e -> Alcotest.fail (Printf.sprintf "parse %s: %s" s e))
+    samples;
+  (* A Float must never come back as an Int — equality is constructor-
+     sensitive, so 1.0 must print with a '.' or exponent. *)
+  (match Json.parse (Json.to_string (Json.Float 1.0)) with
+  | Ok (Json.Float _) -> ()
+  | Ok _ -> Alcotest.fail "Float 1.0 reparsed as non-Float"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "trailing garbage rejected" true
+    (match Json.parse "1 x" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool)
+    "truncated object rejected" true
+    (match Json.parse "{\"a\": 1" with Error _ -> true | Ok _ -> false)
+
+(* --- metrics registry --- *)
+
+let test_metrics () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "z.count" in
+  let g = Obs.Metrics.gauge m "a.gauge" in
+  Obs.Metrics.probe m "m.probe" (fun () -> 7.5);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Obs.Metrics.set g 2.25;
+  Alcotest.(check int) "counter reads back" 11 (Obs.Metrics.count c);
+  Alcotest.(check (float 0.)) "gauge reads back" 2.25 (Obs.Metrics.value g);
+  Alcotest.(check (list (pair string (float 0.))))
+    "snapshot is name-sorted"
+    [ ("a.gauge", 2.25); ("m.probe", 7.5); ("z.count", 11.) ]
+    (Obs.Metrics.snapshot m);
+  Alcotest.(check bool)
+    "duplicate name rejected" true
+    (match Obs.Metrics.counter m "a.gauge" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- manifest round-trip --- *)
+
+let test_manifest_roundtrip () =
+  let m =
+    Obs.Manifest.make ~name:"test.run" ~seed:0x7FFF_FFFF_FFFF_FFFDL
+      ~params:[ ("flows", Json.Int 8); ("protocol", Json.String "dt-dctcp") ]
+      ~wall_clock_s:1.5 ~events:3000
+      ~metrics:[ ("z", 1.); ("a", 2.5) ]
+  in
+  Alcotest.(check (float 0.)) "events_per_s computed" 2000. m.Obs.Manifest.events_per_s;
+  Alcotest.(check (list (pair string (float 0.))))
+    "metrics sorted" [ ("a", 2.5); ("z", 1.) ] m.Obs.Manifest.metrics;
+  match Obs.Manifest.of_json (Obs.Manifest.to_json m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      Alcotest.(check string) "name" m.Obs.Manifest.name m'.Obs.Manifest.name;
+      Alcotest.(check int64) "seed survives as int64" m.Obs.Manifest.seed m'.Obs.Manifest.seed;
+      Alcotest.(check int) "events" m.Obs.Manifest.events m'.Obs.Manifest.events;
+      Alcotest.(check (float 0.)) "wall" m.Obs.Manifest.wall_clock_s m'.Obs.Manifest.wall_clock_s;
+      Alcotest.(check (list (pair string (float 0.))))
+        "metrics" m.Obs.Manifest.metrics m'.Obs.Manifest.metrics;
+      Alcotest.(check bool)
+        "params" true
+        (Json.equal
+           (Json.Obj m.Obs.Manifest.params)
+           (Json.Obj m'.Obs.Manifest.params))
+
+(* --- sampler --- *)
+
+let test_sampler () =
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  let s =
+    Obs.Sampler.start sim ~period:10L ~stop_at:(Time.of_ns 35L) ~immediate:true (fun now ->
+        ticks := Time.to_ns now :: !ticks)
+  in
+  Sim.run sim;
+  Alcotest.(check (list int64))
+    "immediate: t=0 then every period up to stop_at" [ 0L; 10L; 20L; 30L ]
+    (List.rev !ticks);
+  Alcotest.(check bool) "still active when merely drained" true
+    (Obs.Sampler.active s);
+  (* Deferred first tick: fires one period in even if that lands past
+     stop_at (Net.Trace's historic contract). *)
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  ignore
+    (Obs.Sampler.start sim ~period:50L ~stop_at:(Time.of_ns 20L) (fun now ->
+         ticks := Time.to_ns now :: !ticks));
+  Sim.run sim;
+  Alcotest.(check (list int64)) "deferred first tick unconditional" [ 50L ] !ticks;
+  (* stop detaches mid-run. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let s =
+    Obs.Sampler.start sim ~period:10L ~stop_at:(Time.of_ns 1000L) ~immediate:true (fun _ ->
+        incr count)
+  in
+  ignore
+    (Sim.schedule_at sim (Time.of_ns 25L) (fun () -> Obs.Sampler.stop s));
+  Sim.run sim;
+  Alcotest.(check int) "stopped after t=25" 3 !count;
+  Alcotest.(check bool) "inactive after stop" false (Obs.Sampler.active s);
+  Alcotest.(check bool)
+    "non-positive period rejected" true
+    (match
+       Obs.Sampler.start sim ~period:0L ~stop_at:(Time.of_ns 10L) (fun _ -> ())
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- engine profiling hooks --- *)
+
+let test_sim_instrument () =
+  let sim = Sim.create () in
+  let calls = ref 0 in
+  Sim.set_instrument sim (fun () -> incr calls);
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim (Time.of_ns (Int64.of_int i)) (fun () -> ()))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "instrument called once per event" 5 !calls;
+  Alcotest.(check int)
+    "calls match the engine's own count" (Sim.events_processed sim) !calls;
+  Alcotest.(check int) "heap high-water saw the burst" 5 (Sim.heap_high_water sim);
+  Sim.clear_instrument sim;
+  ignore (Sim.schedule_at sim (Time.of_ns 10L) (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check int) "cleared hook is silent" 5 !calls
+
+(* --- observability must not perturb the simulation --- *)
+
+let small_config seed n_flows =
+  {
+    Workloads.Longlived.default_config with
+    Workloads.Longlived.n_flows;
+    warmup = Time.span_of_ms 2.;
+    measure = Time.span_of_ms 5.;
+    seed;
+  }
+
+let snapshot_with_observers ~observe proto config =
+  let metrics = Obs.Metrics.create () in
+  let result =
+    if observe then begin
+      let ring = Trace.create (Trace.Ring (Trace.ring ~capacity:1024)) in
+      let tmp = Filename.temp_file "test_obs" ".csv" in
+      let oc = open_out tmp in
+      let csv = Trace.create (Trace.Csv oc) in
+      (* Drive both a ring and a CSV sink through one Fn fan-out so a
+         single run exercises every serialization path. *)
+      let tr =
+        Trace.create
+          (Trace.Fn
+             (fun r ->
+               Trace.emit csv r;
+               Trace.emit ring r))
+      in
+      let result = Workloads.Longlived.run ~tracer:tr ~metrics proto config in
+      close_out oc;
+      Sys.remove tmp;
+      result
+    end
+    else Workloads.Longlived.run ~metrics proto config
+  in
+  (result, Obs.Metrics.snapshot metrics)
+
+let determinism_invariance =
+  QCheck.Test.make ~count:4
+    ~name:"attaching tracer+metrics never changes results"
+    QCheck.(pair (int_range 1 3) small_int)
+    (fun (n_flows, seed_base) ->
+      let proto = Dctcp.Protocol.dt_dctcp_pkts ~k1:30 ~k2:50 () in
+      let config = small_config (Int64.of_int (seed_base + 1)) n_flows in
+      let bare, snap_bare = snapshot_with_observers ~observe:false proto config in
+      let full, snap_full = snapshot_with_observers ~observe:true proto config in
+      (* Bit-exact equality: determinism means the observed run IS the
+         bare run. *)
+      snap_bare = snap_full
+      && bare.Workloads.Longlived.mean_queue_pkts
+         = full.Workloads.Longlived.mean_queue_pkts
+      && bare.Workloads.Longlived.throughput_bps
+         = full.Workloads.Longlived.throughput_bps
+      && bare.Workloads.Longlived.drops = full.Workloads.Longlived.drops)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "class filtering" `Quick test_filtering;
+        Alcotest.test_case "null tracer" `Quick test_null_tracer;
+        Alcotest.test_case "cls_name roundtrip" `Quick test_cls_name_roundtrip;
+        Alcotest.test_case "ring bounding" `Quick test_ring_bounding;
+        Alcotest.test_case "record serialization" `Quick
+          test_record_serialization;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "metrics registry" `Quick test_metrics;
+        Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+        Alcotest.test_case "sampler" `Quick test_sampler;
+        Alcotest.test_case "sim instrument hooks" `Quick test_sim_instrument;
+        qtest determinism_invariance;
+      ] );
+  ]

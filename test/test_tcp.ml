@@ -86,6 +86,8 @@ let fake_api () =
   let api =
     {
       Tcp.Cc.now = (fun () -> Time.zero);
+      flow = 0;
+      tracer = Obs.Trace.null;
       get_cwnd = (fun () -> f.cwnd);
       set_cwnd = (fun c -> f.cwnd <- Float.max 1. c);
       get_ssthresh = (fun () -> f.ssthresh);
