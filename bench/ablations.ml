@@ -1,14 +1,33 @@
 (* Ablation benches for the design choices DESIGN.md calls out: threshold
    placement, the EWMA gain g, the marking-policy family, and the fluid
-   model as a cross-check of the packet simulator. *)
+   model as a cross-check of the packet simulator.
+
+   Simulation-driven ablations run their Exp.Registry spec lists through
+   Bench_common.run_specs; the fluid/describing-function halves are
+   closed-form and stay outside the experiment layer. *)
 
 module L = Workloads.Longlived
 module Fm = Fluid.Dctcp_fluid
 
+let queue_row t (o : Exp.Runner.outcome) =
+  let r = Bench_common.longlived_of o in
+  Stats.Table.add_row t
+    [
+      o.Exp.Runner.spec.Exp.Spec.name;
+      Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
+      Stats.Table.fmt_f 2 r.L.std_queue_pkts;
+      Stats.Table.fmt_f 3 r.L.mean_alpha;
+      Stats.Table.fmt_f 3 r.L.utilization;
+    ]
+
 let ablation_thresholds () =
   Bench_common.section_header
     "Ablation A: DT-DCTCP threshold placement at N=60 (K=40 equivalent)";
-  let cfg = Bench_common.longlived_config ~n:60 () in
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.threshold_ablation_specs ~warmup:(Bench_common.warmup ())
+         ~measure:(Bench_common.measure ()) ())
+  in
   let t =
     Stats.Table.create ~title:"queue statistics vs (K1, K2), packets"
       ~columns:
@@ -20,24 +39,7 @@ let ablation_thresholds () =
           Stats.Table.column "util";
         ]
   in
-  let run name proto =
-    let r = L.run proto cfg in
-    Stats.Table.add_row t
-      [
-        name;
-        Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
-        Stats.Table.fmt_f 2 r.L.std_queue_pkts;
-        Stats.Table.fmt_f 3 r.L.mean_alpha;
-        Stats.Table.fmt_f 3 r.L.utilization;
-      ]
-  in
-  run "DCTCP K=40" (Dctcp.Protocol.dctcp_pkts ~k:40 ());
-  List.iter
-    (fun (k1, k2) ->
-      run
-        (Printf.sprintf "DT K1=%d K2=%d" k1 k2)
-        (Dctcp.Protocol.dt_dctcp_pkts ~k1 ~k2 ()))
-    [ (35, 45); (30, 50); (25, 55); (20, 60); (38, 42) ];
+  Array.iter (queue_row t) outcomes;
   Stats.Table.print t;
   Printf.printf
     "\nWider splits start marking earlier (lower mean queue) and stop\n\
@@ -45,6 +47,12 @@ let ablation_thresholds () =
 
 let ablation_g () =
   Bench_common.section_header "Ablation B: EWMA gain g at N=60";
+  (* Registry order: per gain (1/4, 1/16, 1/64), a (dctcp, dt) pair. *)
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.g_ablation_specs ~warmup:(Bench_common.warmup ())
+         ~measure:(Bench_common.measure ()) ())
+  in
   let t =
     Stats.Table.create ~title:"queue statistics vs g"
       ~columns:
@@ -56,11 +64,10 @@ let ablation_g () =
           Stats.Table.column "DT std q";
         ]
   in
-  List.iter
-    (fun (label, g) ->
-      let cfg = Bench_common.longlived_config ~n:60 () in
-      let rdc = L.run (Dctcp.Protocol.dctcp_pkts ~g ~k:40 ()) cfg in
-      let rdt = L.run (Dctcp.Protocol.dt_dctcp_pkts ~g ~k1:30 ~k2:50 ()) cfg in
+  List.iteri
+    (fun i label ->
+      let rdc = Bench_common.longlived_of outcomes.(2 * i) in
+      let rdt = Bench_common.longlived_of outcomes.((2 * i) + 1) in
       Stats.Table.add_row t
         [
           label;
@@ -69,7 +76,7 @@ let ablation_g () =
           Stats.Table.fmt_f 1 rdt.L.mean_queue_pkts;
           Stats.Table.fmt_f 2 rdt.L.std_queue_pkts;
         ])
-    [ ("1/4", 0.25); ("1/16", 1. /. 16.); ("1/64", 1. /. 64.) ];
+    [ "1/4"; "1/16"; "1/64" ];
   Stats.Table.print t;
   Printf.printf
     "\nThe paper fixes g=1/16; the DT advantage in stddev persists across\n\
@@ -78,7 +85,11 @@ let ablation_g () =
 let ablation_policies () =
   Bench_common.section_header
     "Ablation C: marking-policy family at N=60 (same sender where applicable)";
-  let cfg = Bench_common.longlived_config ~n:60 () in
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.policy_ablation_specs ~warmup:(Bench_common.warmup ())
+         ~measure:(Bench_common.measure ()) ())
+  in
   let t =
     Stats.Table.create ~title:"protocol family comparison"
       ~columns:
@@ -90,21 +101,18 @@ let ablation_policies () =
           Stats.Table.column "drops";
         ]
   in
-  let run name proto =
-    let r = L.run proto cfg in
-    Stats.Table.add_row t
-      [
-        name;
-        Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
-        Stats.Table.fmt_f 2 r.L.std_queue_pkts;
-        Stats.Table.fmt_f 3 r.L.utilization;
-        string_of_int r.L.drops;
-      ]
-  in
-  run "DCTCP K=40" (Dctcp.Protocol.dctcp_pkts ~k:40 ());
-  run "DT-DCTCP (30,50)" (Dctcp.Protocol.dt_dctcp_pkts ~k1:30 ~k2:50 ());
-  run "ECN-Reno K=40" (Dctcp.Protocol.ecn_reno ~k_bytes:(40 * 1500));
-  run "Reno (drop-tail)" (Dctcp.Protocol.reno ());
+  Array.iter
+    (fun (o : Exp.Runner.outcome) ->
+      let r = Bench_common.longlived_of o in
+      Stats.Table.add_row t
+        [
+          o.Exp.Runner.spec.Exp.Spec.name;
+          Stats.Table.fmt_f 1 r.L.mean_queue_pkts;
+          Stats.Table.fmt_f 2 r.L.std_queue_pkts;
+          Stats.Table.fmt_f 3 r.L.utilization;
+          string_of_int r.L.drops;
+        ])
+    outcomes;
   Stats.Table.print t;
   Printf.printf
     "\nThe paper's background claim: plain ECN (on/off halving) wastes the\n\
@@ -180,6 +188,13 @@ let ablation_testbed_labels () =
   Bench_common.section_header
     "Ablation E: the two readings of the testbed's (K1=34KB, K2=28KB)";
   let repeats = Bench_common.scale_int 10 in
+  let flow_counts = [ 28; 30; 32; 34; 36; 38; 40 ] in
+  (* Registry order: per flow count, (dctcp-32KB, start28-stop34,
+     thermostat34-28). *)
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.testbed_label_specs ~flow_counts ~repeats ())
+  in
   let t =
     Stats.Table.create
       ~title:"Incast goodput (Mbps) under both label readings"
@@ -191,28 +206,15 @@ let ablation_testbed_labels () =
           Stats.Table.column "thermostat 34/28";
         ]
   in
-  List.iter
-    (fun n ->
-      let run proto =
-        let r =
-          Workloads.Incast.run proto
-            { Workloads.Incast.default_config with
-              Workloads.Incast.n_flows = n; repeats }
-        in
-        Stats.Table.fmt_f 1 (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps)
+  List.iteri
+    (fun i n ->
+      let cell j =
+        let r = Bench_common.incast_of outcomes.((3 * i) + j) in
+        Stats.Table.fmt_f 1
+          (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps)
       in
-      Stats.Table.add_row t
-        [
-          string_of_int n;
-          run (Dctcp.Protocol.dctcp ~k_bytes:(32 * 1024) ());
-          run
-            (Dctcp.Protocol.dt_dctcp ~k1_bytes:(28 * 1024)
-               ~k2_bytes:(34 * 1024) ());
-          run
-            (Dctcp.Protocol.dt_dctcp ~k1_bytes:(34 * 1024)
-               ~k2_bytes:(28 * 1024) ());
-        ])
-    [ 28; 30; 32; 34; 36; 38; 40 ];
+      Stats.Table.add_row t [ string_of_int n; cell 0; cell 1; cell 2 ])
+    flow_counts;
   Stats.Table.print t;
   Printf.printf
     "\nRead literally (thermostat: start 34KB, stop 28KB) the DT thresholds\n\
@@ -224,6 +226,27 @@ let fluid_vs_sim () =
   Bench_common.section_header
     "Ablation D: fluid model (Eqs. 1-3) vs packet simulation";
   let c = 10e9 /. 12000. in
+  let ns = [ 10; 30; 60; 100 ] in
+  let specs =
+    List.concat_map
+      (fun n ->
+        let config =
+          Exp.Registry.longlived_config ~warmup:(Bench_common.warmup ())
+            ~measure:(Bench_common.measure ()) ~n ()
+        in
+        List.map
+          (fun proto ->
+            {
+              Exp.Spec.name =
+                Printf.sprintf "fluid_vs_sim/%s/n=%d"
+                  (Exp.Spec.protocol_name proto) n;
+              protocol = proto;
+              workload = Exp.Spec.Longlived config;
+            })
+          [ Exp.Registry.sim_dctcp; Exp.Registry.sim_dt ])
+      ns
+  in
+  let outcomes = Bench_common.run_specs specs in
   let t =
     Stats.Table.create ~title:"mean queue (packets), fluid vs packet-level"
       ~columns:
@@ -235,16 +258,15 @@ let fluid_vs_sim () =
           Stats.Table.column "sim DT";
         ]
   in
-  List.iter
-    (fun n ->
+  List.iteri
+    (fun i n ->
       let fluid marking =
         let p = Fm.make ~n ~c ~r0:1e-4 ~g:(1. /. 16.) ~marking () in
         let traj = Fm.simulate p ~t_end:0.15 () in
         fst (Fm.queue_stats traj ~discard:0.05)
       in
-      let cfg = Bench_common.longlived_config ~n () in
-      let sim_dc = L.run (Bench_common.dctcp_sim ()) cfg in
-      let sim_dt = L.run (Bench_common.dt_sim ()) cfg in
+      let sim_dc = Bench_common.longlived_of outcomes.(2 * i) in
+      let sim_dt = Bench_common.longlived_of outcomes.((2 * i) + 1) in
       Stats.Table.add_row t
         [
           string_of_int n;
@@ -253,7 +275,7 @@ let fluid_vs_sim () =
           Stats.Table.fmt_f 1 (fluid (Fm.Double (30., 50.)));
           Stats.Table.fmt_f 1 sim_dt.L.mean_queue_pkts;
         ])
-    [ 10; 30; 60; 100 ];
+    ns;
   Stats.Table.print t;
   Printf.printf
     "\nThe deterministic fluid model sits near the thresholds by\n\

@@ -1,4 +1,11 @@
-(* Shared configuration and helpers for the figure-reproduction harness. *)
+(* Shared configuration and helpers for the figure-reproduction harness.
+
+   Sections that measure simulation runs declare Exp.Spec lists (usually
+   via the Exp.Registry builders, handing them the --quick scaling) and
+   execute them through [run_specs], which fans runs across domains when
+   the harness is invoked with -j N. Analysis-only sections (fluid model,
+   describing function, fig2's synthetic swing) bypass the experiment
+   layer. *)
 
 module Time = Engine.Time
 
@@ -9,31 +16,79 @@ let quick = ref false
 let scale_span s = if !quick then Int64.div s 2L else s
 let scale_int n = if !quick then Stdlib.max 1 (n / 2) else n
 
-(* The paper's simulation protocols (Section VI-A): 10 Gbps, 100 us RTT,
-   K = 40 pkt, g = 1/16; DT-DCTCP splits K into (30, 50). *)
-let dctcp_sim () = Dctcp.Protocol.dctcp_pkts ~k:40 ()
-let dt_sim () = Dctcp.Protocol.dt_dctcp_pkts ~k1:30 ~k2:50 ()
+(* Longlived sections all share the paper's 100/200 ms windows. *)
+let warmup () = scale_span (Time.span_of_ms 100.)
+let measure () = scale_span (Time.span_of_ms 200.)
 
-(* The paper's testbed protocols (Section VI-B): 1 Gbps, K = 32 KB; the
-   two DT parameter groups, read as (start, stop) thresholds — see
-   EXPERIMENTS.md for why the paper's K1/K2 labels are swapped there. *)
-let dctcp_testbed () = Dctcp.Protocol.dctcp ~k_bytes:(32 * 1024) ()
+(* -j N: domains for Exp.Runner sweeps (1 = serial). *)
+let jobs = ref 1
 
-let dt_testbed_a () =
-  Dctcp.Protocol.dt_dctcp ~k1_bytes:(28 * 1024) ~k2_bytes:(34 * 1024) ()
+let run_specs specs = Exp.Runner.run ~jobs:!jobs specs
 
-let dt_testbed_b () =
-  Dctcp.Protocol.dt_dctcp ~k1_bytes:(30 * 1024) ~k2_bytes:(34 * 1024) ()
+(* The protocol operating points now live in Exp.Registry; the two the
+   analysis sections (spectrum, parking lot) instantiate directly: *)
+let dctcp_sim () = Exp.Spec.protocol_of Exp.Registry.sim_dctcp
+let dt_sim () = Exp.Spec.protocol_of Exp.Registry.sim_dt
 
-let longlived_config ~n ?(trace = false) () =
-  {
-    Workloads.Longlived.default_config with
-    Workloads.Longlived.n_flows = n;
-    warmup = scale_span (Time.span_of_ms 100.);
-    measure = scale_span (Time.span_of_ms 200.);
-    trace_sampling =
-      (if trace then Some (Time.span_of_us 20.) else None);
-  }
+(* Payload extractors: a bench section feeding a table cannot render a
+   failed or wrong-kinded run, so these exit loudly instead. *)
+let bad_outcome name msg : 'a =
+  Printf.eprintf "bench: run %s: %s\n" name msg;
+  exit 1
+
+let longlived_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Longlived r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
+let incast_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Incast r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
+let completion_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Completion r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
+let deadline_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Deadline r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
+let dynamic_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Dynamic r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
+let convergence_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Convergence r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
 
 let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,6 +1,9 @@
 (* Extension benches beyond the reproduced paper: D2TCP (the deadline-aware
    DCTCP derivative the paper's introduction cites) and the queue-buildup
-   mixed-traffic experiment from the original DCTCP paper. *)
+   mixed-traffic experiment from the original DCTCP paper.
+
+   All sections but parking_lot (custom multi-hop topology wiring) run
+   their Exp.Registry spec lists through Bench_common.run_specs. *)
 
 module Time = Engine.Time
 module D = Workloads.Deadline
@@ -10,21 +13,10 @@ let d2tcp () =
   Bench_common.section_header
     "Extension: D2TCP (deadline-aware backoff) vs DCTCP";
   let repeats = Bench_common.scale_int 10 in
-  let cfg n =
-    {
-      D.default_config with
-      D.n_flows = n;
-      repeats;
-      rate_bps = 10e9;
-      buffer_bytes = 512 * 1024;
-      bytes_per_flow = 300 * 1024;
-      min_rto = Time.span_of_ms 10.;
-      deadline = Time.span_of_ms 2.;
-      deadline_spread = Time.span_of_ms 4.;
-    }
-  in
-  let marking () =
-    Dctcp.Marking_policies.single_threshold ~k_bytes:(40 * 1500)
+  let flow_counts = [ 6; 8; 10; 12; 16; 20 ] in
+  (* Registry order: per flow count, a (dctcp, d2tcp) pair. *)
+  let outcomes =
+    Bench_common.run_specs (Exp.Registry.d2tcp_specs ~flow_counts ~repeats ())
   in
   let t =
     Stats.Table.create
@@ -40,16 +32,10 @@ let d2tcp () =
           Stats.Table.column "D2TCP p99 (ms)";
         ]
   in
-  List.iter
-    (fun n ->
-      let dctcp = D.run ~marking (D.Plain (Dctcp.Dctcp_cc.cc ())) (cfg n) in
-      let d2tcp =
-        D.run ~marking
-          (D.Deadline_aware
-             (fun ~total_segments ~deadline ->
-               Dctcp.D2tcp_cc.cc ~total_segments ~deadline ()))
-          (cfg n)
-      in
+  List.iteri
+    (fun i n ->
+      let dctcp = Bench_common.deadline_of outcomes.(2 * i) in
+      let d2tcp = Bench_common.deadline_of outcomes.((2 * i) + 1) in
       Stats.Table.add_row t
         [
           string_of_int n;
@@ -58,7 +44,7 @@ let d2tcp () =
           Stats.Table.fmt_f 2 (dctcp.D.p99_completion_s *. 1e3);
           Stats.Table.fmt_f 2 (d2tcp.D.p99_completion_s *. 1e3);
         ])
-    [ 6; 8; 10; 12; 16; 20 ];
+    flow_counts;
   Stats.Table.print t;
   Printf.printf
     "\nD2TCP's imminence-gated backoff (p = alpha^d) trades bandwidth toward\n\
@@ -71,6 +57,11 @@ let sack () =
   Bench_common.section_header
     "Extension: SACK vs go-back-N recovery in the Incast regime";
   let repeats = Bench_common.scale_int 10 in
+  let flow_counts = [ 28; 32; 34; 36; 40; 44 ] in
+  (* Registry order: per flow count, a (go-back-n, sack) pair. *)
+  let outcomes =
+    Bench_common.run_specs (Exp.Registry.sack_specs ~flow_counts ~repeats ())
+  in
   let t =
     Stats.Table.create
       ~title:"DCTCP Incast goodput (Mbps) and timeouts with each recovery"
@@ -83,22 +74,18 @@ let sack () =
           Stats.Table.column "to/run";
         ]
   in
-  List.iter
-    (fun n ->
-      let goodput sack_flag =
-        let r =
-          Workloads.Incast.run_with_sack ~sack:sack_flag
-            (Bench_common.dctcp_testbed ())
-            { Workloads.Incast.default_config with
-              Workloads.Incast.n_flows = n; repeats }
-        in
-        ( Stats.Table.fmt_f 1 (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps),
+  List.iteri
+    (fun i n ->
+      let cell j =
+        let r = Bench_common.incast_of outcomes.((2 * i) + j) in
+        ( Stats.Table.fmt_f 1
+            (Bench_common.mbps r.Workloads.Incast.mean_goodput_bps),
           Stats.Table.fmt_f 1 r.Workloads.Incast.timeouts_per_run )
       in
-      let g_gbn, t_gbn = goodput false in
-      let g_sack, t_sack = goodput true in
+      let g_gbn, t_gbn = cell 0 in
+      let g_sack, t_sack = cell 1 in
       Stats.Table.add_row t [ string_of_int n; g_gbn; t_gbn; g_sack; t_sack ])
-    [ 28; 32; 34; 36; 40; 44 ];
+    flow_counts;
   Stats.Table.print t;
   Printf.printf
     "\nA negative result worth keeping: the columns are identical. Incast\n\
@@ -111,19 +98,17 @@ let sack () =
 let convergence () =
   Bench_common.section_header
     "Extension: convergence under flow churn (DCTCP paper's convergence test)";
-  let cfg =
-    {
-      Workloads.Convergence.default_config with
-      Workloads.Convergence.join_interval =
-        Bench_common.scale_span (Engine.Time.span_of_ms 400.);
-      hold = Bench_common.scale_span (Engine.Time.span_of_ms 400.);
-    }
+  let interval = Bench_common.scale_span (Engine.Time.span_of_ms 400.) in
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.convergence_specs ~join_interval:interval ~hold:interval ())
   in
-  List.iter
-    (fun (name, proto) ->
-      let r = Workloads.Convergence.run proto cfg in
+  Array.iter
+    (fun (o : Exp.Runner.outcome) ->
+      let r = Bench_common.convergence_of o in
       let module C = Workloads.Convergence in
-      Printf.printf "\n%s: per-flow share over time (Mbps)\n" name;
+      Printf.printf "\n%s: per-flow share over time (Mbps)\n"
+        o.Exp.Runner.spec.Exp.Spec.name;
       let series =
         List.init 5 (fun i ->
             ( Printf.sprintf "flow %d" i,
@@ -141,10 +126,7 @@ let convergence () =
                    if Float.is_nan t then "-" else Printf.sprintf "%.0f" (t *. 1e3))
                  r.C.convergence_times_s)))
         r.C.jain_steady r.C.utilization_steady)
-    [
-      ("DCTCP", Bench_common.dctcp_sim ());
-      ("DT-DCTCP", Bench_common.dt_sim ());
-    ];
+    outcomes;
   Printf.printf
     "\nFlows join every 400 ms then leave in join order; both protocols\n\
      converge each newcomer to its fair share within tens of ms (tens to\n\
@@ -229,11 +211,10 @@ let parking_lot () =
 let queue_buildup () =
   Bench_common.section_header
     "Extension: queue buildup under mixed traffic (DCTCP paper sec. 3.3)";
-  let cfg =
-    {
-      Dy.default_config with
-      Dy.duration = Bench_common.scale_span (Time.span_of_ms 200.);
-    }
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.queue_buildup_specs
+         ~duration:(Bench_common.scale_span (Time.span_of_ms 200.)) ())
   in
   let t =
     Stats.Table.create
@@ -249,12 +230,12 @@ let queue_buildup () =
           Stats.Table.column "queue (pkts)";
         ]
   in
-  List.iter
-    (fun (name, proto) ->
-      let r = Dy.run proto cfg in
+  Array.iter
+    (fun (o : Exp.Runner.outcome) ->
+      let r = Bench_common.dynamic_of o in
       Stats.Table.add_row t
         [
-          name;
+          o.Exp.Runner.spec.Exp.Spec.name;
           Stats.Table.fmt_f 0 (r.Dy.fct_p50_s *. 1e6);
           Stats.Table.fmt_f 0 (r.Dy.fct_p99_s *. 1e6);
           Stats.Table.fmt_f 0 (r.Dy.fct_max_s *. 1e6);
@@ -262,12 +243,7 @@ let queue_buildup () =
           Printf.sprintf "%.1f +- %.1f" r.Dy.mean_queue_pkts
             r.Dy.std_queue_pkts;
         ])
-    [
-      ("DCTCP", Bench_common.dctcp_sim ());
-      ("DT-DCTCP", Bench_common.dt_sim ());
-      ("ECN-Reno", Dctcp.Protocol.ecn_reno ~k_bytes:(40 * 1500));
-      ("Reno", Dctcp.Protocol.reno ());
-    ];
+    outcomes;
   Stats.Table.print t;
   Printf.printf
     "\nReno's standing queue inflates every short flow's completion by the\n\

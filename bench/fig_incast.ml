@@ -1,22 +1,25 @@
 (* Figure 14 (Incast goodput collapse) and Figure 15 (scatter-gather
-   completion time) on the simulated 1 Gbps testbed star. *)
+   completion time) on the simulated 1 Gbps testbed star.
+
+   Both figures sweep flow count x testbed protocol; the spec lists come
+   from Exp.Registry, which emits per-N triples in [proto_labels] order. *)
 
 module I = Workloads.Incast
 module Cm = Workloads.Completion
 
-let protocols () =
-  [
-    ("DCTCP K=32KB", Bench_common.dctcp_testbed ());
-    ("DT (28,34)KB", Bench_common.dt_testbed_a ());
-    ("DT (30,34)KB", Bench_common.dt_testbed_b ());
-  ]
+let proto_labels = [ "DCTCP K=32KB"; "DT (28,34)KB"; "DT (30,34)KB" ]
+let flow_counts = Exp.Registry.incast_flow_counts
 
-let flow_counts = [ 4; 8; 12; 16; 20; 24; 28; 30; 32; 34; 36; 38; 40; 42; 44; 48 ]
+(* outcomes.(3i + j): flow count i, protocol j. *)
+let triple outcomes i = List.init 3 (fun j -> outcomes.((3 * i) + j))
 
 let fig14 () =
   Bench_common.section_header
     "Figure 14: Incast, 64KB per worker, 1 Gbps star, 128KB buffer";
   let repeats = Bench_common.scale_int 20 in
+  let outcomes =
+    Bench_common.run_specs (Exp.Registry.fig_incast_specs ~flow_counts ~repeats ())
+  in
   let t =
     Stats.Table.create
       ~title:
@@ -25,39 +28,37 @@ let fig14 () =
       ~columns:
         (Stats.Table.column "flows"
         :: List.concat_map
-             (fun (name, _) ->
+             (fun name ->
                [
                  Stats.Table.column name;
                  Stats.Table.column ("to/run " ^ String.sub name 0 2);
                ])
-             (protocols ()))
+             proto_labels)
   in
   let collapse = Hashtbl.create 8 in
-  List.iter
-    (fun n ->
+  List.iteri
+    (fun i n ->
       let row =
         List.concat_map
-          (fun (name, proto) ->
-            let r =
-              I.run proto { I.default_config with I.n_flows = n; repeats }
-            in
+          (fun (name, o) ->
+            let r = Bench_common.incast_of o in
             let g = Bench_common.mbps r.I.mean_goodput_bps in
             if g < 500. && not (Hashtbl.mem collapse name) then
               Hashtbl.replace collapse name n;
             [ Stats.Table.fmt_f 1 g; Stats.Table.fmt_f 1 r.I.timeouts_per_run ])
-          (protocols ())
+          (List.combine proto_labels (triple outcomes i))
       in
       Stats.Table.add_row t (string_of_int n :: row))
     flow_counts;
   Stats.Table.print t;
   Printf.printf "\ncollapse onset (first n with goodput < 500 Mbps):\n";
   List.iter
-    (fun (name, _) ->
+    (fun name ->
       Printf.printf "  %-14s %s\n" name
         (match Hashtbl.find_opt collapse name with
         | Some n -> string_of_int n
         | None -> "none up to 48"))
-    (protocols ());
+    proto_labels;
   Printf.printf
     "\nPaper: DCTCP collapses at 32 synchronized flows, DT-DCTCP holds until\n\
      37 — a ~5-flow postponement. The reproduction shows the same ordering\n\
@@ -67,6 +68,10 @@ let fig15 () =
   Bench_common.section_header
     "Figure 15: completion time of 1MB scattered over n workers";
   let repeats = Bench_common.scale_int 20 in
+  let outcomes =
+    Bench_common.run_specs
+      (Exp.Registry.fig_completion_specs ~flow_counts ~repeats ())
+  in
   let t =
     Stats.Table.create
       ~title:
@@ -75,23 +80,20 @@ let fig15 () =
       ~columns:
         (Stats.Table.column "flows"
         :: List.concat_map
-             (fun (name, _) ->
-               [ Stats.Table.column name; Stats.Table.column "max" ])
-             (protocols ()))
+             (fun name -> [ Stats.Table.column name; Stats.Table.column "max" ])
+             proto_labels)
   in
-  List.iter
-    (fun n ->
+  List.iteri
+    (fun i n ->
       let row =
         List.concat_map
-          (fun (_, proto) ->
-            let r =
-              Cm.run proto { Cm.default_config with Cm.n_flows = n; repeats }
-            in
+          (fun o ->
+            let r = Bench_common.completion_of o in
             [
               Stats.Table.fmt_f 2 (r.Cm.mean_completion_s *. 1e3);
               Stats.Table.fmt_f 2 (r.Cm.max_completion_s *. 1e3);
             ])
-          (protocols ())
+          (triple outcomes i)
       in
       Stats.Table.add_row t (string_of_int n :: row))
     flow_counts;

@@ -1,28 +1,28 @@
 (* Figure 1 (queue oscillation traces) and Figure 2 (marking strategies). *)
 
-module Time = Engine.Time
 module L = Workloads.Longlived
-
-let trace_for proto n =
-  let cfg = Bench_common.longlived_config ~n ~trace:true () in
-  let r = L.run proto cfg in
-  let series =
-    match r.L.queue_series with Some s -> Array.map snd s | None -> [||]
-  in
-  (r, series)
 
 let fig1 () =
   Bench_common.section_header
     "Figure 1: queue at the switch, DCTCP vs DT-DCTCP, N=10 and N=100";
-  let cases =
-    [
-      ("DCTCP N=10", Bench_common.dctcp_sim (), 10);
-      ("DCTCP N=100", Bench_common.dctcp_sim (), 100);
-      ("DT-DCTCP N=10", Bench_common.dt_sim (), 10);
-      ("DT-DCTCP N=100", Bench_common.dt_sim (), 100);
-    ]
+  let specs =
+    Exp.Registry.fig_queue_specs ~warmup:(Bench_common.warmup ())
+      ~measure:(Bench_common.measure ()) ()
   in
-  let results = List.map (fun (name, p, n) -> (name, trace_for p n)) cases in
+  let outcomes = Bench_common.run_specs specs in
+  let results =
+    Array.to_list
+      (Array.map
+         (fun (o : Exp.Runner.outcome) ->
+           let r = Bench_common.longlived_of o in
+           let series =
+             match r.L.queue_series with
+             | Some s -> Array.map snd s
+             | None -> [||]
+           in
+           (o.Exp.Runner.spec.Exp.Spec.name, (r, series)))
+         outcomes)
+  in
   let t =
     Stats.Table.create ~title:"queue statistics (packets)"
       ~columns:

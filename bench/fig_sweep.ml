@@ -10,15 +10,22 @@ type point = {
   dt : L.result;
 }
 
+(* One spec per (N, protocol); the registry emits them as per-N
+   (dctcp, dt-dctcp) pairs, so outcome 2i / 2i+1 belong to ns.(i). *)
 let sweep () =
-  let ns = List.init 19 (fun i -> 10 + (5 * i)) in
-  List.map
-    (fun n ->
-      let cfg = Bench_common.longlived_config ~n () in
-      let dc = L.run (Bench_common.dctcp_sim ()) cfg in
-      let dt = L.run (Bench_common.dt_sim ()) cfg in
-      Printf.printf "  ... N=%d done\r%!" n;
-      { n; dc; dt })
+  let ns = Exp.Registry.sweep_ns in
+  let specs =
+    Exp.Registry.fig_sweep_specs ~ns ~warmup:(Bench_common.warmup ())
+      ~measure:(Bench_common.measure ()) ()
+  in
+  let outcomes = Bench_common.run_specs specs in
+  List.mapi
+    (fun i n ->
+      {
+        n;
+        dc = Bench_common.longlived_of outcomes.(2 * i);
+        dt = Bench_common.longlived_of outcomes.((2 * i) + 1);
+      })
     ns
 
 let figs_10_11_12 () =

@@ -1,9 +1,10 @@
 (* Figure-reproduction harness: one section per table/figure of the paper's
    evaluation, plus ablations and substrate micro-benchmarks.
 
-   Usage: main.exe [--quick] [section ...]
+   Usage: main.exe [--quick] [-j N] [section ...]
    Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid perf
-   (default: all). *)
+   (default: all). -j N fans each section's Exp.Runner sweep across N
+   domains; results are bit-identical to -j 1 by construction. *)
 
 let sections =
   [
@@ -35,16 +36,25 @@ let sections =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          Bench_common.quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        Bench_common.quick := true;
+        parse acc rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Bench_common.jobs := n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "-j expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ ("-j" | "--jobs") ] ->
+        Printf.eprintf "-j expects an argument\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> sections

@@ -1,11 +1,17 @@
 (* dtsim: command-line driver for the DT-DCTCP reproduction.
 
-   Subcommands run one scenario each and print a summary (optionally
-   dumping CSV traces), so individual experiments are scriptable without
-   touching the bench harness. *)
+   Workload subcommands build an Exp.Spec from their flags and hand it to
+   Exp.Runner, so a CLI run is the same artifact as a bench point: one
+   spec, one manifest, reproducible from either. `dtsim sweep` runs whole
+   named spec lists from Exp.Registry (optionally across domains); the
+   stability/fluid subcommands are closed-form analysis and bypass the
+   experiment layer. *)
 
 open Cmdliner
 module Time = Engine.Time
+module Spec = Exp.Spec
+module Runner = Exp.Runner
+module Outcome = Exp.Outcome
 
 (* --- shared protocol arguments --- *)
 
@@ -61,12 +67,44 @@ let seed_arg =
 
 let segment_bytes = 1500
 
-let make_protocol proto g k k1 k2 =
+(* Simulation-style thresholds, packet-denominated. *)
+let sim_protocol proto g k k1 k2 =
   match proto with
-  | P_dctcp -> Dctcp.Protocol.dctcp_pkts ~g ~k ()
-  | P_dt -> Dctcp.Protocol.dt_dctcp_pkts ~g ~k1 ~k2 ()
-  | P_reno -> Dctcp.Protocol.reno ()
-  | P_ecn_reno -> Dctcp.Protocol.ecn_reno ~k_bytes:(k * segment_bytes)
+  | P_dctcp -> Spec.Dctcp { g; k_bytes = k * segment_bytes }
+  | P_dt ->
+      Spec.Dt_dctcp
+        { g; k1_bytes = k1 * segment_bytes; k2_bytes = k2 * segment_bytes }
+  | P_reno -> Spec.Reno
+  | P_ecn_reno -> Spec.Ecn_reno { k_bytes = k * segment_bytes }
+
+(* Testbed-style thresholds, KB-denominated. *)
+let testbed_protocol proto g kkb k1kb k2kb =
+  match proto with
+  | P_dctcp -> Spec.Dctcp { g; k_bytes = kkb * 1024 }
+  | P_dt ->
+      Spec.Dt_dctcp { g; k1_bytes = k1kb * 1024; k2_bytes = k2kb * 1024 }
+  | P_reno -> Spec.Reno
+  | P_ecn_reno -> Spec.Ecn_reno { k_bytes = kkb * 1024 }
+
+let proto_label p = (Spec.protocol_of p).Dctcp.Protocol.name
+
+(* Run one spec; a failed workload is a CLI error, not a silent success. *)
+let exec ?tracer spec =
+  let outcome = Runner.run_one ?tracer spec in
+  (match outcome.Runner.result with
+  | Outcome.Failed { error; _ } ->
+      Printf.eprintf "dtsim: %s\n" error;
+      exit 1
+  | Outcome.Done _ -> ());
+  outcome
+
+let write_manifest_opt ~file (outcome : Runner.outcome) =
+  if file <> "" then begin
+    let oc = open_out file in
+    Obs.Manifest.write oc outcome.Runner.manifest;
+    close_out oc;
+    Printf.printf "run manifest        %s\n" file
+  end
 
 (* --- longlived --- *)
 
@@ -91,25 +129,26 @@ let parse_trace_events spec =
 let longlived_cmd =
   let run proto g k k1 k2 seed n rate_gbps rtt_us warmup_ms measure_ms
       trace_csv cwnd_csv trace_out trace_events metrics_out =
-    let protocol = make_protocol proto g k k1 k2 in
+    let protocol = sim_protocol proto g k k1 k2 in
     (* The cwnd trace needs direct access to a flow, so it runs its own
        small scenario mirroring the workload's configuration. *)
     (if cwnd_csv <> "" then begin
+       let bundle = Spec.protocol_of protocol in
        let sim = Engine.Sim.create ~seed () in
        let d =
          Net.Topology.dumbbell sim ~n_senders:n
            ~bottleneck_rate_bps:(rate_gbps *. 1e9)
            ~rtt:(Time.span_of_us rtt_us)
            ~buffer_bytes:(1000 * segment_bytes)
-           ~marking:(protocol.Dctcp.Protocol.marking ())
+           ~marking:(bundle.Dctcp.Protocol.marking ())
            ()
        in
        let flows =
          Array.mapi
            (fun i src ->
              Tcp.Flow.create sim ~src ~dst:d.Net.Topology.receiver ~flow:i
-               ~cc:protocol.Dctcp.Protocol.cc
-               ~echo:protocol.Dctcp.Protocol.echo ())
+               ~cc:bundle.Dctcp.Protocol.cc
+               ~echo:bundle.Dctcp.Protocol.echo ())
            d.Net.Topology.senders
        in
        Array.iter Tcp.Flow.start flows;
@@ -137,6 +176,13 @@ let longlived_cmd =
         seed;
       }
     in
+    let spec =
+      {
+        Spec.name = "dtsim.longlived";
+        protocol;
+        workload = Spec.Longlived config;
+      }
+    in
     let classes = parse_trace_events trace_events in
     let trace_oc = if trace_out = "" then None else Some (open_out trace_out) in
     let tracer =
@@ -144,50 +190,20 @@ let longlived_cmd =
       | Some oc -> Obs.Trace.create ?classes (Obs.Trace.Jsonl oc)
       | None -> Obs.Trace.null
     in
-    let metrics =
-      if metrics_out = "" then None else Some (Obs.Metrics.create ())
-    in
-    let r, wall_s =
-      Obs.Profile.time (fun () ->
-          Workloads.Longlived.run ~tracer ?metrics protocol config)
-    in
+    let outcome = exec ~tracer spec in
     (match trace_oc with
     | Some oc ->
         close_out oc;
         Printf.printf "event trace         %s\n" trace_out
     | None -> ());
-    (match metrics with
-    | None -> ()
-    | Some m ->
-        let snap = Obs.Metrics.snapshot m in
-        let events =
-          match List.assoc_opt "engine.events_processed" snap with
-          | Some e -> int_of_float e
-          | None -> 0
-        in
-        let manifest =
-          Obs.Manifest.make ~name:"dtsim.longlived" ~seed
-            ~params:
-              [
-                ("protocol", Obs.Json.String protocol.Dctcp.Protocol.name);
-                ("flows", Obs.Json.Int n);
-                ("rate_gbps", Obs.Json.Float rate_gbps);
-                ("rtt_us", Obs.Json.Float rtt_us);
-                ("warmup_ms", Obs.Json.Float warmup_ms);
-                ("measure_ms", Obs.Json.Float measure_ms);
-                ("g", Obs.Json.Float g);
-                ("k_pkts", Obs.Json.Int k);
-                ("k1_pkts", Obs.Json.Int k1);
-                ("k2_pkts", Obs.Json.Int k2);
-              ]
-            ~wall_clock_s:wall_s ~events ~metrics:snap
-        in
-        let oc = open_out metrics_out in
-        Obs.Manifest.write oc manifest;
-        close_out oc;
-        Printf.printf "run manifest        %s\n" metrics_out);
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Longlived r) -> r
+      | _ -> assert false
+    in
     let open Workloads.Longlived in
-    Printf.printf "protocol            %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "protocol            %s\n" (proto_label protocol);
     Printf.printf "flows               %d\n" n;
     Printf.printf "mean queue          %.2f pkts\n" r.mean_queue_pkts;
     Printf.printf "queue stddev        %.2f pkts\n" r.std_queue_pkts;
@@ -250,8 +266,9 @@ let longlived_cmd =
       value & opt string ""
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:
-            "Write an Obs.Manifest run-provenance record (seed, parameters, \
-             wall clock, events/s, final metrics snapshot) to FILE as JSON.")
+            "Write an Obs.Manifest run-provenance record (seed, full \
+             Exp.Spec, wall clock, events/s, final metrics snapshot) to \
+             FILE as JSON.")
   in
   Cmd.v
     (Cmd.info "longlived"
@@ -262,15 +279,6 @@ let longlived_cmd =
       $ trace_events $ metrics_out)
 
 (* --- incast --- *)
-
-let testbed_thresholds proto g kkb k1kb k2kb =
-  match proto with
-  | P_dctcp -> Dctcp.Protocol.dctcp ~g ~k_bytes:(kkb * 1024) ()
-  | P_dt ->
-      Dctcp.Protocol.dt_dctcp ~g ~k1_bytes:(k1kb * 1024)
-        ~k2_bytes:(k2kb * 1024) ()
-  | P_reno -> Dctcp.Protocol.reno ()
-  | P_ecn_reno -> Dctcp.Protocol.ecn_reno ~k_bytes:(kkb * 1024)
 
 let kkb_arg =
   Arg.(value & opt int 32 & info [ "k-kb" ] ~docv:"KB" ~doc:"K in KB.")
@@ -287,9 +295,16 @@ let sack_arg =
     & info [ "sack" ]
         ~doc:"Use selective-acknowledgment loss recovery instead of go-back-N.")
 
+let metrics_out_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the run's Obs.Manifest record to FILE as JSON.")
+
 let incast_cmd =
-  let run proto g kkb k1kb k2kb seed n bytes_kb repeats jitter_us sack =
-    let protocol = testbed_thresholds proto g kkb k1kb k2kb in
+  let run proto g kkb k1kb k2kb seed n bytes_kb repeats jitter_us sack
+      metrics_out =
+    let protocol = testbed_protocol proto g kkb k1kb k2kb in
     let config =
       {
         Workloads.Incast.default_config with
@@ -300,9 +315,22 @@ let incast_cmd =
         seed;
       }
     in
-    let r = Workloads.Incast.run_with_sack ~sack protocol config in
+    let spec =
+      {
+        Spec.name = "dtsim.incast";
+        protocol;
+        workload = Spec.Incast { config; sack };
+      }
+    in
+    let outcome = exec spec in
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Incast r) -> r
+      | _ -> assert false
+    in
     let open Workloads.Incast in
-    Printf.printf "protocol         %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "protocol         %s\n" (proto_label protocol);
     Printf.printf "flows            %d x %d KB\n" n bytes_kb;
     Printf.printf "goodput          %.1f Mbps (min %.1f, max %.1f)\n"
       (r.mean_goodput_bps /. 1e6)
@@ -323,11 +351,11 @@ let incast_cmd =
        ~doc:"Synchronized fan-in on the 1 Gbps testbed star (paper Fig 14)")
     Term.(
       const run $ proto_arg $ g_arg $ kkb_arg $ k1kb_arg $ k2kb_arg $ seed_arg
-      $ n $ bytes $ repeats $ jitter $ sack_arg)
+      $ n $ bytes $ repeats $ jitter $ sack_arg $ metrics_out_arg)
 
 let completion_cmd =
-  let run proto g kkb k1kb k2kb seed n total_kb repeats =
-    let protocol = testbed_thresholds proto g kkb k1kb k2kb in
+  let run proto g kkb k1kb k2kb seed n total_kb repeats metrics_out =
+    let protocol = testbed_protocol proto g kkb k1kb k2kb in
     let config =
       {
         Workloads.Completion.default_config with
@@ -337,9 +365,22 @@ let completion_cmd =
         seed;
       }
     in
-    let r = Workloads.Completion.run protocol config in
+    let spec =
+      {
+        Spec.name = "dtsim.completion";
+        protocol;
+        workload = Spec.Completion config;
+      }
+    in
+    let outcome = exec spec in
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Completion r) -> r
+      | _ -> assert false
+    in
     let open Workloads.Completion in
-    Printf.printf "protocol        %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "protocol        %s\n" (proto_label protocol);
     Printf.printf "flows           %d sharing %d KB\n" n total_kb;
     Printf.printf "completion      mean %.2f ms  min %.2f  max %.2f  p99 %.2f\n"
       (r.mean_completion_s *. 1e3)
@@ -357,7 +398,7 @@ let completion_cmd =
        ~doc:"Scatter-gather query completion time (paper Fig 15)")
     Term.(
       const run $ proto_arg $ g_arg $ kkb_arg $ k1kb_arg $ k2kb_arg $ seed_arg
-      $ n $ total $ repeats)
+      $ n $ total $ repeats $ metrics_out_arg)
 
 (* --- stability --- *)
 
@@ -495,21 +536,8 @@ let fluid_cmd =
 (* --- deadline --- *)
 
 let deadline_cmd =
-  let run g kkb seed n bytes_kb repeats deadline_ms spread_ms d2tcp =
-    let marking () =
-      Dctcp.Marking_policies.single_threshold ~k_bytes:(kkb * 1024)
-    in
-    let kind =
-      if d2tcp then
-        Workloads.Deadline.Deadline_aware
-          (fun ~total_segments ~deadline ->
-            Dctcp.D2tcp_cc.cc ~total_segments ~deadline ())
-      else
-        Workloads.Deadline.Plain
-          (Dctcp.Dctcp_cc.cc
-             ~params:{ Dctcp.Dctcp_cc.default_params with g }
-             ())
-    in
+  let run g kkb seed n bytes_kb repeats deadline_ms spread_ms d2tcp
+      metrics_out =
     let config =
       {
         Workloads.Deadline.default_config with
@@ -521,7 +549,20 @@ let deadline_cmd =
         seed;
       }
     in
-    let r = Workloads.Deadline.run ~marking kind config in
+    let spec =
+      {
+        Spec.name = "dtsim.deadline";
+        protocol = Spec.Dctcp { g; k_bytes = kkb * 1024 };
+        workload = Spec.Deadline { config; d2tcp };
+      }
+    in
+    let outcome = exec spec in
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Deadline r) -> r
+      | _ -> assert false
+    in
     let open Workloads.Deadline in
     Printf.printf "sender           %s\n"
       (if d2tcp then "D2TCP" else "DCTCP");
@@ -547,13 +588,13 @@ let deadline_cmd =
        ~doc:"Deadline-constrained fan-in, DCTCP or D2TCP senders (extension)")
     Term.(
       const run $ g_arg $ kkb_arg $ seed_arg $ n $ bytes $ repeats $ deadline
-      $ spread $ d2tcp)
+      $ spread $ d2tcp $ metrics_out_arg)
 
 (* --- dynamic --- *)
 
 let dynamic_cmd =
-  let run proto g k k1 k2 seed rate_per_s segs duration_ms =
-    let protocol = make_protocol proto g k k1 k2 in
+  let run proto g k k1 k2 seed rate_per_s segs duration_ms metrics_out =
+    let protocol = sim_protocol proto g k k1 k2 in
     let config =
       {
         Workloads.Dynamic.default_config with
@@ -563,9 +604,18 @@ let dynamic_cmd =
         seed;
       }
     in
-    let r = Workloads.Dynamic.run protocol config in
+    let spec =
+      { Spec.name = "dtsim.dynamic"; protocol; workload = Spec.Dynamic config }
+    in
+    let outcome = exec spec in
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Dynamic r) -> r
+      | _ -> assert false
+    in
     let open Workloads.Dynamic in
-    Printf.printf "protocol           %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "protocol           %s\n" (proto_label protocol);
     Printf.printf "short flows        %d started, %d completed\n"
       r.short_flows_started r.short_flows_completed;
     Printf.printf "FCT p50/p99/max    %.0f / %.0f / %.0f us\n"
@@ -588,13 +638,13 @@ let dynamic_cmd =
              (extension)")
     Term.(
       const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg
-      $ rate $ segs $ duration)
+      $ rate $ segs $ duration $ metrics_out_arg)
 
 (* --- convergence --- *)
 
 let convergence_cmd =
-  let run proto g k k1 k2 seed n interval_ms =
-    let protocol = make_protocol proto g k k1 k2 in
+  let run proto g k k1 k2 seed n interval_ms metrics_out =
+    let protocol = sim_protocol proto g k k1 k2 in
     let config =
       {
         Workloads.Convergence.default_config with
@@ -604,9 +654,22 @@ let convergence_cmd =
         seed;
       }
     in
-    let r = Workloads.Convergence.run protocol config in
+    let spec =
+      {
+        Spec.name = "dtsim.convergence";
+        protocol;
+        workload = Spec.Convergence config;
+      }
+    in
+    let outcome = exec spec in
+    write_manifest_opt ~file:metrics_out outcome;
+    let r =
+      match outcome.Runner.result with
+      | Outcome.Done (Outcome.Convergence r) -> r
+      | _ -> assert false
+    in
     let module C = Workloads.Convergence in
-    Printf.printf "protocol             %s\n" protocol.Dctcp.Protocol.name;
+    Printf.printf "protocol             %s\n" (proto_label protocol);
     Printf.printf "convergence times    %s ms\n"
       (String.concat ", "
          (Array.to_list
@@ -627,7 +690,200 @@ let convergence_cmd =
        ~doc:"Fair-share convergence under flow churn (extension)")
     Term.(
       const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg $ n
-      $ interval)
+      $ interval $ metrics_out_arg)
+
+(* --- sweep --- *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "dtsim: %s\n" msg;
+      exit 2)
+    fmt
+
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let specs_of_file file =
+  match Obs.Json.parse (read_file file) with
+  | Error e -> fail "%s: %s" file e
+  | Ok (Obs.Json.List items) ->
+      List.map
+        (fun j ->
+          match Spec.of_json j with
+          | Ok s -> s
+          | Error e -> fail "%s: %s" file e)
+        items
+  | Ok j -> (
+      match Spec.of_json j with
+      | Ok s -> [ s ]
+      | Error e -> fail "%s: %s" file e)
+
+let safe_filename name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    name
+
+let write_outcome_files dir (outcomes : Runner.outcome array) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iteri
+    (fun i o ->
+      let base =
+        Printf.sprintf "%03d-%s" i (safe_filename o.Runner.spec.Spec.name)
+      in
+      let manifest = Filename.concat dir (base ^ ".manifest.json") in
+      let oc = open_out manifest in
+      Obs.Manifest.write oc o.Runner.manifest;
+      close_out oc;
+      let result = Filename.concat dir (base ^ ".result.json") in
+      let oc = open_out result in
+      Obs.Json.write oc (Outcome.to_json o.Runner.result);
+      output_char oc '\n';
+      close_out oc)
+    outcomes;
+  Printf.printf "wrote %d manifest/result pairs under %s\n"
+    (Array.length outcomes) dir
+
+(* --verify-serial: the sweep's parallel outcomes must be bit-identical to
+   a serial rerun, and every manifest must reconstruct its exact spec. *)
+let verify_against_serial specs (outcomes : Runner.outcome array) =
+  let serial = Runner.run ~jobs:1 specs in
+  let failures = ref 0 in
+  Array.iteri
+    (fun i (o : Runner.outcome) ->
+      let s = serial.(i) in
+      if not (Outcome.equal o.Runner.result s.Runner.result) then begin
+        incr failures;
+        Printf.eprintf "MISMATCH %s: parallel and serial results differ\n"
+          o.Runner.spec.Spec.name
+      end;
+      let reconstructed =
+        match
+          List.find_opt
+            (fun (k, _) -> String.equal k "spec")
+            o.Runner.manifest.Obs.Manifest.params
+        with
+        | None -> Error "manifest has no spec param"
+        | Some (_, j) -> Spec.of_json j
+      in
+      match reconstructed with
+      | Error e ->
+          incr failures;
+          Printf.eprintf "MANIFEST %s: %s\n" o.Runner.spec.Spec.name e
+      | Ok s ->
+          if not (Spec.equal s o.Runner.spec) then begin
+            incr failures;
+            Printf.eprintf
+              "MANIFEST %s: reconstructed spec differs from original\n"
+              o.Runner.spec.Spec.name
+          end)
+    outcomes;
+  if !failures > 0 then fail "%d verification failure(s)" !failures;
+  Printf.printf
+    "verified: %d runs bit-identical to serial, all specs reconstruct \
+     from manifests\n"
+    (Array.length outcomes)
+
+let sweep_cmd =
+  let run entry spec_file jobs out_dir verify list_entries =
+    if list_entries then begin
+      Printf.printf "%-26s %s\n" "NAME" "DESCRIPTION";
+      List.iter
+        (fun (e : Exp.Registry.entry) ->
+          Printf.printf "%-26s %s (%d specs)\n" e.Exp.Registry.name
+            e.Exp.Registry.doc
+            (List.length (e.Exp.Registry.specs ())))
+        (Exp.Registry.all ());
+      exit 0
+    end;
+    let specs =
+      match (entry, spec_file) with
+      | "", "" -> fail "pass one of --name (see --list) or --spec FILE"
+      | name, "" -> (
+          match Exp.Registry.find name with
+          | Some e -> e.Exp.Registry.specs ()
+          | None ->
+              fail "unknown sweep %S; known: %s" name
+                (String.concat ", " (Exp.Registry.names ())))
+      | "", file -> specs_of_file file
+      | _ -> fail "--name and --spec are mutually exclusive"
+    in
+    if specs = [] then fail "empty spec list";
+    Printf.printf "sweep: %d specs, %d job(s)\n%!" (List.length specs) jobs;
+    let outcomes, wall_s =
+      Obs.Profile.time (fun () -> Runner.run ~jobs specs)
+    in
+    Array.iter
+      (fun (o : Runner.outcome) ->
+        Printf.printf "  %-40s %s\n" o.Runner.spec.Spec.name
+          (Outcome.summary o.Runner.result))
+      outcomes;
+    let failed =
+      Array.fold_left
+        (fun acc (o : Runner.outcome) ->
+          match o.Runner.result with
+          | Outcome.Failed _ -> acc + 1
+          | Outcome.Done _ -> acc)
+        0 outcomes
+    in
+    Printf.printf "%d/%d runs ok in %.1fs wall clock\n"
+      (Array.length outcomes - failed)
+      (Array.length outcomes) wall_s;
+    if out_dir <> "" then write_outcome_files out_dir outcomes;
+    if verify then verify_against_serial specs outcomes;
+    if failed > 0 then exit 1
+  in
+  let entry =
+    Arg.(
+      value & opt string ""
+      & info [ "name" ] ~docv:"ENTRY"
+          ~doc:"Run a named sweep from Exp.Registry (see --list).")
+  in
+  let spec_file =
+    Arg.(
+      value & opt string ""
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Run specs from FILE: one Exp.Spec JSON object, or a JSON list \
+             of them. A manifest's \"spec\" param is accepted as-is.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Fan runs across N domains (results stay in spec order).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string ""
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Write per-run manifest and result JSON files under DIR.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-serial" ]
+          ~doc:
+            "After the sweep, rerun serially and fail unless results are \
+             bit-identical and every manifest reconstructs its spec.")
+  in
+  let list_entries =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registry sweeps and exit.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+        "Run a registry or file-defined spec list through Exp.Runner, \
+         optionally across domains")
+    Term.(
+      const run $ entry $ spec_file $ jobs $ out_dir $ verify $ list_entries)
 
 let () =
   let doc =
@@ -647,4 +903,5 @@ let () =
             deadline_cmd;
             dynamic_cmd;
             convergence_cmd;
+            sweep_cmd;
           ]))

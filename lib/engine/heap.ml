@@ -65,6 +65,24 @@ let pop_exn h =
   | Some x -> x
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
+let filter_in_place keep h =
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    if keep h.data.(i) then begin
+      h.data.(!j) <- h.data.(i);
+      incr j
+    end
+  done;
+  let old_size = h.size in
+  h.size <- !j;
+  for i = h.size to old_size - 1 do
+    h.data.(i) <- Obj.magic 0
+  done;
+  (* Bottom-up heapify restores the invariant in O(n). *)
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done
+
 let clear h =
   for i = 0 to h.size - 1 do
     h.data.(i) <- Obj.magic 0

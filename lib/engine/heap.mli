@@ -24,6 +24,11 @@ val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keeps only the elements satisfying the predicate and restores the
+    heap invariant, in O(n) and without allocating a new backing array.
+    Used by the simulator to sweep cancelled events. *)
+
 val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a list

@@ -14,11 +14,15 @@ type t = {
   rng : Rng.t;
   mutable processed : int;
   mutable live : int;
+  mutable dead : int;  (** Cancelled events still sitting in the heap. *)
   mutable hwm : int;
   mutable instrument : unit -> unit;
 }
 
 let noop () = ()
+
+(* Below this occupancy a sweep is not worth the O(n) pass. *)
+let compact_min_size = 64
 
 let cmp_event a b =
   let c = Time.compare a.time b.time in
@@ -32,6 +36,7 @@ let create ?(seed = 1L) () =
     rng = Rng.create ~seed;
     processed = 0;
     live = 0;
+    dead = 0;
     hwm = 0;
     instrument = noop;
   }
@@ -47,8 +52,11 @@ let schedule_at t time action =
   let ev = { time; seq = t.seq; cancelled = false; action } in
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
-  if t.live > t.hwm then t.hwm <- t.live;
   Heap.push t.heap ev;
+  (* High water tracks true heap occupancy (live plus not-yet-swept
+     cancelled entries): that is the memory the engine actually holds. *)
+  let occ = Heap.length t.heap in
+  if occ > t.hwm then t.hwm <- occ;
   ev
 
 let schedule_after t span action =
@@ -56,17 +64,31 @@ let schedule_after t span action =
     invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t (Time.add t.now span) action
 
+(* Cancelled events stay in the heap until popped; on cancel-heavy runs
+   (retransmission timers that almost always get rearmed) that dead weight
+   would dominate the heap. Sweep lazily: once cancelled entries outnumber
+   the live ones — more than half the heap is dead — rebuild without them. *)
+let compact t =
+  Heap.filter_in_place (fun ev -> not ev.cancelled) t.heap;
+  t.dead <- 0
+
 let cancel t ev =
   if not ev.cancelled then begin
     ev.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    t.dead <- t.dead + 1;
+    if t.dead > t.live && Heap.length t.heap >= compact_min_size then
+      compact t
   end
 
 let rec step t =
   match Heap.pop t.heap with
   | None -> false
   | Some ev ->
-      if ev.cancelled then step t
+      if ev.cancelled then begin
+        t.dead <- t.dead - 1;
+        step t
+      end
       else begin
         t.now <- ev.time;
         t.live <- t.live - 1;
@@ -90,6 +112,7 @@ let run ?until t =
 
 let events_processed t = t.processed
 let pending t = t.live
+let heap_size t = Heap.length t.heap
 let heap_high_water t = t.hwm
 let set_instrument t f = t.instrument <- f
 let clear_instrument t = t.instrument <- noop

@@ -30,7 +30,10 @@ val schedule_after : t -> Time.span -> (unit -> unit) -> event_id
 
 val cancel : t -> event_id -> unit
 (** Cancels a pending event; cancelling an already-fired or already-cancelled
-    event is a no-op. *)
+    event is a no-op. Cancelled events are swept from the heap lazily:
+    whenever they come to outnumber the live ones the heap is compacted in
+    O(n), so cancel-heavy runs (rearmed retransmission timers) do not
+    accumulate dead weight. *)
 
 val step : t -> bool
 (** Runs the next event, advancing the clock. Returns [false] if the queue
@@ -47,9 +50,15 @@ val events_processed : t -> int
 val pending : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
 
+val heap_size : t -> int
+(** Current heap occupancy: [pending] plus cancelled events not yet
+    swept by lazy compaction. Exposed for the compaction tests and as a
+    memory gauge. *)
+
 val heap_high_water : t -> int
-(** Maximum number of simultaneously pending events seen so far — a
-    memory-pressure signal for the observability layer. *)
+(** Maximum heap occupancy seen so far (live plus not-yet-swept cancelled
+    entries) — the engine's real memory-pressure signal for the
+    observability layer. *)
 
 val set_instrument : t -> (unit -> unit) -> unit
 (** Install a callback run after every executed event. Intended for the

@@ -1,0 +1,417 @@
+module Time = Engine.Time
+module L = Workloads.Longlived
+module I = Workloads.Incast
+module Cp = Workloads.Completion
+module Dy = Workloads.Dynamic
+module Cv = Workloads.Convergence
+module De = Workloads.Deadline
+
+(* --- the paper's protocol operating points --- *)
+
+let g = 1. /. 16.
+let sim_dctcp = Spec.Dctcp { g; k_bytes = 40 * 1500 }
+let sim_dt = Spec.Dt_dctcp { g; k1_bytes = 30 * 1500; k2_bytes = 50 * 1500 }
+let sim_ecn_reno = Spec.Ecn_reno { k_bytes = 40 * 1500 }
+let sim_reno = Spec.Reno
+let testbed_dctcp = Spec.Dctcp { g; k_bytes = 32 * 1024 }
+
+let testbed_dt_a =
+  Spec.Dt_dctcp { g; k1_bytes = 28 * 1024; k2_bytes = 34 * 1024 }
+
+let testbed_dt_b =
+  Spec.Dt_dctcp { g; k1_bytes = 30 * 1024; k2_bytes = 34 * 1024 }
+
+let testbed_dt_swapped =
+  Spec.Dt_dctcp { g; k1_bytes = 34 * 1024; k2_bytes = 28 * 1024 }
+
+(* --- parameterized spec builders ---
+
+   Each figure/section is a function of the knobs the bench harness
+   scales in --quick mode; the registry entries below apply the paper's
+   full-scale defaults. Spec names encode the point within the sweep
+   ("fig_sweep/n=40/dt-dctcp"), so per-run manifests are self-describing. *)
+
+let longlived_config ?(warmup = Time.span_of_ms 100.)
+    ?(measure = Time.span_of_ms 200.) ?trace_sampling ~n () =
+  { L.default_config with L.n_flows = n; warmup; measure; trace_sampling }
+
+let named base proto suffix =
+  Printf.sprintf "%s/%s%s" base (Spec.protocol_name proto) suffix
+
+let fig_queue_specs ?warmup ?measure () =
+  List.concat_map
+    (fun n ->
+      let config =
+        longlived_config ?warmup ?measure
+          ~trace_sampling:(Time.span_of_us 20.) ~n ()
+      in
+      List.map
+        (fun proto ->
+          {
+            Spec.name = named "fig_queue" proto (Printf.sprintf "/n=%d" n);
+            protocol = proto;
+            workload = Spec.Longlived config;
+          })
+        [ sim_dctcp; sim_dt ])
+    [ 10; 100 ]
+
+let sweep_ns = List.init 19 (fun i -> 10 + (5 * i))
+
+let fig_sweep_specs ?(ns = sweep_ns) ?warmup ?measure () =
+  List.concat_map
+    (fun n ->
+      let config = longlived_config ?warmup ?measure ~n () in
+      List.map
+        (fun proto ->
+          {
+            Spec.name = named "fig_sweep" proto (Printf.sprintf "/n=%d" n);
+            protocol = proto;
+            workload = Spec.Longlived config;
+          })
+        [ sim_dctcp; sim_dt ])
+    ns
+
+let incast_flow_counts =
+  [ 4; 8; 12; 16; 20; 24; 28; 30; 32; 34; 36; 38; 40; 42; 44; 48 ]
+
+(* The two DT readings share the "dt-dctcp" kind tag, so testbed sweeps
+   name their points by threshold slug instead of [named]. *)
+let testbed_protocols =
+  [
+    ("dctcp-32KB", testbed_dctcp);
+    ("dt-28-34", testbed_dt_a);
+    ("dt-30-34", testbed_dt_b);
+  ]
+
+let fig_incast_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20) () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun (slug, proto) ->
+          {
+            Spec.name = Printf.sprintf "fig_incast/%s/n=%d" slug n;
+            protocol = proto;
+            workload =
+              Spec.Incast
+                {
+                  config = { I.default_config with I.n_flows = n; repeats };
+                  sack = false;
+                };
+          })
+        testbed_protocols)
+    flow_counts
+
+let fig_completion_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20)
+    () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun (slug, proto) ->
+          {
+            Spec.name = Printf.sprintf "fig_completion/%s/n=%d" slug n;
+            protocol = proto;
+            workload =
+              Spec.Completion
+                { Cp.default_config with Cp.n_flows = n; repeats };
+          })
+        testbed_protocols)
+    flow_counts
+
+let threshold_splits = [ (35, 45); (30, 50); (25, 55); (20, 60); (38, 42) ]
+
+let threshold_ablation_specs ?(n = 60) ?warmup ?measure () =
+  let config = longlived_config ?warmup ?measure ~n () in
+  let point proto =
+    {
+      Spec.name = named "ablation_thresholds" proto "";
+      protocol = proto;
+      workload = Spec.Longlived config;
+    }
+  in
+  point sim_dctcp
+  :: List.map
+       (fun (k1, k2) ->
+         let proto =
+           Spec.Dt_dctcp
+             { g; k1_bytes = k1 * 1500; k2_bytes = k2 * 1500 }
+         in
+         {
+           Spec.name =
+             Printf.sprintf "ablation_thresholds/dt-dctcp/k1=%d,k2=%d" k1 k2;
+           protocol = proto;
+           workload = Spec.Longlived config;
+         })
+       threshold_splits
+
+let gains = [ ("1_4", 0.25); ("1_16", 1. /. 16.); ("1_64", 1. /. 64.) ]
+
+let g_ablation_specs ?(n = 60) ?warmup ?measure () =
+  let config = longlived_config ?warmup ?measure ~n () in
+  List.concat_map
+    (fun (label, g) ->
+      List.map
+        (fun proto ->
+          {
+            Spec.name = named "ablation_g" proto ("/g=" ^ label);
+            protocol = proto;
+            workload = Spec.Longlived config;
+          })
+        [
+          Spec.Dctcp { g; k_bytes = 40 * 1500 };
+          Spec.Dt_dctcp { g; k1_bytes = 30 * 1500; k2_bytes = 50 * 1500 };
+        ])
+    gains
+
+let policy_ablation_specs ?(n = 60) ?warmup ?measure () =
+  let config = longlived_config ?warmup ?measure ~n () in
+  List.map
+    (fun proto ->
+      {
+        Spec.name = named "ablation_policies" proto "";
+        protocol = proto;
+        workload = Spec.Longlived config;
+      })
+    [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
+
+let testbed_label_specs ?(flow_counts = [ 28; 30; 32; 34; 36; 38; 40 ])
+    ?(repeats = 10) () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun (reading, proto) ->
+          {
+            Spec.name =
+              Printf.sprintf "ablation_testbed_labels/%s/n=%d" reading n;
+            protocol = proto;
+            workload =
+              Spec.Incast
+                {
+                  config = { I.default_config with I.n_flows = n; repeats };
+                  sack = false;
+                };
+          })
+        [
+          ("dctcp-32KB", testbed_dctcp);
+          ("start28-stop34", testbed_dt_a);
+          ("thermostat34-28", testbed_dt_swapped);
+        ])
+    flow_counts
+
+let d2tcp_config ~n ~repeats =
+  {
+    De.default_config with
+    De.n_flows = n;
+    repeats;
+    rate_bps = 10e9;
+    buffer_bytes = 512 * 1024;
+    bytes_per_flow = 300 * 1024;
+    min_rto = Time.span_of_ms 10.;
+    deadline = Time.span_of_ms 2.;
+    deadline_spread = Time.span_of_ms 4.;
+  }
+
+let d2tcp_specs ?(flow_counts = [ 6; 8; 10; 12; 16; 20 ]) ?(repeats = 10) () =
+  List.concat_map
+    (fun n ->
+      let config = d2tcp_config ~n ~repeats in
+      List.map
+        (fun (tag, d2tcp) ->
+          {
+            Spec.name = Printf.sprintf "d2tcp/%s/n=%d" tag n;
+            protocol = sim_dctcp;
+            workload = Spec.Deadline { config; d2tcp };
+          })
+        [ ("dctcp", false); ("d2tcp", true) ])
+    flow_counts
+
+let sack_specs ?(flow_counts = [ 28; 32; 34; 36; 40; 44 ]) ?(repeats = 10) ()
+    =
+  List.concat_map
+    (fun n ->
+      let config = { I.default_config with I.n_flows = n; repeats } in
+      List.map
+        (fun (tag, sack) ->
+          {
+            Spec.name = Printf.sprintf "sack/%s/n=%d" tag n;
+            protocol = testbed_dctcp;
+            workload = Spec.Incast { config; sack };
+          })
+        [ ("go-back-n", false); ("sack", true) ])
+    flow_counts
+
+let queue_buildup_specs ?duration () =
+  let config =
+    match duration with
+    | None -> Dy.default_config
+    | Some duration -> { Dy.default_config with Dy.duration }
+  in
+  List.map
+    (fun proto ->
+      {
+        Spec.name = named "queue_buildup" proto "";
+        protocol = proto;
+        workload = Spec.Dynamic config;
+      })
+    [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
+
+let convergence_specs ?(join_interval = Time.span_of_ms 400.)
+    ?(hold = Time.span_of_ms 400.) () =
+  let config = { Cv.default_config with Cv.join_interval; hold } in
+  List.map
+    (fun proto ->
+      {
+        Spec.name = named "convergence" proto "";
+        protocol = proto;
+        workload = Spec.Convergence config;
+      })
+    [ sim_dctcp; sim_dt ]
+
+(* A fast cross-workload slice (sub-minute serial) for CI: exercises every
+   workload variant and both marking families. *)
+let smoke_specs () =
+  [
+    {
+      Spec.name = "ci_smoke/longlived/dctcp";
+      protocol = sim_dctcp;
+      workload =
+        Spec.Longlived
+          (longlived_config ~warmup:(Time.span_of_ms 2.)
+             ~measure:(Time.span_of_ms 5.) ~n:4 ());
+    };
+    {
+      Spec.name = "ci_smoke/longlived/dt-dctcp";
+      protocol = sim_dt;
+      workload =
+        Spec.Longlived
+          (longlived_config ~warmup:(Time.span_of_ms 2.)
+             ~measure:(Time.span_of_ms 5.) ~n:4 ());
+    };
+    {
+      Spec.name = "ci_smoke/incast/dt-dctcp";
+      protocol = testbed_dt_a;
+      workload =
+        Spec.Incast
+          {
+            config = { I.default_config with I.n_flows = 8; repeats = 2 };
+            sack = false;
+          };
+    };
+    {
+      Spec.name = "ci_smoke/completion/dctcp";
+      protocol = testbed_dctcp;
+      workload =
+        Spec.Completion
+          { Cp.default_config with Cp.n_flows = 8; repeats = 2 };
+    };
+    {
+      Spec.name = "ci_smoke/dynamic/dctcp";
+      protocol = sim_dctcp;
+      workload =
+        Spec.Dynamic
+          {
+            Dy.default_config with
+            Dy.short_senders = 8;
+            arrival_rate = 2000.;
+            duration = Time.span_of_ms 20.;
+            warmup = Time.span_of_ms 5.;
+            drain = Time.span_of_ms 20.;
+          };
+    };
+    {
+      Spec.name = "ci_smoke/convergence/dt-dctcp";
+      protocol = sim_dt;
+      workload =
+        Spec.Convergence
+          {
+            Cv.default_config with
+            Cv.n_flows = 3;
+            join_interval = Time.span_of_ms 40.;
+            hold = Time.span_of_ms 40.;
+            sample_window = Time.span_of_ms 5.;
+          };
+    };
+    {
+      Spec.name = "ci_smoke/deadline/d2tcp";
+      protocol = sim_dctcp;
+      workload =
+        Spec.Deadline
+          { config = d2tcp_config ~n:6 ~repeats:2; d2tcp = true };
+    };
+  ]
+
+(* --- the registry proper --- *)
+
+type entry = { name : string; doc : string; specs : unit -> Spec.t list }
+
+let entries =
+  [
+    {
+      name = "fig_queue";
+      doc = "Figure 1: queue traces, DCTCP vs DT-DCTCP at N=10 and N=100";
+      specs = (fun () -> fig_queue_specs ());
+    };
+    {
+      name = "fig_sweep";
+      doc = "Figures 10-12: dumbbell flow-count sweep N=10..100";
+      specs = (fun () -> fig_sweep_specs ());
+    };
+    {
+      name = "fig_incast";
+      doc = "Figure 14: Incast goodput collapse on the 1 Gbps star";
+      specs = (fun () -> fig_incast_specs ());
+    };
+    {
+      name = "fig_completion";
+      doc = "Figure 15: 1MB scatter-gather completion time";
+      specs = (fun () -> fig_completion_specs ());
+    };
+    {
+      name = "ablation_thresholds";
+      doc = "DT threshold placement (K1,K2) at N=60";
+      specs = (fun () -> threshold_ablation_specs ());
+    };
+    {
+      name = "ablation_g";
+      doc = "EWMA gain g sweep at N=60";
+      specs = (fun () -> g_ablation_specs ());
+    };
+    {
+      name = "ablation_policies";
+      doc = "marking-policy family comparison at N=60";
+      specs = (fun () -> policy_ablation_specs ());
+    };
+    {
+      name = "ablation_testbed_labels";
+      doc = "both readings of the testbed's (K1,K2) labels under Incast";
+      specs = (fun () -> testbed_label_specs ());
+    };
+    {
+      name = "d2tcp";
+      doc = "extension: deadline-aware backoff vs plain DCTCP";
+      specs = (fun () -> d2tcp_specs ());
+    };
+    {
+      name = "sack";
+      doc = "extension: SACK vs go-back-N recovery under Incast";
+      specs = (fun () -> sack_specs ());
+    };
+    {
+      name = "queue_buildup";
+      doc = "extension: mixed traffic queue buildup (DCTCP paper sec. 3.3)";
+      specs = (fun () -> queue_buildup_specs ());
+    };
+    {
+      name = "convergence";
+      doc = "extension: convergence and fairness under flow churn";
+      specs = (fun () -> convergence_specs ());
+    };
+    {
+      name = "ci_smoke";
+      doc = "fast cross-workload smoke sweep (CI)";
+      specs = smoke_specs;
+    };
+  ]
+
+let all () = entries
+let names () = List.map (fun e -> e.name) entries
+let find name = List.find_opt (fun e -> String.equal e.name name) entries

@@ -1,0 +1,114 @@
+(** Named scenario catalogue.
+
+    One place declaring the paper's operating points and every sweep the
+    figure harness and [dtsim sweep] run, so the bench sections and the
+    CLI execute literally the same {!Spec} values. The builders take the
+    knobs the bench scales in --quick mode (durations, repeats, flow
+    counts); the registry {!entry} list applies full-scale defaults. *)
+
+(** {2 Protocol operating points} *)
+
+val sim_dctcp : Spec.protocol
+(** Simulation sections: K = 40 pkt, g = 1/16 (Section VI-A). *)
+
+val sim_dt : Spec.protocol
+(** DT-DCTCP split (K1, K2) = (30, 50) pkt. *)
+
+val sim_ecn_reno : Spec.protocol
+
+val sim_reno : Spec.protocol
+
+val testbed_dctcp : Spec.protocol
+(** Testbed sections: K = 32 KB at 1 Gbps (Section VI-B). *)
+
+val testbed_dt_a : Spec.protocol
+(** (start, stop) = (28, 34) KB. *)
+
+val testbed_dt_b : Spec.protocol
+(** (start, stop) = (30, 34) KB. *)
+
+val testbed_dt_swapped : Spec.protocol
+(** The literal "thermostat" reading (34, 28) KB — ablation E. *)
+
+(** {2 Sweep builders} *)
+
+val longlived_config :
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  ?trace_sampling:Engine.Time.span ->
+  n:int ->
+  unit ->
+  Workloads.Longlived.config
+
+val fig_queue_specs :
+  ?warmup:Engine.Time.span -> ?measure:Engine.Time.span -> unit -> Spec.t list
+
+val sweep_ns : int list
+(** N = 10, 15, ..., 100. *)
+
+val fig_sweep_specs :
+  ?ns:int list ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val incast_flow_counts : int list
+
+val fig_incast_specs :
+  ?flow_counts:int list -> ?repeats:int -> unit -> Spec.t list
+
+val fig_completion_specs :
+  ?flow_counts:int list -> ?repeats:int -> unit -> Spec.t list
+
+val threshold_ablation_specs :
+  ?n:int ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val g_ablation_specs :
+  ?n:int ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val policy_ablation_specs :
+  ?n:int ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val testbed_label_specs :
+  ?flow_counts:int list -> ?repeats:int -> unit -> Spec.t list
+
+val d2tcp_specs : ?flow_counts:int list -> ?repeats:int -> unit -> Spec.t list
+
+val sack_specs : ?flow_counts:int list -> ?repeats:int -> unit -> Spec.t list
+
+val queue_buildup_specs :
+  ?duration:Engine.Time.span -> unit -> Spec.t list
+
+val convergence_specs :
+  ?join_interval:Engine.Time.span ->
+  ?hold:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val smoke_specs : unit -> Spec.t list
+(** Fast cross-workload slice covering every workload variant. *)
+
+(** {2 Lookup} *)
+
+type entry = {
+  name : string;
+  doc : string;
+  specs : unit -> Spec.t list;  (** Full-scale spec list. *)
+}
+
+val all : unit -> entry list
+val names : unit -> string list
+val find : string -> entry option

@@ -1,0 +1,91 @@
+type outcome = {
+  spec : Spec.t;
+  result : Outcome.t;
+  manifest : Obs.Manifest.t;
+}
+
+let metric snapshot name =
+  match List.find_opt (fun (k, _) -> String.equal k name) snapshot with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let payload_of ?tracer ~metrics proto (w : Spec.workload) =
+  match w with
+  | Spec.Longlived cfg ->
+      Outcome.Longlived (Workloads.Longlived.run ?tracer ~metrics proto cfg)
+  | Spec.Incast { config; sack } ->
+      Outcome.Incast (Workloads.Incast.run_with_sack ~sack proto config)
+  | Spec.Completion cfg ->
+      Outcome.Completion (Workloads.Completion.run proto cfg)
+  | Spec.Dynamic cfg -> Outcome.Dynamic (Workloads.Dynamic.run proto cfg)
+  | Spec.Convergence cfg ->
+      Outcome.Convergence (Workloads.Convergence.run proto cfg)
+  | Spec.Deadline { config; d2tcp } ->
+      let kind =
+        if d2tcp then
+          Workloads.Deadline.Deadline_aware
+            (fun ~total_segments ~deadline ->
+              Dctcp.D2tcp_cc.cc ~total_segments ~deadline ())
+        else Workloads.Deadline.Plain proto.Dctcp.Protocol.cc
+      in
+      Outcome.Deadline
+        (Workloads.Deadline.run
+           ~marking:(fun () -> proto.Dctcp.Protocol.marking ())
+           ~echo:proto.Dctcp.Protocol.echo kind config)
+
+let run_one ?tracer (spec : Spec.t) =
+  let metrics = Obs.Metrics.create () in
+  let result, wall_s =
+    Obs.Profile.time (fun () ->
+        match
+          let proto = Spec.protocol_of spec.protocol in
+          payload_of ?tracer ~metrics proto spec.workload
+        with
+        | payload -> Outcome.Done payload
+        | exception exn ->
+            Outcome.Failed
+              { spec = spec.name; error = Printexc.to_string exn })
+  in
+  let snapshot = Obs.Metrics.snapshot metrics in
+  let events =
+    match metric snapshot "engine.events_processed" with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  let manifest =
+    Obs.Manifest.make ~name:spec.name ~seed:(Spec.seed spec)
+      ~params:[ ("spec", Spec.to_json spec) ]
+      ~wall_clock_s:wall_s ~events ~metrics:snapshot
+  in
+  { spec; result; manifest }
+
+(* Work-stealing over an atomic index. Each worker claims the next
+   unclaimed spec and writes its outcome into that spec's slot, so the
+   result array is in spec order no matter which domain ran what, and
+   simulations themselves share no mutable state (each run builds its own
+   Sim/Rng from the spec's seed). [Domain.join] gives the happens-before
+   edge that makes the slot writes visible to the caller. *)
+let run ?(jobs = 1) specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let workers = Stdlib.min jobs n in
+  if workers <= 1 then Array.map (fun s -> run_one s) specs
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        slots.(i) <- Some (run_one specs.(i));
+        worker ()
+      end
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some o -> o
+        | None -> invalid_arg "Exp.Runner.run: unfilled slot")
+      slots
+  end

@@ -1,0 +1,31 @@
+(** Sweep executor: runs {!Spec} lists, optionally fanning runs across
+    OCaml 5 domains.
+
+    This module is the only sanctioned parallelism site in the tree
+    (dtlint rule R8): scenarios and protocol code stay strictly
+    deterministic single-domain programs, and the runner exploits the
+    fact that distinct runs share no mutable simulation state. Results
+    are always delivered in spec order, so for a fixed spec list the
+    output array is bit-identical whatever [jobs] is. *)
+
+type outcome = {
+  spec : Spec.t;
+  result : Outcome.t;
+  manifest : Obs.Manifest.t;
+      (** Carries the full spec under params key ["spec"], so
+          [Spec.of_json] can reconstruct the exact scenario from the
+          manifest alone. *)
+}
+
+val run_one : ?tracer:Obs.Trace.t -> Spec.t -> outcome
+(** Executes one spec with a fresh metrics registry. A raising workload
+    yields [result = Failed _] rather than an exception; the manifest is
+    still produced. [tracer] is forwarded to workloads that accept one
+    (currently longlived). *)
+
+val run : ?jobs:int -> Spec.t list -> outcome array
+(** [run ~jobs specs] executes every spec and returns outcomes in spec
+    order. [jobs <= 1] (default) runs serially in the calling domain;
+    otherwise [min jobs (length specs)] workers claim specs off a shared
+    atomic counter. A failing run occupies its slot as [Failed] and
+    never aborts the sweep. *)

@@ -1,0 +1,62 @@
+(** Declarative scenario descriptions.
+
+    A spec is everything needed to reproduce one simulation run: the
+    transport under test (with its marking parameters), the workload
+    variant with its full configuration (topology knobs, durations,
+    seed), and a display name. Specs round-trip through JSON via
+    {!Obs.Json}, and {!Runner} stores each run's spec inside its
+    {!Obs.Manifest}, so any published result can be reconstructed
+    bit-for-bit from its manifest alone. *)
+
+type protocol =
+  | Dctcp of { g : float; k_bytes : int }
+  | Dt_dctcp of { g : float; k1_bytes : int; k2_bytes : int }
+  | Reno
+  | Ecn_reno of { k_bytes : int }
+
+type workload =
+  | Longlived of Workloads.Longlived.config
+  | Incast of { config : Workloads.Incast.config; sack : bool }
+  | Completion of Workloads.Completion.config
+  | Dynamic of Workloads.Dynamic.config
+  | Convergence of Workloads.Convergence.config
+  | Deadline of { config : Workloads.Deadline.config; d2tcp : bool }
+
+type t = { name : string; protocol : protocol; workload : workload }
+
+val protocol_name : protocol -> string
+(** Stable identifier, also the JSON [kind] tag: ["dctcp"],
+    ["dt-dctcp"], ["reno"], ["ecn-reno"]. *)
+
+val workload_name : workload -> string
+(** JSON [kind] tag: ["longlived"], ["incast"], ... *)
+
+val protocol_of : protocol -> Dctcp.Protocol.t
+(** Instantiate the transport bundle a scenario deploys. *)
+
+val seed : t -> int64
+(** The RNG seed of the underlying workload config. *)
+
+val with_seed : int64 -> t -> t
+(** Functional update of the workload seed (for repeat sweeps). *)
+
+val with_name : string -> t -> t
+
+val to_json : t -> Obs.Json.t
+(** Spans are integer nanoseconds; seeds are decimal strings (the
+    {!Obs.Manifest} convention, so full-width int64 seeds survive JSON
+    readers without 64-bit integers). *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}: every config field is required, so a
+    spec written by an older build fails loudly instead of silently
+    filling defaults. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** [of_json] composed with {!Obs.Json.parse}. *)
+
+val equal : t -> t -> bool
+(** Field-complete equality via the canonical JSON form (floats compare
+    by bit pattern). *)

@@ -14,12 +14,14 @@ type t = {
   payload : payload;
 }
 
-let next_id = ref 0
+(* Atomic so concurrent simulations (Exp.Runner fans runs across domains)
+   never race; ids are process-global and only feed [pp]. *)
+let next_id = Atomic.make 0
 
 let make ~src ~dst ~flow ~size ~ecn payload =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";
-  incr next_id;
-  { id = !next_id; src; dst; flow; size; ecn; payload }
+  let id = 1 + Atomic.fetch_and_add next_id 1 in
+  { id; src; dst; flow; size; ecn; payload }
 
 let mark_ce t = match t.ecn with Not_ect -> () | Ect | Ce -> t.ecn <- Ce
 let is_ce t = t.ecn = Ce

@@ -1,0 +1,12 @@
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let s = Array.fold_left ( +. ) 0. xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
+  end
+
+let goodput_bps ~segments ~segment_bytes ~window_s =
+  if window_s <= 0. then invalid_arg "Fairness.goodput_bps: window must be > 0";
+  float_of_int (segments * segment_bytes * 8) /. window_s

@@ -1,0 +1,12 @@
+(** Per-flow fairness and throughput helpers shared by the workload
+    runners (previously duplicated in [Workloads.Longlived] and
+    [Workloads.Convergence]). *)
+
+val jain : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)], in [(0, 1]]; [1.]
+    for an empty array or an all-zero allocation (nothing to be unfair
+    about). *)
+
+val goodput_bps : segments:int -> segment_bytes:int -> window_s:float -> float
+(** Bits per second delivered by [segments] MSS-sized segments over a
+    window. @raise Invalid_argument if [window_s <= 0]. *)

@@ -38,8 +38,10 @@ type result = {
 }
 
 let run proto config =
-  if config.n_flows <= 0 then invalid_arg "Completion.run: need flows";
-  if config.repeats <= 0 then invalid_arg "Completion.run: need repeats";
+  Workload.require_positive ~scenario:"Completion" ~what:"flows"
+    config.n_flows;
+  Workload.require_positive ~scenario:"Completion" ~what:"repeats"
+    config.repeats;
   (* Reuse the Incast machinery: the workload is Incast with a per-flow
      share of the fixed total. *)
   let per_flow =
@@ -69,7 +71,7 @@ let run proto config =
       Incast.run proto
         {
           incast_config with
-          Incast.seed = Int64.add config.seed (Int64.of_int (r * 104729));
+          Incast.seed = Workload.repeat_seed ~base:config.seed ~stride:104729 r;
         }
     in
     completions.(r) <- res.Incast.mean_completion;

@@ -38,17 +38,9 @@ type result = {
   utilization_steady : float;
 }
 
-let jain xs =
-  let n = Array.length xs in
-  if n = 0 then 1.
-  else begin
-    let s = Array.fold_left ( +. ) 0. xs in
-    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-    if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
-  end
-
 let run (proto : Dctcp.Protocol.t) config =
-  if config.n_flows <= 0 then invalid_arg "Convergence.run: need flows";
+  Workload.require_positive ~scenario:"Convergence" ~what:"flows"
+    config.n_flows;
   let sim = Sim.create ~seed:config.seed () in
   let net =
     Net.Topology.dumbbell sim ~n_senders:config.n_flows
@@ -106,8 +98,8 @@ let run (proto : Dctcp.Protocol.t) config =
              (fun i f ->
                let d = Tcp.Flow.segments_delivered f in
                shares.(w).(i) <-
-                 float_of_int ((d - prev.(i)) * config.segment_bytes * 8)
-                 /. window_s;
+                 Stats.Fairness.goodput_bps ~segments:(d - prev.(i))
+                   ~segment_bytes:config.segment_bytes ~window_s;
                prev.(i) <- d)
              flows))
   done;
@@ -173,7 +165,7 @@ let run (proto : Dctcp.Protocol.t) config =
     shares;
     window_s;
     convergence_times_s;
-    jain_steady = jain steady_mean;
+    jain_steady = Stats.Fairness.jain steady_mean;
     utilization_steady =
       Array.fold_left ( +. ) 0. steady_mean /. config.bottleneck_rate_bps;
   }

@@ -95,14 +95,7 @@ let one_repeat ~marking ~echo kind config ~seed =
         (flow, start, deadline))
   in
   let cap = Time.of_ns config.time_cap in
-  let slice = Time.span_of_ms 5. in
-  let rec advance () =
-    if !remaining > 0 && Time.(Sim.now sim < cap) then begin
-      Sim.run ~until:(Time.min cap (Time.add (Sim.now sim) slice)) sim;
-      advance ()
-    end
-  in
-  advance ();
+  Workload.run_slices sim ~cap ~pending:(fun () -> !remaining > 0);
   let outcomes =
     Array.map
       (fun (flow, start, deadline) ->
@@ -130,14 +123,15 @@ let one_repeat ~marking ~echo kind config ~seed =
   (outcomes, timeouts)
 
 let run ~marking ?echo kind config =
-  if config.n_flows <= 0 then invalid_arg "Deadline.run: need flows";
-  if config.repeats <= 0 then invalid_arg "Deadline.run: need repeats";
+  Workload.require_positive ~scenario:"Deadline" ~what:"flows" config.n_flows;
+  Workload.require_positive ~scenario:"Deadline" ~what:"repeats"
+    config.repeats;
   let all = ref [] in
   let timeouts = ref 0 in
   for r = 0 to config.repeats - 1 do
     let outcomes, t =
       one_repeat ~marking ~echo kind config
-        ~seed:(Int64.add config.seed (Int64.of_int (r * 6151)))
+        ~seed:(Workload.repeat_seed ~base:config.seed ~stride:6151 r)
     in
     all := outcomes :: !all;
     timeouts := !timeouts + t

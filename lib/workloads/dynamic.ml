@@ -47,9 +47,10 @@ type result = {
 }
 
 let run (proto : Dctcp.Protocol.t) config =
-  if config.background_flows <= 0 then
-    invalid_arg "Dynamic.run: need background flows";
-  if config.short_senders <= 0 then invalid_arg "Dynamic.run: need senders";
+  Workload.require_positive ~scenario:"Dynamic" ~what:"background flows"
+    config.background_flows;
+  Workload.require_positive ~scenario:"Dynamic" ~what:"senders"
+    config.short_senders;
   if config.arrival_rate <= 0. then invalid_arg "Dynamic.run: need arrivals";
   let sim = Sim.create ~seed:config.seed () in
   let n_hosts = config.background_flows + config.short_senders in

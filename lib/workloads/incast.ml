@@ -90,15 +90,7 @@ let one_repeat ?(sack = false) (proto : Dctcp.Protocol.t) config ~seed =
       Tcp.Flow.start_at f (Time.of_ns offset))
     flows;
   let cap = Time.of_ns config.time_cap in
-  (* Run in slices so we can stop as soon as the query is answered. *)
-  let slice = Time.span_of_ms 5. in
-  let rec advance () =
-    if !remaining > 0 && Time.(Sim.now sim < cap) then begin
-      Sim.run ~until:(Time.min cap (Time.add (Sim.now sim) slice)) sim;
-      advance ()
-    end
-  in
-  advance ();
+  Workload.run_slices sim ~cap ~pending:(fun () -> !remaining > 0);
   let run_timeouts =
     Array.fold_left
       (fun acc f -> acc + Tcp.Sender.timeouts (Tcp.Flow.sender f))
@@ -119,12 +111,12 @@ let goodput_of_completion config completion_s =
     float_of_int (config.n_flows * config.bytes_per_flow * 8) /. completion_s
 
 let run_with_sack ~sack proto config =
-  if config.n_flows <= 0 then invalid_arg "Incast.run: need flows";
-  if config.repeats <= 0 then invalid_arg "Incast.run: need repeats";
+  Workload.require_positive ~scenario:"Incast" ~what:"flows" config.n_flows;
+  Workload.require_positive ~scenario:"Incast" ~what:"repeats" config.repeats;
   let outcomes =
     Array.init config.repeats (fun r ->
         one_repeat ~sack proto config
-          ~seed:(Int64.add config.seed (Int64.of_int (r * 7919))))
+          ~seed:(Workload.repeat_seed ~base:config.seed ~stride:7919 r))
   in
   let completions = Array.map (fun o -> o.completion_s) outcomes in
   let goodputs = Array.map (goodput_of_completion config) completions in

@@ -47,18 +47,9 @@ type result = {
   queue_series : (float * float) array option;
 }
 
-let jain xs =
-  let n = Array.length xs in
-  if n = 0 then 1.
-  else begin
-    let s = Array.fold_left ( +. ) 0. xs in
-    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-    if s2 <= 0. then 1. else s *. s /. (float_of_int n *. s2)
-  end
-
 let run ?(tracer = Obs.Trace.null) ?metrics (proto : Dctcp.Protocol.t) config
     =
-  if config.n_flows <= 0 then invalid_arg "Longlived.run: need flows";
+  Workload.require_positive ~scenario:"Longlived" ~what:"flows" config.n_flows;
   let sim = Sim.create ~seed:config.seed () in
   (* The hysteresis flip observer: the policy lives inside the marking
      closure, so the run — which has both the sim and the tracer in
@@ -197,6 +188,6 @@ let run ?(tracer = Obs.Trace.null) ?metrics (proto : Dctcp.Protocol.t) config
       Array.fold_left
         (fun acc f -> acc + Tcp.Sender.fast_retransmits (Tcp.Flow.sender f))
         0 flows;
-    jain_fairness = jain per_flow;
+    jain_fairness = Stats.Fairness.jain per_flow;
     queue_series;
   }

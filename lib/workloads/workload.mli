@@ -1,0 +1,40 @@
+(** The common shape of a scenario runner, plus helpers shared by the
+    concrete workloads.
+
+    Every workload module pairs a plain-record [config] (with a complete
+    [default_config], so call sites override only what they vary) with a
+    plain-record [result], and exposes [run] taking the protocol bundle
+    under test. [Exp.Spec] relies on this uniformity to describe any
+    scenario declaratively; the conformance of each concrete workload is
+    asserted in [test/test_workloads.ml]. *)
+
+module type S = sig
+  type config
+
+  type result
+
+  val default_config : config
+
+  val run : Dctcp.Protocol.t -> config -> result
+end
+
+val require_positive : scenario:string -> what:string -> int -> unit
+(** [require_positive ~scenario ~what n] rejects non-positive scenario
+    sizes with a uniform message.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val repeat_seed : base:int64 -> stride:int -> int -> int64
+(** Seed for repeat [r] of a multi-repeat workload: [base + r * stride].
+    Strides are distinct per workload so repeats never share an RNG
+    stream across workload families. *)
+
+val run_slices :
+  ?slice:Engine.Time.span ->
+  Engine.Sim.t ->
+  cap:Engine.Time.t ->
+  pending:(unit -> bool) ->
+  unit
+(** Advance [sim] in [slice]-sized steps (default 5 ms) until [pending]
+    reports completion or the clock reaches [cap] — the shared
+    "stop as soon as the query is answered" loop of the fan-in
+    workloads. *)

@@ -1,12 +1,12 @@
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 type violation = { rule : rule; file : string; line : int; message : string }
 
 exception Parse_error of string * int * string
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -16,6 +16,7 @@ let rule_id = function
   | R5 -> "R5"
   | R6 -> "R6"
   | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -26,6 +27,7 @@ let rule_of_id s =
   | "R5" -> Some R5
   | "R6" -> Some R6
   | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
 let rule_doc = function
@@ -49,10 +51,20 @@ let rule_doc = function
       "no wall-clock reads (Sys.time, Unix.gettimeofday, Unix.time) outside \
        lib/obs; simulation logic must use Engine.Time, profiling must go \
        through Obs.Profile"
+  | R8 ->
+      "no Domain.* / Thread.* / Unix.fork outside lib/exp; Exp.Runner is \
+       the only sanctioned parallelism site — simulations stay single-domain \
+       so runs are bit-reproducible"
 
 (* --- Path scoping ------------------------------------------------------ *)
 
-type scope = { in_lib : bool; in_hot_path : bool; is_rng : bool; is_obs : bool }
+type scope = {
+  in_lib : bool;
+  in_hot_path : bool;
+  is_rng : bool;
+  is_obs : bool;
+  is_exp : bool;
+}
 
 let segments path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
@@ -64,14 +76,22 @@ let rec after_lib = function
 
 let scope_of_file file =
   match after_lib (segments file) with
-  | None -> { in_lib = false; in_hot_path = false; is_rng = false; is_obs = false }
+  | None ->
+      {
+        in_lib = false;
+        in_hot_path = false;
+        is_rng = false;
+        is_obs = false;
+        is_exp = false;
+      }
   | Some rest ->
       let in_hot_path =
         match rest with ("engine" | "net") :: _ -> true | _ -> false
       in
       let is_rng = match rest with [ "engine"; "rng.ml" ] -> true | _ -> false in
       let is_obs = match rest with "obs" :: _ -> true | _ -> false in
-      { in_lib = true; in_hot_path; is_rng; is_obs }
+      let is_exp = match rest with "exp" :: _ -> true | _ -> false in
+      { in_lib = true; in_hot_path; is_rng; is_obs; is_exp }
 
 (* --- Suppression comments ---------------------------------------------- *)
 
@@ -255,7 +275,15 @@ let lint_source ?(rules = all_rules) ~filename source =
     if active R7 && (not sc.is_obs) && is_wall_clock parts then
       emit R7 loc
         "wall-clock read outside lib/obs; simulated time is Engine.Time and \
-         profiling goes through Obs.Profile, so runs stay deterministic"
+         profiling goes through Obs.Profile, so runs stay deterministic";
+    if active R8 && not sc.is_exp then
+      match parts with
+      | ("Domain" | "Thread") :: _ | [ "Unix"; "fork" ] ->
+          emit R8 loc
+            "parallelism primitive outside lib/exp; run whole specs through \
+             Exp.Runner instead — a simulation must stay a single-domain \
+             program to be bit-reproducible"
+      | _ -> ()
   in
   let expr sub e =
     (match e.pexp_desc with
@@ -294,7 +322,18 @@ let lint_source ?(rules = all_rules) ~filename source =
         if active R1 && (not sc.is_rng) && List.mem "Random" (norm txt) then
           emit R1 loc
             "Random is non-deterministic across runs; draw from the seeded \
-             Engine.Rng instead"
+             Engine.Rng instead";
+        if
+          active R8 && (not sc.is_exp)
+          &&
+          match norm txt with
+          | ("Domain" | "Thread") :: _ -> true
+          | _ -> false
+        then
+          emit R8 loc
+            "parallelism primitive outside lib/exp; run whole specs through \
+             Exp.Runner instead — a simulation must stay a single-domain \
+             program to be bit-reproducible"
     | _ -> ());
     Ast_iterator.default_iterator.module_expr sub m
   in

@@ -21,8 +21,13 @@
       the only sanctioned wall-clock site is [Obs.Profile] — a stray read
       leaking into simulation logic would silently break determinism, the
       same hazard family as R1.
+    - {b R8} no [Domain.*] / [Thread.*] / [Unix.fork] outside [lib/exp]:
+      Exp.Runner is the only sanctioned parallelism site. Simulations are
+      strictly single-domain programs — parallelism belongs between runs
+      (the runner fans whole specs across domains), never inside one, where
+      scheduling nondeterminism would break bit-reproducibility.
 
-    Rules R1–R4, R6 and R7 are detected on the parsetree ({!lint_source}); R2
+    Rules R1–R4 and R6–R8 are detected on the parsetree ({!lint_source}); R2
     is necessarily a syntactic heuristic (the parsetree is untyped): an
     equality is flagged when either operand is recognisably a float — a
     float literal, float arithmetic ([+.], [*.], ...), a [float] type
@@ -33,7 +38,7 @@
     comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
     [all]). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 type violation = {
   rule : rule;

@@ -261,6 +261,35 @@ let test_sim_cancel () =
   checkb "not fired" false !fired;
   checki "nothing processed" 0 (Sim.events_processed sim)
 
+let test_sim_lazy_compaction () =
+  (* Cancel-heavy schedule: the heap must sweep dead entries once they
+     outnumber the live ones instead of carrying them until popped. *)
+  let sim = Sim.create () in
+  let n = 1000 in
+  let fired = ref [] in
+  let evs =
+    Array.init n (fun i ->
+        Sim.schedule_at sim
+          (Time.of_us (float_of_int (i + 1)))
+          (fun () -> fired := i :: !fired))
+  in
+  checki "full occupancy" n (Sim.heap_size sim);
+  (* Cancel all but every 10th event, as a rearmed timer storm would. *)
+  for i = 0 to n - 1 do
+    if i mod 10 <> 0 then Sim.cancel sim evs.(i)
+  done;
+  checki "live survivors" (n / 10) (Sim.pending sim);
+  checkb "swept below live + dead ceiling" true
+    (Sim.heap_size sim <= 2 * Sim.pending sim);
+  (* High water saw the initial burst, measured as real occupancy. *)
+  checki "high water is peak occupancy" n (Sim.heap_high_water sim);
+  Sim.run sim;
+  checki "survivors all fired" (n / 10) (List.length !fired);
+  let expected = List.init (n / 10) (fun k -> n - 10 - (10 * k)) in
+  checkb "survivors fired in time order" true (!fired = expected);
+  checki "only survivors processed" (n / 10) (Sim.events_processed sim);
+  checki "heap drained" 0 (Sim.heap_size sim)
+
 let test_sim_past_raises () =
   let sim = Sim.create () in
   ignore (Sim.schedule_at sim (Time.of_us 5.) (fun () -> ()));
@@ -435,6 +464,7 @@ let suites =
         Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
         Alcotest.test_case "schedule_after" `Quick test_sim_schedule_after;
         Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "lazy compaction" `Quick test_sim_lazy_compaction;
         Alcotest.test_case "scheduling in the past" `Quick test_sim_past_raises;
         Alcotest.test_case "run until" `Quick test_sim_run_until;
         Alcotest.test_case "until inclusive" `Quick test_sim_until_inclusive;

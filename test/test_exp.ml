@@ -1,0 +1,409 @@
+(* Tests for the experiment layer (lib/exp): spec JSON round-trips over
+   randomized scenarios, registry catalogue integrity, and the sweep
+   runner's parallel bit-identity, failure isolation, and manifest
+   provenance. Simulation configs here are tiny (1-2 ms windows) so the
+   runner properties stay fast under `dune runtest`. *)
+
+module Spec = Exp.Spec
+module Registry = Exp.Registry
+module Runner = Exp.Runner
+module Outcome = Exp.Outcome
+module Time = Engine.Time
+module Json = Obs.Json
+module Gen = QCheck.Gen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- generators ------------------------------------------------------ *)
+
+let protocol_gen =
+  Gen.oneof
+    [
+      Gen.map2
+        (fun g k -> Spec.Dctcp { g; k_bytes = k })
+        (Gen.float_range 0.001 1.0)
+        (Gen.int_range 1500 200_000);
+      Gen.map3
+        (fun g k1 dk -> Spec.Dt_dctcp { g; k1_bytes = k1; k2_bytes = k1 + dk })
+        (Gen.float_range 0.001 1.0)
+        (Gen.int_range 1500 100_000)
+        (Gen.int_range 0 100_000);
+      Gen.return Spec.Reno;
+      Gen.map
+        (fun k -> Spec.Ecn_reno { k_bytes = k })
+        (Gen.int_range 1500 200_000);
+    ]
+
+(* Full-width seeds: the decimal-string encoding must survive values far
+   outside the float-exact integer range. *)
+let seed_gen =
+  Gen.map2
+    (fun hi lo -> Int64.(logxor (shift_left (of_int hi) 32) (of_int lo)))
+    Gen.int Gen.int
+
+let span_gen = Gen.map Int64.of_int (Gen.int_range 0 2_000_000_000)
+
+let longlived_gen =
+  Gen.map
+    (fun ((n, warmup, measure), (sampled, seed)) ->
+      let trace_sampling =
+        if sampled then Some (Time.span_of_us 50.) else None
+      in
+      Spec.Longlived
+        {
+          Workloads.Longlived.default_config with
+          n_flows = n;
+          warmup;
+          measure;
+          trace_sampling;
+          seed;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 128) span_gen span_gen)
+       (Gen.pair Gen.bool seed_gen))
+
+let incast_gen =
+  Gen.map
+    (fun ((n, bytes, repeats), (sack, start_jitter, seed)) ->
+      Spec.Incast
+        {
+          config =
+            {
+              Workloads.Incast.default_config with
+              n_flows = n;
+              bytes_per_flow = bytes;
+              repeats;
+              start_jitter;
+              seed;
+            };
+          sack;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 64)
+          (Gen.int_range 1 1_000_000)
+          (Gen.int_range 1 5))
+       (Gen.triple Gen.bool span_gen seed_gen))
+
+let completion_gen =
+  Gen.map
+    (fun ((n, total, repeats), seed) ->
+      Spec.Completion
+        {
+          Workloads.Completion.default_config with
+          n_flows = n;
+          total_bytes = total;
+          repeats;
+          seed;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 64)
+          (Gen.int_range 1 4_000_000)
+          (Gen.int_range 1 5))
+       seed_gen)
+
+let dynamic_gen =
+  Gen.map
+    (fun ((rate, segments, duration), seed) ->
+      Spec.Dynamic
+        {
+          Workloads.Dynamic.default_config with
+          arrival_rate = rate;
+          short_flow_segments = segments;
+          duration;
+          seed;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.float_range 1.0 20_000.0) (Gen.int_range 1 100)
+          span_gen)
+       seed_gen)
+
+let convergence_gen =
+  Gen.map
+    (fun ((n, join_interval, hold), (band, seed)) ->
+      Spec.Convergence
+        {
+          Workloads.Convergence.default_config with
+          n_flows = n;
+          join_interval;
+          hold;
+          convergence_band = band;
+          seed;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 16) span_gen span_gen)
+       (Gen.pair (Gen.float_range 0.01 0.9) seed_gen))
+
+let deadline_gen =
+  Gen.map
+    (fun ((n, deadline, deadline_spread), (d2tcp, seed)) ->
+      Spec.Deadline
+        {
+          config =
+            {
+              Workloads.Deadline.default_config with
+              n_flows = n;
+              deadline;
+              deadline_spread;
+              seed;
+            };
+          d2tcp;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 32) span_gen span_gen)
+       (Gen.pair Gen.bool seed_gen))
+
+let workload_gen =
+  Gen.oneof
+    [
+      longlived_gen;
+      incast_gen;
+      completion_gen;
+      dynamic_gen;
+      convergence_gen;
+      deadline_gen;
+    ]
+
+let spec_gen =
+  Gen.map3
+    (fun name protocol workload -> { Spec.name; protocol; workload })
+    (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 16))
+    protocol_gen workload_gen
+
+let spec_arb = QCheck.make ~print:Spec.to_string spec_gen
+
+(* --- spec serialization ---------------------------------------------- *)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"spec JSON round-trip (of_string/to_string)"
+    spec_arb
+    (fun s ->
+      match Spec.of_string (Spec.to_string s) with
+      | Ok s' ->
+          Spec.equal s s' && Json.equal (Spec.to_json s) (Spec.to_json s')
+      | Error e -> QCheck.Test.fail_reportf "of_string: %s" e)
+
+let smoke_longlived ~name ~seed =
+  {
+    Spec.name;
+    protocol = Registry.sim_dt;
+    workload =
+      Spec.Longlived
+        {
+          Workloads.Longlived.default_config with
+          n_flows = 2;
+          warmup = Time.span_of_ms 1.;
+          measure = Time.span_of_ms 2.;
+          seed;
+        };
+  }
+
+let smoke_incast ~name ~seed =
+  {
+    Spec.name;
+    protocol = Registry.testbed_dctcp;
+    workload =
+      Spec.Incast
+        {
+          config =
+            {
+              Workloads.Incast.default_config with
+              n_flows = 4;
+              repeats = 1;
+              time_cap = Time.span_of_sec 2.;
+              seed;
+            };
+          sack = false;
+        };
+  }
+
+let test_extreme_seeds () =
+  let base = smoke_longlived ~name:"seed/extreme" ~seed:0L in
+  List.iter
+    (fun seed ->
+      let s = Spec.with_seed seed base in
+      Alcotest.(check int64) "with_seed applies" seed (Spec.seed s);
+      match Spec.of_string (Spec.to_string s) with
+      | Ok s' -> Alcotest.(check int64) "seed survives JSON" seed (Spec.seed s')
+      | Error e -> Alcotest.fail e)
+    [ Int64.min_int; Int64.max_int; -1L; 0L; 4_611_686_018_427_387_904L ]
+
+let test_of_json_strict () =
+  (match Spec.of_string "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty object accepted");
+  (match Spec.of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (* A field-complete spec with one config field removed must be rejected:
+     of_json is strict so old manifests fail loudly, never fill defaults. *)
+  let full = Spec.to_string (smoke_longlived ~name:"strict" ~seed:3L) in
+  match Json.parse full with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+      let rec drop_seed = function
+        | Json.Obj fields ->
+            Json.Obj
+              (List.filter_map
+                 (fun (k, v) ->
+                   if String.equal k "seed" then None
+                   else Some (k, drop_seed v))
+                 fields)
+        | j -> j
+      in
+      (match Spec.of_json (drop_seed json) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "spec without seed field accepted")
+
+(* --- registry catalogue ---------------------------------------------- *)
+
+let test_registry_catalogue () =
+  let entries = Registry.all () in
+  let names = Registry.names () in
+  Alcotest.(check int) "names match entries" (List.length entries)
+    (List.length names);
+  Alcotest.(check int) "entry names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun (e : Registry.entry) ->
+      (match Registry.find e.name with
+      | Some found ->
+          Alcotest.(check string) "find resolves" e.name found.Registry.name
+      | None -> Alcotest.fail ("find misses " ^ e.name));
+      let specs = e.specs () in
+      Alcotest.(check bool) (e.name ^ " non-empty") true (specs <> []);
+      let snames = List.map (fun (s : Spec.t) -> s.Spec.name) specs in
+      Alcotest.(check int)
+        (e.name ^ " spec names unique")
+        (List.length snames)
+        (List.length (List.sort_uniq String.compare snames));
+      List.iter
+        (fun s ->
+          match Spec.of_string (Spec.to_string s) with
+          | Ok s' ->
+              if not (Spec.equal s s') then
+                Alcotest.fail ("round-trip changed " ^ s.Spec.name)
+          | Error err -> Alcotest.fail (s.Spec.name ^ ": " ^ err))
+        specs)
+    entries;
+  match Registry.find "no-such-entry" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "find invented an entry"
+
+(* --- runner ----------------------------------------------------------- *)
+
+(* Wall-clock fields (wall_clock_s, events_per_s) legitimately differ
+   between runs; everything the simulation computed must not. *)
+let manifest_deterministic_eq (a : Obs.Manifest.t) (b : Obs.Manifest.t) =
+  String.equal a.Obs.Manifest.name b.Obs.Manifest.name
+  && Int64.equal a.Obs.Manifest.seed b.Obs.Manifest.seed
+  && a.Obs.Manifest.events = b.Obs.Manifest.events
+  && List.length a.Obs.Manifest.metrics = List.length b.Obs.Manifest.metrics
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) ->
+         String.equal k1 k2
+         && Int64.equal (Int64.bits_of_float v1) (Int64.bits_of_float v2))
+       a.Obs.Manifest.metrics b.Obs.Manifest.metrics
+  && Json.equal
+       (Json.Obj a.Obs.Manifest.params)
+       (Json.Obj b.Obs.Manifest.params)
+
+let outcome_bitwise_eq (a : Runner.outcome) (b : Runner.outcome) =
+  Spec.equal a.Runner.spec b.Runner.spec
+  && Outcome.equal a.Runner.result b.Runner.result
+  && manifest_deterministic_eq a.Runner.manifest b.Runner.manifest
+
+let prop_parallel_identity =
+  QCheck.Test.make ~count:3 ~name:"run ~jobs:4 bit-identical to ~jobs:1"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun base ->
+      let seed i = Int64.of_int ((base * 13) + i + 1) in
+      let specs =
+        [
+          smoke_longlived ~name:"par/ll-a" ~seed:(seed 0);
+          smoke_incast ~name:"par/incast" ~seed:(seed 1);
+          smoke_longlived ~name:"par/ll-b" ~seed:(seed 2);
+          smoke_longlived ~name:"par/ll-c" ~seed:(seed 3);
+        ]
+      in
+      let serial = Runner.run ~jobs:1 specs in
+      let par = Runner.run ~jobs:4 specs in
+      Array.length serial = Array.length par
+      && Array.for_all2 outcome_bitwise_eq serial par)
+
+let test_failure_isolation () =
+  let bad =
+    {
+      Spec.name = "iso/bad";
+      protocol = Registry.sim_dctcp;
+      workload =
+        Spec.Longlived
+          { Workloads.Longlived.default_config with n_flows = 0 };
+    }
+  in
+  let good_a = smoke_longlived ~name:"iso/good-a" ~seed:11L in
+  let good_b = smoke_incast ~name:"iso/good-b" ~seed:12L in
+  let outcomes = Runner.run ~jobs:2 [ good_a; bad; good_b ] in
+  Alcotest.(check int) "slot per spec" 3 (Array.length outcomes);
+  (match outcomes.(1).Runner.result with
+  | Outcome.Failed { spec; error } ->
+      Alcotest.(check string) "failed slot names its spec" "iso/bad" spec;
+      Alcotest.(check bool) "error is non-empty" true (String.length error > 0)
+  | Outcome.Done _ -> Alcotest.fail "zero-flow spec reported Done");
+  (* The failure must not perturb its neighbours: each good slot is
+     bit-identical to running that spec alone. *)
+  Alcotest.(check bool) "good-a unperturbed" true
+    (outcome_bitwise_eq outcomes.(0) (Runner.run_one good_a));
+  Alcotest.(check bool) "good-b unperturbed" true
+    (outcome_bitwise_eq outcomes.(2) (Runner.run_one good_b))
+
+let test_manifest_reconstruction () =
+  let spec = smoke_longlived ~name:"manifest/reconstruct" ~seed:42L in
+  let o = Runner.run_one spec in
+  (match o.Runner.result with
+  | Outcome.Done _ -> ()
+  | Outcome.Failed { error; _ } -> Alcotest.fail error);
+  Alcotest.(check bool) "events recorded" true
+    (o.Runner.manifest.Obs.Manifest.events > 0);
+  Alcotest.(check int64) "manifest seed is the spec seed" 42L
+    o.Runner.manifest.Obs.Manifest.seed;
+  (* Reconstruct through the serialized form, exactly as a reader of the
+     manifest file would. *)
+  let buf = Buffer.create 256 in
+  Json.to_buffer buf (Obs.Manifest.to_json o.Runner.manifest);
+  match Json.parse (Buffer.contents buf) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+      match Obs.Manifest.of_json json with
+      | Error e -> Alcotest.fail e
+      | Ok m -> (
+          match List.assoc_opt "spec" m.Obs.Manifest.params with
+          | None -> Alcotest.fail "manifest lacks a spec param"
+          | Some spec_json -> (
+              match Spec.of_json spec_json with
+              | Ok s' ->
+                  Alcotest.(check bool) "spec reconstructed bit-for-bit" true
+                    (Spec.equal spec s')
+              | Error e -> Alcotest.fail e)))
+
+let suites =
+  [
+    ( "exp.spec",
+      [
+        qtest prop_json_roundtrip;
+        Alcotest.test_case "extreme seeds survive JSON" `Quick
+          test_extreme_seeds;
+        Alcotest.test_case "of_json is strict" `Quick test_of_json_strict;
+      ] );
+    ( "exp.registry",
+      [
+        Alcotest.test_case "catalogue integrity" `Quick
+          test_registry_catalogue;
+      ] );
+    ( "exp.runner",
+      [
+        qtest prop_parallel_identity;
+        Alcotest.test_case "failure isolation" `Quick test_failure_isolation;
+        Alcotest.test_case "manifest reconstructs the spec" `Quick
+          test_manifest_reconstruction;
+      ] );
+  ]

@@ -1,5 +1,5 @@
 (* Tests for the dtlint static-analysis rules (lint/rules.ml), driven by
-   inline fixture snippets: one positive case per rule R1-R7, the scoping
+   inline fixture snippets: one positive case per rule R1-R8, the scoping
    exemptions, and the suppression-comment escape hatch. *)
 
 module Rules = Dtlint.Rules
@@ -119,6 +119,30 @@ let test_r7_obs_exempt () =
   check_findings "Sim.now is not a wall clock" []
     (findings ~file:"lib/net/trace.ml" "let t sim = Engine.Sim.now sim\n")
 
+(* --- R8: parallelism primitives outside lib/exp --- *)
+
+let test_r8_parallelism () =
+  check_findings "Domain.spawn in lib" [ ("R8", 1) ]
+    (findings ~file:"lib/workloads/incast.ml"
+       "let d = Domain.spawn (fun () -> 1)\n");
+  check_findings "Domain.join in lib" [ ("R8", 1) ]
+    (findings ~file:"lib/engine/sim.ml" "let f d = Domain.join d\n");
+  check_findings "Thread.create in bin" [ ("R8", 1) ]
+    (findings ~file:"bin/dtsim.ml" "let t = Thread.create ignore ()\n");
+  check_findings "Unix.fork in bench" [ ("R8", 1) ]
+    (findings ~file:"bench/perf.ml" "let pid = Unix.fork ()\n");
+  check_findings "open Domain" [ ("R8", 1) ]
+    (findings ~file:"lib/net/switch.ml" "open Domain\n")
+
+let test_r8_exp_exempt () =
+  check_findings "lib/exp may spawn and join domains" []
+    (findings ~file:"lib/exp/runner.ml"
+       "let run f = Domain.join (Domain.spawn f)\n");
+  (* Atomics are allowed everywhere: a lock-free counter doesn't introduce
+     the scheduling nondeterminism R8 exists to keep out of simulations. *)
+  check_findings "Atomic is not a parallelism primitive" []
+    (findings ~file:"lib/net/packet.ml" "let c = Atomic.make 0\n")
+
 (* --- suppression comments --- *)
 
 let test_suppression () =
@@ -174,6 +198,9 @@ let suites =
           test_r6_hot_path_failures;
         Alcotest.test_case "R7 wall-clock reads" `Quick test_r7_wall_clock;
         Alcotest.test_case "R7 lib/obs exempt" `Quick test_r7_obs_exempt;
+        Alcotest.test_case "R8 parallelism primitives" `Quick
+          test_r8_parallelism;
+        Alcotest.test_case "R8 lib/exp exempt" `Quick test_r8_exp_exempt;
         Alcotest.test_case "suppression comment" `Quick test_suppression;
         Alcotest.test_case "rule selection" `Quick test_rule_selection;
         Alcotest.test_case "parse errors surface" `Quick test_parse_error;

@@ -426,6 +426,36 @@ let test_dominant_frequency_flat () =
        ~sample_rate_hz:100.
     = None)
 
+(* --- Fairness --- *)
+
+let test_jain_known () =
+  checkf "equal shares" 1. (Stats.Fairness.jain [| 5.; 5.; 5.; 5. |]);
+  checkf "one hog of four" 0.25 (Stats.Fairness.jain [| 8.; 0.; 0.; 0. |]);
+  (* J([1;2;3]) = 36 / (3 * 14) *)
+  checkf "mixed shares" (36. /. 42.) (Stats.Fairness.jain [| 1.; 2.; 3. |]);
+  checkf "single flow" 1. (Stats.Fairness.jain [| 7. |]);
+  checkf "empty is fair" 1. (Stats.Fairness.jain [||]);
+  checkf "all-zero is fair" 1. (Stats.Fairness.jain [| 0.; 0. |])
+
+let test_goodput () =
+  (* 100 segments of 1500 B over 1 s = 1.2 Mbit/s. *)
+  checkf "known rate" 1.2e6
+    (Stats.Fairness.goodput_bps ~segments:100 ~segment_bytes:1500 ~window_s:1.);
+  checkb "zero window rejected" true
+    (match
+       Stats.Fairness.goodput_bps ~segments:1 ~segment_bytes:1500 ~window_s:0.
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_jain_bounds =
+  QCheck.Test.make ~name:"jain index stays in (0, 1]" ~count:200
+    QCheck.(array_of_size Gen.(1 -- 20) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let xs = Array.map Float.abs xs in
+      let j = Stats.Fairness.jain xs in
+      j > 0. && j <= 1. +. 1e-12)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -477,6 +507,12 @@ let suites =
         Alcotest.test_case "bin bounds" `Quick test_hist_bounds;
         Alcotest.test_case "mode" `Quick test_hist_mode;
         Alcotest.test_case "validation" `Quick test_hist_invalid;
+      ] );
+    ( "stats.fairness",
+      [
+        Alcotest.test_case "jain known values" `Quick test_jain_known;
+        Alcotest.test_case "goodput" `Quick test_goodput;
+        qtest prop_jain_bounds;
       ] );
     ( "stats.table",
       [

@@ -7,6 +7,33 @@ module L = Workloads.Longlived
 module I = Workloads.Incast
 module Cm = Workloads.Completion
 
+(* Every concrete workload conforms to Workloads.Workload.S — the
+   uniformity Exp.Spec relies on to describe scenarios declaratively.
+   Longlived carries optional tracer/metrics arguments and Deadline takes
+   the protocol bundle piecewise, so both conform through the same thin
+   adapters Exp.Runner applies. *)
+module _ : Workloads.Workload.S = Workloads.Incast
+module _ : Workloads.Workload.S = Workloads.Completion
+module _ : Workloads.Workload.S = Workloads.Dynamic
+module _ : Workloads.Workload.S = Workloads.Convergence
+
+module _ : Workloads.Workload.S = struct
+  include Workloads.Longlived
+
+  let run proto config = run proto config
+end
+
+module _ : Workloads.Workload.S = struct
+  include Workloads.Deadline
+
+  let run (proto : Dctcp.Protocol.t) config =
+    run
+      ~marking:(fun () -> proto.Dctcp.Protocol.marking ())
+      ~echo:proto.Dctcp.Protocol.echo
+      (Workloads.Deadline.Plain proto.Dctcp.Protocol.cc)
+      config
+end
+
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
