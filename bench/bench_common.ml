@@ -94,9 +94,16 @@ let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* Every section leaves a run-provenance record behind, so BENCH_*.json
-   results are comparable across PRs. *)
+   results are comparable across PRs. Sections that write their own
+   manifest (with real metrics) are recorded here so the harness driver
+   does not clobber them with its generic wall-clock-only record. *)
+let manifest_written : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let wrote_manifest section = Hashtbl.mem manifest_written section
+
 let write_manifest ~section ~wall_s ?(seed = 0L) ?(events = 0) ?(params = [])
     ?(metrics = []) () =
+  Hashtbl.replace manifest_written section ();
   let manifest =
     Obs.Manifest.make
       ~name:("bench." ^ section)

@@ -77,15 +77,14 @@ let fig2 () =
     let cells =
       List.map
         (fun occ_pkts ->
-          let occ =
-            { Net.Marking.bytes = occ_pkts * pkt; packets = occ_pkts }
-          in
+          let bytes = occ_pkts * pkt in
           let mark =
-            if occ_pkts >= !prev then policy.Net.Marking.on_enqueue occ
+            if occ_pkts >= !prev then
+              policy.Net.Marking.on_enqueue ~bytes ~packets:occ_pkts
             else begin
-              policy.Net.Marking.on_dequeue occ;
+              policy.Net.Marking.on_dequeue ~bytes ~packets:occ_pkts;
               (* probe the marking state without a crossing *)
-              policy.Net.Marking.on_enqueue occ
+              policy.Net.Marking.on_enqueue ~bytes ~packets:occ_pkts
             end
           in
           prev := occ_pkts;

@@ -80,7 +80,8 @@ let () =
       let s0 = Obs.Profile.wall_clock () in
       f ();
       let wall_s = Obs.Profile.wall_clock () -. s0 in
-      Bench_common.write_manifest ~section:name ~wall_s ();
+      if not (Bench_common.wrote_manifest name) then
+        Bench_common.write_manifest ~section:name ~wall_s ();
       Printf.printf "\n[%s done in %.1fs]\n%!" name wall_s)
     selected;
   Printf.printf "\nTotal: %.1fs\n" (Obs.Profile.wall_clock () -. t0)

@@ -30,8 +30,8 @@ let queue_churn () =
   for _ = 0 to 127 do
     ignore
       (Net.Queue_disc.enqueue q
-         (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
-            Net.Packet.No_payload))
+         (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500
+            ~ecn:Net.Packet.Ect Net.Packet.No_payload))
   done;
   while Net.Queue_disc.dequeue q <> None do
     ()
@@ -142,7 +142,85 @@ let tracing_overhead () =
       ]
     ()
 
+(* --- macro events/s: the repo's tracked engine-throughput baseline.
+   A DT-DCTCP dumbbell (the paper's operating point) at N ∈ {4, 32, 128}
+   long-lived flows, run untraced; the per-N events/s land in
+   BENCH_perf.json so every PR can be compared against the last recorded
+   baseline on the same machine. --- *)
+
+let macro_ns = [ 4; 32; 128 ]
+
+let macro_scenario ~n =
+  let sim = Engine.Sim.create ~seed:11L () in
+  let d =
+    Net.Topology.dumbbell sim ~n_senders:n ~bottleneck_rate_bps:10e9
+      ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(250 * 1500)
+      ~marking:
+        (Dctcp.Marking_policies.double_threshold ~k1_bytes:(30 * 1500)
+           ~k2_bytes:(50 * 1500) ())
+      ()
+  in
+  let flows =
+    Array.mapi
+      (fun i src ->
+        Tcp.Flow.create sim ~src ~dst:d.Net.Topology.receiver ~flow:i
+          ~cc:(Dctcp.Dctcp_cc.cc ()) ())
+      d.Net.Topology.senders
+  in
+  Array.iter Tcp.Flow.start flows;
+  let until =
+    Engine.Time.of_ns (Bench_common.scale_span (Engine.Time.span_of_ms 200.))
+  in
+  Obs.Profile.run_sim ~until sim
+
+let macro_events_per_s () =
+  Bench_common.section_header "Performance: macro events/s (DT-DCTCP dumbbell)";
+  let runs = List.map (fun n -> (n, macro_scenario ~n)) macro_ns in
+  let t =
+    Stats.Table.create ~title:"events/s by flow count"
+      ~columns:
+        [
+          Stats.Table.column "N";
+          Stats.Table.column "events";
+          Stats.Table.column "events/s";
+        ]
+  in
+  List.iter
+    (fun (n, (r : Obs.Profile.run)) ->
+      Stats.Table.add_row t
+        [
+          string_of_int n;
+          string_of_int r.Obs.Profile.events;
+          Printf.sprintf "%.0f" r.Obs.Profile.events_per_s;
+        ])
+    runs;
+  Stats.Table.print t;
+  let wall_s =
+    List.fold_left (fun acc (_, r) -> acc +. r.Obs.Profile.wall_s) 0. runs
+  in
+  let events =
+    List.fold_left (fun acc (_, r) -> acc + r.Obs.Profile.events) 0 runs
+  in
+  Bench_common.write_manifest ~section:"perf" ~wall_s ~seed:11L ~events
+    ~params:
+      [
+        ("scenario", Obs.Json.String "dt-dctcp dumbbell, long-lived flows");
+        ( "flow_counts",
+          Obs.Json.List (List.map (fun n -> Obs.Json.Int n) macro_ns) );
+      ]
+    ~metrics:
+      (List.concat_map
+         (fun (n, (r : Obs.Profile.run)) ->
+           [
+             (Printf.sprintf "events_per_s.n%d" n, r.Obs.Profile.events_per_s);
+             ( Printf.sprintf "events.n%d" n,
+               float_of_int r.Obs.Profile.events );
+           ])
+         runs)
+    ()
+
 let run () =
+  macro_events_per_s ();
   tracing_overhead ();
   Bench_common.section_header "Performance: simulator micro-benchmarks";
   let ols =

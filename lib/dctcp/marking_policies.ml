@@ -7,8 +7,8 @@ let single_threshold ~k_bytes =
   if k_bytes < 0 then invalid_arg "Marking_policies.single_threshold";
   Net.Marking.make
     ~name:(Printf.sprintf "dctcp(K=%dB)" k_bytes)
-    ~on_enqueue:(fun occ -> occ.Net.Marking.bytes > k_bytes)
-    ~on_dequeue:(fun _ -> ())
+    ~on_enqueue:(fun ~bytes ~packets:_ -> bytes > k_bytes)
+    ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
 
 type flip_callback = marking:bool -> occ_bytes:int -> unit
 
@@ -40,11 +40,11 @@ let double_threshold ?on_flip ~k1_bytes ~k2_bytes () =
       | Some f -> f ~marking:!marking ~occ_bytes:now
       | None -> ()
   in
-  let on_enqueue occ =
-    update occ.Net.Marking.bytes;
+  let on_enqueue ~bytes ~packets:_ =
+    update bytes;
     !marking
   in
-  let on_dequeue occ = update occ.Net.Marking.bytes in
+  let on_dequeue ~bytes ~packets:_ = update bytes in
   Net.Marking.make
     ~name:(Printf.sprintf "dt-dctcp(K1=%dB,K2=%dB)" k1_bytes k2_bytes)
     ~on_enqueue ~on_dequeue

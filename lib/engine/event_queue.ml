@@ -1,0 +1,294 @@
+(* Monomorphic event queue: an implicit 4-ary min-heap over pooled event
+   records, keyed on (time, seq). This is the simulator's hot path, so the
+   design removes every per-event indirection and allocation the generic
+   [Heap] had to pay:
+
+   - comparisons are inlined int compares on [key_ns]/[seq] (no [cmp]
+     closure call per sift step);
+   - the heap is 4-ary, halving its depth: sift loops touch fewer levels
+     and the four children share cache lines;
+   - event records come from a free-list pool, so schedule/cancel-heavy
+     runs (rearmed RTO timers) allocate nothing in steady state;
+   - ids handed to callers are immediate ints carrying a generation
+     stamp, so a stale [cancel] (after the record was recycled) is
+     detected and ignored instead of corrupting an unrelated event. *)
+
+type event = {
+  mutable key_ns : int;
+      (* Scheduled instant in integer nanoseconds; the primary sort key.
+         An [int] (not [int64]) so sift comparisons are single unboxed
+         compares — fine for any simulated instant below 2^62 ns. *)
+  mutable seq : int;  (* FIFO tie-break: schedule order within an instant. *)
+  mutable time : Time.t;
+      (* The same instant, boxed once at schedule time, so firing can
+         advance the clock without re-boxing an int64. *)
+  mutable action : unit -> unit;
+  mutable live : bool;  (* Scheduled and not cancelled, not yet fired. *)
+  mutable gen : int;  (* Bumped on every release; validates ids. *)
+  mutable next_free : int;  (* Free-list link (pool index), -1 = end. *)
+  idx : int;  (* This record's pool slot; never changes. *)
+}
+
+type id = int
+
+let noop () = ()
+
+(* id layout: [idx lsl gen_bits | gen mod 2^gen_bits]. A stale id only
+   aliases a reused slot after the same record has been recycled 2^32
+   times while the caller still holds the old id. *)
+let gen_bits = 32
+let gen_mask = (1 lsl gen_bits) - 1
+let id_of ev = (ev.idx lsl gen_bits) lor (ev.gen land gen_mask)
+let none = -1
+
+type t = {
+  mutable heap : event array;  (* implicit 4-ary min-heap in [0, size) *)
+  mutable size : int;
+  mutable pool : event array;  (* pool slot -> record, in [0, pool_len) *)
+  mutable pool_len : int;
+  mutable free_head : int;  (* head of the free list, -1 = empty *)
+  mutable next_seq : int;
+  mutable live_count : int;
+  mutable dead_count : int;  (* cancelled events still in the heap *)
+  mutable popped_time : Time.t;
+  mutable popped_action : unit -> unit;
+  dummy : event;  (* placeholder for empty heap/pool slots *)
+}
+
+(* Below this occupancy a compaction sweep is not worth the O(n) pass
+   (same threshold the simulator used with the generic heap, so heap
+   occupancy trajectories — and the high-water metric — are unchanged). *)
+let compact_min_occupancy = 64
+
+let create ?(capacity = 1024) () =
+  let capacity = Stdlib.max capacity 1 in
+  let dummy =
+    {
+      key_ns = 0;
+      seq = -1;
+      time = Time.zero;
+      action = noop;
+      live = false;
+      gen = 0;
+      next_free = -1;
+      idx = -1;
+    }
+  in
+  {
+    heap = Array.make capacity dummy;
+    size = 0;
+    pool = Array.make capacity dummy;
+    pool_len = 0;
+    free_head = -1;
+    next_seq = 0;
+    live_count = 0;
+    dead_count = 0;
+    popped_time = Time.zero;
+    popped_action = noop;
+    dummy;
+  }
+
+let length t = t.size
+let live t = t.live_count
+let pool_size t = t.pool_len
+
+(* Events are ordered by strict (key_ns, seq); seq is unique so there are
+   no ties and pop order is fully deterministic whatever the heap's
+   internal layout. The comparison is written out inline in the sift
+   loops below: without flambda a [lt a b] helper costs a call per sift
+   step, and this is the hottest loop in the simulator. *)
+
+(* --- pool ---------------------------------------------------------- *)
+
+let grow_pool t =
+  let data = Array.make (2 * Array.length t.pool) t.dummy in
+  Array.blit t.pool 0 data 0 t.pool_len;
+  t.pool <- data
+
+let alloc t =
+  if t.free_head >= 0 then begin
+    let ev = t.pool.(t.free_head) in
+    t.free_head <- ev.next_free;
+    ev.next_free <- -1;
+    ev
+  end
+  else begin
+    if t.pool_len = Array.length t.pool then grow_pool t;
+    let ev =
+      {
+        key_ns = 0;
+        seq = 0;
+        time = Time.zero;
+        action = noop;
+        live = false;
+        gen = 0;
+        next_free = -1;
+        idx = t.pool_len;
+      }
+    in
+    t.pool.(t.pool_len) <- ev;
+    t.pool_len <- t.pool_len + 1;
+    ev
+  end
+
+(* A record is released exactly once, when it leaves the heap (fired,
+   or swept/popped after cancellation). The generation bump invalidates
+   outstanding ids; dropping the action/time references keeps the pool
+   from pinning closures the caller is done with. *)
+let release t ev =
+  ev.gen <- ev.gen + 1;
+  ev.live <- false;
+  ev.action <- noop;
+  ev.time <- Time.zero;
+  ev.next_free <- t.free_head;
+  t.free_head <- ev.idx
+
+(* --- implicit 4-ary heap ------------------------------------------- *)
+
+(* Children of [i] live at [4i+1 .. 4i+4]; parent of [i] at [(i-1)/4].
+   Sifts move a hole instead of swapping: one array write per level. *)
+
+let sift_up t i ev =
+  let heap = t.heap in
+  let key = ev.key_ns and seq = ev.seq in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) lsr 2 in
+    let pe = heap.(p) in
+    if key < pe.key_ns || (key = pe.key_ns && seq < pe.seq) then begin
+      heap.(!i) <- pe;
+      i := p
+    end
+    else continue := false
+  done;
+  heap.(!i) <- ev
+
+let sift_down t i ev =
+  let heap = t.heap in
+  let n = t.size in
+  let key = ev.key_ns and seq = ev.seq in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let c1 = (!i lsl 2) + 1 in
+    if c1 >= n then continue := false
+    else begin
+      let last = if c1 + 3 < n then c1 + 3 else n - 1 in
+      (* Index and key of the smallest of the (up to four) children. *)
+      let m = ref c1 in
+      let me = heap.(c1) in
+      let mk = ref me.key_ns and ms = ref me.seq in
+      for c = c1 + 1 to last do
+        let ce = heap.(c) in
+        if ce.key_ns < !mk || (ce.key_ns = !mk && ce.seq < !ms) then begin
+          m := c;
+          mk := ce.key_ns;
+          ms := ce.seq
+        end
+      done;
+      if !mk < key || (!mk = key && !ms < seq) then begin
+        heap.(!i) <- heap.(!m);
+        i := !m
+      end
+      else continue := false
+    end
+  done;
+  heap.(!i) <- ev
+
+let grow_heap t =
+  let data = Array.make (2 * Array.length t.heap) t.dummy in
+  Array.blit t.heap 0 data 0 t.size;
+  t.heap <- data
+
+let heap_push t ev =
+  if t.size = Array.length t.heap then grow_heap t;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1) ev
+
+(* Removes the root and restores the invariant; the caller still holds
+   the root record. *)
+let heap_drop_root t =
+  t.size <- t.size - 1;
+  let last = t.heap.(t.size) in
+  t.heap.(t.size) <- t.dummy;
+  if t.size > 0 then sift_down t 0 last
+
+(* --- queue operations ---------------------------------------------- *)
+
+let add t ~time action =
+  let ev = alloc t in
+  ev.key_ns <- Int64.to_int (Time.to_ns time);
+  ev.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  ev.time <- time;
+  ev.action <- action;
+  ev.live <- true;
+  t.live_count <- t.live_count + 1;
+  heap_push t ev;
+  id_of ev
+
+let min_key_ns t = if t.size = 0 then max_int else t.heap.(0).key_ns
+
+(* Compaction: drop every cancelled record, then bottom-up heapify in
+   O(n). Pop order is unaffected (the (key, seq) order is total). *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let ev = t.heap.(i) in
+    if ev.live then begin
+      t.heap.(!j) <- ev;
+      incr j
+    end
+    else release t ev
+  done;
+  for i = !j to t.size - 1 do
+    t.heap.(i) <- t.dummy
+  done;
+  t.size <- !j;
+  t.dead_count <- 0;
+  for i = ((t.size - 2) lsr 2) downto 0 do
+    sift_down t i t.heap.(i)
+  done
+
+let cancel t id =
+  let idx = id lsr gen_bits in
+  if idx < 0 || idx >= t.pool_len then false
+  else begin
+    let ev = t.pool.(idx) in
+    if ev.live && ev.gen land gen_mask = id land gen_mask then begin
+      ev.live <- false;
+      t.live_count <- t.live_count - 1;
+      t.dead_count <- t.dead_count + 1;
+      (* Cancelled events stay in the heap until popped; sweep lazily
+         once they outnumber the live ones so cancel-heavy runs do not
+         carry the dead weight. *)
+      if t.dead_count > t.live_count && t.size >= compact_min_occupancy
+      then compact t;
+      true
+    end
+    else false
+  end
+
+let rec pop t =
+  if t.size = 0 then false
+  else begin
+    let root = t.heap.(0) in
+    heap_drop_root t;
+    if root.live then begin
+      t.live_count <- t.live_count - 1;
+      t.popped_time <- root.time;
+      t.popped_action <- root.action;
+      release t root;
+      true
+    end
+    else begin
+      (* Cancelled en route: recycle and keep looking. *)
+      t.dead_count <- t.dead_count - 1;
+      release t root;
+      pop t
+    end
+  end
+
+let popped_time t = t.popped_time
+let popped_action t = t.popped_action

@@ -1,0 +1,70 @@
+(** Monomorphic event queue — the simulator's hot path.
+
+    An implicit 4-ary min-heap over pooled event records, keyed on the
+    (time, seq) pair: earlier instants first, schedule order (FIFO)
+    within an instant. Unlike the generic {!Heap}, comparisons are
+    inlined int compares (no comparator closure), and event records are
+    recycled through a free list, so a steady schedule→fire or
+    schedule→cancel cycle allocates nothing.
+
+    {b Pooling invariants.} An event record is owned by the queue from
+    {!add} until it leaves the heap — by firing ({!pop}), or after
+    {!cancel} when the lazy sweep or a later pop reaches it. At that
+    point it is recycled: its generation is bumped (invalidating
+    outstanding {!id}s) and its action/time references are dropped (so
+    the pool never pins a dead closure). Callers interact only through
+    {!id} values, which are immediate ints; a stale id — one whose event
+    already fired or was cancelled — is detected by the generation check
+    and {!cancel} returns [false] instead of touching a recycled record.
+
+    Times must stay below 2^62 ns (≈146 years of simulated time): keys
+    are stored as unboxed [int] nanoseconds. *)
+
+type t
+
+type id = private int
+(** Handle to a scheduled event. Immediate (never allocated). *)
+
+val none : id
+(** A handle that matches no event; [cancel t none] is a no-op. Useful
+    as an initial value for fields that later hold real ids. *)
+
+val create : ?capacity:int -> unit -> t
+(** Empty queue. [capacity] (default 1024) pre-sizes the heap and pool
+    arrays; both grow on demand. *)
+
+val length : t -> int
+(** Current heap occupancy: live events plus cancelled events not yet
+    swept. This is the memory the queue actually holds. *)
+
+val live : t -> int
+(** Scheduled, not-yet-fired, not-cancelled events. *)
+
+val pool_size : t -> int
+(** Number of event records ever allocated (live + dead + free). A
+    steady schedule→pop cycle keeps this constant — the observable
+    effect of pooling, asserted by the allocation regression tests. *)
+
+val add : t -> time:Time.t -> (unit -> unit) -> id
+(** Schedules an action. Events added at equal [time] fire in [add]
+    order. O(log₄ n); allocates only when the pool has no free record. *)
+
+val cancel : t -> id -> bool
+(** Marks the event dead; returns [false] (and does nothing) if the id
+    is stale — already fired, already cancelled, or recycled. Dead
+    events are swept lazily: once they outnumber the live ones (and the
+    heap holds at least 64 entries) the heap is compacted in O(n). *)
+
+val pop : t -> bool
+(** Removes the minimum live event, recycling any cancelled records met
+    on the way. Returns [false] when no live event remains. On [true]
+    the fired event's fields are readable via {!popped_time} /
+    {!popped_action} until the next [pop]. *)
+
+val popped_time : t -> Time.t
+val popped_action : t -> unit -> unit
+
+val min_key_ns : t -> int
+(** Nanosecond key of the heap root — the next event to pop, which may
+    be a not-yet-swept cancelled one — or [max_int] when empty. Lets the
+    run-until loop compare against a deadline without boxing. *)

@@ -12,7 +12,10 @@ let length h = h.size
 let is_empty h = h.size = 0
 
 let grow h =
-  let data = Array.make (2 * Array.length h.data) h.data.(0) in
+  (* Spare slots get the placeholder, matching [pop]/[clear]: seeding
+     them with [h.data.(0)] would pin a live reference to the current
+     root long after it is popped. *)
+  let data = Array.make (2 * Array.length h.data) (Obj.magic 0) in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 

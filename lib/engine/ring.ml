@@ -1,0 +1,64 @@
+(* Growable ring-buffer FIFO. Replaces [Stdlib.Queue] on hot paths: a
+   Stdlib queue allocates a cons cell per [push], a ring writes into a
+   flat array slot, so steady enqueue/dequeue traffic allocates nothing.
+
+   The backing array is a power of two so the index wrap is a mask, and
+   empty slots hold the same [Obj.magic 0] placeholder the generic
+   {!Heap} uses (see its caveats: not for float elements). *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+
+let create ?(capacity = 16) () =
+  let capacity = pow2 (Stdlib.max capacity 1) 1 in
+  { data = Array.make capacity (Obj.magic 0); head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let n = Array.length t.data in
+  let data = Array.make (2 * n) (Obj.magic 0) in
+  (* Unwrap: front segment [head, n), then the wrapped prefix. *)
+  let front = n - t.head in
+  Array.blit t.data t.head data 0 front;
+  Array.blit t.data 0 data front t.head;
+  t.data <- data;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.((t.head + t.len) land (Array.length t.data - 1)) <- x;
+  t.len <- t.len + 1
+
+let peek_opt t = if t.len = 0 then None else Some t.data.(t.head)
+
+let pop t =
+  if t.len = 0 then raise Not_found;
+  let x = t.data.(t.head) in
+  (* Release the slot so the GC can reclaim the element. *)
+  t.data.(t.head) <- Obj.magic 0;
+  t.head <- (t.head + 1) land (Array.length t.data - 1);
+  t.len <- t.len - 1;
+  x
+
+let pop_opt t = if t.len = 0 then None else Some (pop t)
+
+let clear t =
+  let mask = Array.length t.data - 1 in
+  for i = 0 to t.len - 1 do
+    t.data.((t.head + i) land mask) <- Obj.magic 0
+  done;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let mask = Array.length t.data - 1 in
+  for i = 0 to t.len - 1 do
+    f t.data.((t.head + i) land mask)
+  done

@@ -1,0 +1,39 @@
+(** Growable ring-buffer FIFO.
+
+    First-in first-out like [Stdlib.Queue], but backed by a flat array:
+    [push]/[pop_opt] write into slots instead of allocating a cons cell
+    per element, so steady traffic (a switch queue cycling packets)
+    allocates nothing. The buffer doubles when full and never shrinks.
+
+    Like {!Heap}, the backing array seeds empty slots with an immediate
+    placeholder — do not instantiate at [float] (the placeholder is not
+    a valid unboxed float). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Empty ring; [capacity] (default 16, rounded up to a power of two)
+    pre-sizes the backing array. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Appends at the back. Amortised O(1), allocation-free unless the
+    buffer must grow. *)
+
+val peek_opt : 'a t -> 'a option
+(** Front element, without removing it. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the front element without boxing an option — the
+    hot-path variant of {!pop_opt}.
+    @raise Not_found when empty. *)
+
+val pop_opt : 'a t -> 'a option
+(** Removes and returns the front element; [None] when empty. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration. *)

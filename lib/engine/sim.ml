@@ -1,118 +1,83 @@
-type event = {
-  time : Time.t;
-  seq : int;
-  mutable cancelled : bool;
-  action : unit -> unit;
-}
-
-type event_id = event
+type event_id = Event_queue.id
 
 type t = {
-  heap : event Heap.t;
+  q : Event_queue.t;
   mutable now : Time.t;
-  mutable seq : int;
   rng : Rng.t;
   mutable processed : int;
-  mutable live : int;
-  mutable dead : int;  (** Cancelled events still sitting in the heap. *)
   mutable hwm : int;
+  mutable ids : int;
   mutable instrument : unit -> unit;
 }
 
 let noop () = ()
-
-(* Below this occupancy a sweep is not worth the O(n) pass. *)
-let compact_min_size = 64
-
-let cmp_event a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+let no_event = Event_queue.none
 
 let create ?(seed = 1L) () =
   {
-    heap = Heap.create ~capacity:1024 ~cmp:cmp_event ();
+    q = Event_queue.create ~capacity:1024 ();
     now = Time.zero;
-    seq = 0;
     rng = Rng.create ~seed;
     processed = 0;
-    live = 0;
-    dead = 0;
     hwm = 0;
+    ids = 0;
     instrument = noop;
   }
 
 let now t = t.now
 let rng t = t.rng
 
+let fresh_id t =
+  t.ids <- t.ids + 1;
+  t.ids
+
 let schedule_at t time action =
   if Time.(time < t.now) then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %s is before now (%s)"
          (Time.to_string time) (Time.to_string t.now));
-  let ev = { time; seq = t.seq; cancelled = false; action } in
-  t.seq <- t.seq + 1;
-  t.live <- t.live + 1;
-  Heap.push t.heap ev;
+  let id = Event_queue.add t.q ~time action in
   (* High water tracks true heap occupancy (live plus not-yet-swept
      cancelled entries): that is the memory the engine actually holds. *)
-  let occ = Heap.length t.heap in
+  let occ = Event_queue.length t.q in
   if occ > t.hwm then t.hwm <- occ;
-  ev
+  id
 
 let schedule_after t span action =
   if Int64.compare span 0L < 0 then
     invalid_arg "Sim.schedule_after: negative delay";
   schedule_at t (Time.add t.now span) action
 
-(* Cancelled events stay in the heap until popped; on cancel-heavy runs
-   (retransmission timers that almost always get rearmed) that dead weight
-   would dominate the heap. Sweep lazily: once cancelled entries outnumber
-   the live ones — more than half the heap is dead — rebuild without them. *)
-let compact t =
-  Heap.filter_in_place (fun ev -> not ev.cancelled) t.heap;
-  t.dead <- 0
+let cancel t id = ignore (Event_queue.cancel t.q id)
 
-let cancel t ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true;
-    t.live <- t.live - 1;
-    t.dead <- t.dead + 1;
-    if t.dead > t.live && Heap.length t.heap >= compact_min_size then
-      compact t
+let step t =
+  if Event_queue.pop t.q then begin
+    t.now <- Event_queue.popped_time t.q;
+    t.processed <- t.processed + 1;
+    let action = Event_queue.popped_action t.q in
+    action ();
+    t.instrument ();
+    true
   end
-
-let rec step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some ev ->
-      if ev.cancelled then begin
-        t.dead <- t.dead - 1;
-        step t
-      end
-      else begin
-        t.now <- ev.time;
-        t.live <- t.live - 1;
-        t.processed <- t.processed + 1;
-        ev.action ();
-        t.instrument ();
-        true
-      end
+  else false
 
 let run ?until t =
   match until with
   | None -> while step t do () done
   | Some stop ->
-      let continue = ref true in
-      while !continue do
-        match Heap.peek t.heap with
-        | Some ev when Time.(ev.time <= stop) -> ignore (step t)
-        | Some _ | None -> continue := false
+      (* Keys are int nanoseconds, so the deadline comparison in the
+         loop is a single unboxed compare. [min_key_ns] is [max_int]
+         when the queue is empty, which never passes the guard. *)
+      let stop_ns = Int64.to_int (Time.to_ns stop) in
+      while Event_queue.min_key_ns t.q <= stop_ns do
+        ignore (step t)
       done;
       if Time.(t.now < stop) then t.now <- stop
 
 let events_processed t = t.processed
-let pending t = t.live
-let heap_size t = Heap.length t.heap
+let pending t = Event_queue.live t.q
+let heap_size t = Event_queue.length t.q
 let heap_high_water t = t.hwm
+let event_pool_size t = Event_queue.pool_size t.q
 let set_instrument t f = t.instrument <- f
 let clear_instrument t = t.instrument <- noop

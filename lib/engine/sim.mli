@@ -6,8 +6,14 @@
 
 type t
 
-type event_id
-(** Handle to a scheduled event, used for cancellation. *)
+type event_id = Event_queue.id
+(** Handle to a scheduled event, used for cancellation. Immediate (an
+    int carrying a pool-slot/generation pair), so scheduling never
+    allocates a handle. *)
+
+val no_event : event_id
+(** A handle matching no event; cancelling it is a no-op. Initial value
+    for fields that later hold real handles (see {!Timer}). *)
 
 val create : ?seed:int64 -> unit -> t
 (** A fresh simulator with its clock at {!Time.zero}. [seed] (default 1)
@@ -20,6 +26,12 @@ val rng : t -> Rng.t
 (** The simulation-wide random stream. Use {!Rng.split} to derive
     per-component streams. *)
 
+val fresh_id : t -> int
+(** Per-run unique id source: returns 1, 2, 3, ... across the whole
+    simulation. Used for packet ids (see {!Net.Packet.make}) and any
+    other per-run identifier, so ids are deterministic for a given run
+    and independent of whatever other simulations the process hosts. *)
+
 val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
 (** [schedule_at sim t f] runs [f] when the clock reaches [t].
     @raise Invalid_argument if [t] is in the past. *)
@@ -30,10 +42,11 @@ val schedule_after : t -> Time.span -> (unit -> unit) -> event_id
 
 val cancel : t -> event_id -> unit
 (** Cancels a pending event; cancelling an already-fired or already-cancelled
-    event is a no-op. Cancelled events are swept from the heap lazily:
-    whenever they come to outnumber the live ones the heap is compacted in
-    O(n), so cancel-heavy runs (rearmed retransmission timers) do not
-    accumulate dead weight. *)
+    event is a no-op (stale handles are detected by the generation stamp,
+    even after the underlying pooled record has been recycled). Cancelled
+    events are swept from the heap lazily: whenever they come to outnumber
+    the live ones the heap is compacted in O(n), so cancel-heavy runs
+    (rearmed retransmission timers) do not accumulate dead weight. *)
 
 val step : t -> bool
 (** Runs the next event, advancing the clock. Returns [false] if the queue
@@ -59,6 +72,11 @@ val heap_high_water : t -> int
 (** Maximum heap occupancy seen so far (live plus not-yet-swept cancelled
     entries) — the engine's real memory-pressure signal for the
     observability layer. *)
+
+val event_pool_size : t -> int
+(** Number of event records the engine has ever allocated (the event
+    pool's footprint). Stays constant across steady schedule→fire
+    cycles; exposed for the allocation regression tests. *)
 
 val set_instrument : t -> (unit -> unit) -> unit
 (** Install a callback run after every executed event. Intended for the

@@ -1,27 +1,46 @@
+(* A timer is a rearm-heavy client of the event queue (RTO timers rearm
+   on nearly every ACK), so [set]/[cancel] must not allocate: the firing
+   closure is built once in [create], and the pending state lives in
+   mutable immediate fields instead of an option of a tuple. *)
+
 type t = {
   sim : Sim.t;
   action : unit -> unit;
-  mutable pending : (Sim.event_id * Time.t) option;
+  mutable ev : Sim.event_id;
+  mutable armed : bool;
+  mutable at : Time.t;
+  mutable fire : unit -> unit;
 }
 
-let create sim ~action = { sim; action; pending = None }
+let create sim ~action =
+  let t =
+    {
+      sim;
+      action;
+      ev = Sim.no_event;
+      armed = false;
+      at = Time.zero;
+      fire = action;
+    }
+  in
+  t.fire <-
+    (fun () ->
+      t.armed <- false;
+      t.action ());
+  t
 
 let cancel t =
-  match t.pending with
-  | None -> ()
-  | Some (ev, _) ->
-      Sim.cancel t.sim ev;
-      t.pending <- None
+  if t.armed then begin
+    Sim.cancel t.sim t.ev;
+    t.armed <- false
+  end
 
 let set_at t ~at =
   cancel t;
-  let ev =
-    Sim.schedule_at t.sim at (fun () ->
-        t.pending <- None;
-        t.action ())
-  in
-  t.pending <- Some (ev, at)
+  t.ev <- Sim.schedule_at t.sim at t.fire;
+  t.armed <- true;
+  t.at <- at
 
 let set t ~after = set_at t ~at:(Time.add (Sim.now t.sim) after)
-let is_pending t = t.pending <> None
-let deadline t = Option.map snd t.pending
+let is_pending t = t.armed
+let deadline t = if t.armed then Some t.at else None

@@ -24,9 +24,11 @@ let nic t =
 let send t pkt = Port.send (nic t) pkt
 
 let receive t pkt =
-  match Hashtbl.find_opt t.handlers pkt.Packet.flow with
-  | Some handler -> handler pkt
-  | None -> t.unclaimed <- t.unclaimed + 1
+  (* [find], not [find_opt]: this runs per delivered packet and the
+     option would be a per-packet allocation. *)
+  match Hashtbl.find t.handlers pkt.Packet.flow with
+  | handler -> handler pkt
+  | exception Not_found -> t.unclaimed <- t.unclaimed + 1
 
 let bind_flow t ~flow handler =
   if Hashtbl.mem t.handlers flow then

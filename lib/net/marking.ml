@@ -1,15 +1,15 @@
-type occupancy = { bytes : int; packets : int }
-
 type t = {
   name : string;
-  on_enqueue : occupancy -> bool;
-  on_dequeue : occupancy -> unit;
+  on_enqueue : bytes:int -> packets:int -> bool;
+  on_dequeue : bytes:int -> packets:int -> unit;
 }
 
 let make ~name ~on_enqueue ~on_dequeue = { name; on_enqueue; on_dequeue }
 
 let none () =
-  make ~name:"none" ~on_enqueue:(fun _ -> false) ~on_dequeue:(fun _ -> ())
+  make ~name:"none"
+    ~on_enqueue:(fun ~bytes:_ ~packets:_ -> false)
+    ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
 
 let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
   if max_th_bytes <= min_th_bytes then
@@ -19,8 +19,8 @@ let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
   ignore avg_pkt_size;
   let avg = ref 0. in
   let count_since_mark = ref (-1) in
-  let on_enqueue occ =
-    avg := ((1. -. weight) *. !avg) +. (weight *. float_of_int occ.bytes);
+  let on_enqueue ~bytes ~packets:_ =
+    avg := ((1. -. weight) *. !avg) +. (weight *. float_of_int bytes);
     if !avg < float_of_int min_th_bytes then begin
       count_since_mark := -1;
       false
@@ -49,5 +49,5 @@ let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
       mark
     end
   in
-  let on_dequeue _ = () in
+  let on_dequeue ~bytes:_ ~packets:_ = () in
   make ~name:"red" ~on_enqueue ~on_dequeue

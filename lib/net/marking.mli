@@ -10,24 +10,21 @@
     and double-threshold (DT-DCTCP) policies live in [lib/dctcp] and are
     built with {!make}. *)
 
-type occupancy = {
-  bytes : int;  (** Queue occupancy in bytes, including the arriving packet
-                    on enqueue. *)
-  packets : int;  (** Same instant, in packets. *)
-}
-
 type t = {
   name : string;
-  on_enqueue : occupancy -> bool;
-      (** Called after the arriving packet is accepted; [true] = mark CE. *)
-  on_dequeue : occupancy -> unit;
+  on_enqueue : bytes:int -> packets:int -> bool;
+      (** Called after the arriving packet is accepted, with the queue
+          occupancy including it; [true] = mark CE. Occupancy is passed
+          as two labelled ints (not a record) so the per-packet hot path
+          allocates nothing. *)
+  on_dequeue : bytes:int -> packets:int -> unit;
       (** Called after a packet leaves; occupancy excludes it. *)
 }
 
 val make :
   name:string ->
-  on_enqueue:(occupancy -> bool) ->
-  on_dequeue:(occupancy -> unit) ->
+  on_enqueue:(bytes:int -> packets:int -> bool) ->
+  on_dequeue:(bytes:int -> packets:int -> unit) ->
   t
 
 val none : unit -> t

@@ -14,14 +14,13 @@ type t = {
   payload : payload;
 }
 
-(* Atomic so concurrent simulations (Exp.Runner fans runs across domains)
-   never race; ids are process-global and only feed [pp]. *)
-let next_id = Atomic.make 0
-
-let make ~src ~dst ~flow ~size ~ecn payload =
+(* Ids come from the owning simulation's counter (Sim.fresh_id), not a
+   process-global Atomic: per-run sequences are deterministic regardless
+   of what other simulations the process hosts, and concurrent runs
+   (Exp.Runner -j) stop bouncing a shared cache line on every packet. *)
+let make sim ~src ~dst ~flow ~size ~ecn payload =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";
-  let id = 1 + Atomic.fetch_and_add next_id 1 in
-  { id; src; dst; flow; size; ecn; payload }
+  { id = Engine.Sim.fresh_id sim; src; dst; flow; size; ecn; payload }
 
 let mark_ce t = match t.ecn with Not_ect -> () | Ect | Ce -> t.ecn <- Ce
 let is_ce t = t.ecn = Ce

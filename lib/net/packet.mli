@@ -17,7 +17,7 @@ type payload = ..
 type payload += No_payload
 
 type t = {
-  id : int;  (** Unique per-process id, for debugging. *)
+  id : int;  (** Unique, deterministic per-simulation id, for debugging. *)
   src : int;  (** Source host id. *)
   dst : int;  (** Destination host id. *)
   flow : int;  (** Flow id, used by hosts to demultiplex. *)
@@ -27,8 +27,18 @@ type t = {
 }
 
 val make :
-  src:int -> dst:int -> flow:int -> size:int -> ecn:ecn -> payload -> t
-(** @raise Invalid_argument if [size <= 0]. *)
+  Engine.Sim.t ->
+  src:int ->
+  dst:int ->
+  flow:int ->
+  size:int ->
+  ecn:ecn ->
+  payload ->
+  t
+(** Ids are drawn from the owning simulation ({!Engine.Sim.fresh_id}):
+    1, 2, 3, ... per run, independent of any other simulation in the
+    process.
+    @raise Invalid_argument if [size <= 0]. *)
 
 val mark_ce : t -> unit
 (** Sets CE; only legal on ECN-capable packets (no-op on [Not_ect], which

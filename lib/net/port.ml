@@ -1,6 +1,13 @@
 module Sim = Engine.Sim
 module Time = Engine.Time
 
+(* The transmit loop is allocation-conscious: the two per-packet closures
+   the obvious implementation would build (tx-complete, delivery) are
+   replaced by two closures allocated once per port. The packet being
+   serialized sits in [tx_pkt]; packets in flight on the propagation-delay
+   link sit in a ring. Both hand-offs are safe because each is FIFO: a
+   port serializes one packet at a time, and with a constant link delay
+   deliveries complete in transmit order. *)
 type t = {
   sim : Sim.t;
   rate_bps : float;
@@ -10,39 +17,83 @@ type t = {
   mutable busy : bool;
   mutable bytes_sent : int;
   mutable packets_sent : int;
+  in_flight : Packet.t Engine.Ring.t;
+  mutable tx_pkt : Packet.t;  (* packet currently serializing *)
+  mutable tx_done : unit -> unit;  (* fires when [tx_pkt] finishes *)
+  mutable deliver_head : unit -> unit;  (* delivers front of [in_flight] *)
+  (* Memo of the last serialization time by packet size: traffic on a port
+     is dominated by one or two packet sizes, so this skips the float
+     division (and the boxed span it allocates) almost every time. *)
+  mutable memo_size : int;
+  mutable memo_tx : Time.span;
 }
 
-let create sim ~rate_bps ~delay ~queue ~deliver =
-  if rate_bps <= 0. then invalid_arg "Port.create: rate must be positive";
-  if Int64.compare delay 0L < 0 then
-    invalid_arg "Port.create: negative delay";
+(* Placeholder for [tx_pkt] while the port is idle; never transmitted. *)
+let idle_pkt =
   {
-    sim;
-    rate_bps;
-    delay;
-    queue;
-    deliver;
-    busy = false;
-    bytes_sent = 0;
-    packets_sent = 0;
+    Packet.id = -1;
+    src = -1;
+    dst = -1;
+    flow = -1;
+    size = 1;
+    ecn = Packet.Not_ect;
+    payload = Packet.No_payload;
   }
 
 let tx_time t ~bytes =
   Time.span_of_sec (float_of_int (bytes * 8) /. t.rate_bps)
 
-let rec start_tx t =
-  match Queue_disc.dequeue t.queue with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let tx = tx_time t ~bytes:pkt.Packet.size in
-      ignore
-        (Sim.schedule_after t.sim tx (fun () ->
-             t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
-             t.packets_sent <- t.packets_sent + 1;
-             ignore
-               (Sim.schedule_after t.sim t.delay (fun () -> t.deliver pkt));
-             start_tx t))
+let tx_span t ~bytes =
+  if bytes = t.memo_size then t.memo_tx
+  else begin
+    let span = tx_time t ~bytes in
+    t.memo_size <- bytes;
+    t.memo_tx <- span;
+    span
+  end
+
+let start_tx t =
+  if Queue_disc.is_empty t.queue then t.busy <- false
+  else begin
+    let pkt = Queue_disc.dequeue_exn t.queue in
+    t.busy <- true;
+    t.tx_pkt <- pkt;
+    ignore (Sim.schedule_after t.sim (tx_span t ~bytes:pkt.Packet.size) t.tx_done)
+  end
+
+let create sim ~rate_bps ~delay ~queue ~deliver =
+  if rate_bps <= 0. then invalid_arg "Port.create: rate must be positive";
+  if Int64.compare delay 0L < 0 then
+    invalid_arg "Port.create: negative delay";
+  let t =
+    {
+      sim;
+      rate_bps;
+      delay;
+      queue;
+      deliver;
+      busy = false;
+      bytes_sent = 0;
+      packets_sent = 0;
+      in_flight = Engine.Ring.create ~capacity:16 ();
+      tx_pkt = idle_pkt;
+      tx_done = ignore;
+      deliver_head = ignore;
+      memo_size = -1;
+      memo_tx = 0L;
+    }
+  in
+  t.deliver_head <- (fun () -> t.deliver (Engine.Ring.pop t.in_flight));
+  t.tx_done <-
+    (fun () ->
+      let pkt = t.tx_pkt in
+      t.tx_pkt <- idle_pkt;
+      t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+      t.packets_sent <- t.packets_sent + 1;
+      Engine.Ring.push t.in_flight pkt;
+      ignore (Sim.schedule_after t.sim t.delay t.deliver_head);
+      start_tx t);
+  t
 
 let send t pkt =
   match Queue_disc.enqueue t.queue pkt with

@@ -2,13 +2,23 @@ module Sim = Engine.Sim
 module Time = Engine.Time
 module Trace_ev = Obs.Trace
 
+(* Slots of the time-weighted occupancy-integral accumulator. A flat
+   float array keeps the sums unboxed: mutable float fields in this
+   (mixed) record would allocate a box on every enqueue/dequeue. *)
+let int_bytes = 0 (* integral of occ_bytes dt (seconds) *)
+
+let int_bytes2 = 1 (* integral of occ_bytes^2 dt *)
+
+let int_pkts = 2
+let int_pkts2 = 3
+
 type t = {
   sim : Sim.t;
   name : string;
   capacity_bytes : int;
   marking : Marking.t;
   tracer : Trace_ev.t;
-  fifo : Packet.t Queue.t;
+  fifo : Packet.t Engine.Ring.t;
   mutable occ_bytes : int;
   mutable occ_pkts : int;
   mutable drops : int;
@@ -18,10 +28,7 @@ type t = {
   (* time-weighted occupancy integrals *)
   mutable stats_start : Time.t;
   mutable last_change : Time.t;
-  mutable int_bytes : float;  (* integral of occ_bytes dt (seconds) *)
-  mutable int_bytes2 : float; (* integral of occ_bytes^2 dt *)
-  mutable int_pkts : float;
-  mutable int_pkts2 : float;
+  acc : float array;
   mutable max_bytes : int;
 }
 
@@ -37,19 +44,16 @@ let create sim ~capacity_bytes ?(marking = Marking.none ())
       capacity_bytes;
       marking;
       tracer;
-      fifo = Queue.create ();
-    occ_bytes = 0;
-    occ_pkts = 0;
-    drops = 0;
-    enqueued = 0;
-    marked = 0;
-    observer = (fun () -> ());
-    stats_start = now;
-    last_change = now;
-      int_bytes = 0.;
-      int_bytes2 = 0.;
-      int_pkts = 0.;
-      int_pkts2 = 0.;
+      fifo = Engine.Ring.create ~capacity:64 ();
+      occ_bytes = 0;
+      occ_pkts = 0;
+      drops = 0;
+      enqueued = 0;
+      marked = 0;
+      observer = (fun () -> ());
+      stats_start = now;
+      last_change = now;
+      acc = Array.make 4 0.;
       max_bytes = 0;
     }
   in
@@ -74,10 +78,11 @@ let accumulate t =
   let dt = Time.span_to_sec (Time.diff now t.last_change) in
   if dt > 0. then begin
     let b = float_of_int t.occ_bytes and p = float_of_int t.occ_pkts in
-    t.int_bytes <- t.int_bytes +. (b *. dt);
-    t.int_bytes2 <- t.int_bytes2 +. (b *. b *. dt);
-    t.int_pkts <- t.int_pkts +. (p *. dt);
-    t.int_pkts2 <- t.int_pkts2 +. (p *. p *. dt)
+    let acc = t.acc in
+    acc.(int_bytes) <- acc.(int_bytes) +. (b *. dt);
+    acc.(int_bytes2) <- acc.(int_bytes2) +. (b *. b *. dt);
+    acc.(int_pkts) <- acc.(int_pkts) +. (p *. dt);
+    acc.(int_pkts2) <- acc.(int_pkts2) +. (p *. p *. dt)
   end;
   t.last_change <- now
 
@@ -92,13 +97,13 @@ let enqueue t pkt =
   end
   else begin
     accumulate t;
-    Queue.push pkt t.fifo;
+    Engine.Ring.push t.fifo pkt;
     t.occ_bytes <- t.occ_bytes + pkt.Packet.size;
     t.occ_pkts <- t.occ_pkts + 1;
     t.enqueued <- t.enqueued + 1;
     if t.occ_bytes > t.max_bytes then t.max_bytes <- t.occ_bytes;
-    let occ = { Marking.bytes = t.occ_bytes; packets = t.occ_pkts } in
-    if t.marking.Marking.on_enqueue occ then begin
+    if t.marking.Marking.on_enqueue ~bytes:t.occ_bytes ~packets:t.occ_pkts
+    then begin
       if Packet.is_ect pkt then begin
         Packet.mark_ce pkt;
         t.marked <- t.marked + 1;
@@ -124,25 +129,27 @@ let enqueue t pkt =
     `Enqueued
   end
 
+let dequeue_exn t =
+  let pkt = Engine.Ring.pop t.fifo in
+  accumulate t;
+  t.occ_bytes <- t.occ_bytes - pkt.Packet.size;
+  t.occ_pkts <- t.occ_pkts - 1;
+  t.marking.Marking.on_dequeue ~bytes:t.occ_bytes ~packets:t.occ_pkts;
+  if Trace_ev.enabled t.tracer Trace_ev.C_dequeue then
+    emit t
+      (Trace_ev.Dequeue
+         {
+           flow = pkt.Packet.flow;
+           occ_bytes = t.occ_bytes;
+           occ_pkts = t.occ_pkts;
+         });
+  t.observer ();
+  pkt
+
 let dequeue t =
-  match Queue.take_opt t.fifo with
-  | None -> None
-  | Some pkt ->
-      accumulate t;
-      t.occ_bytes <- t.occ_bytes - pkt.Packet.size;
-      t.occ_pkts <- t.occ_pkts - 1;
-      let occ = { Marking.bytes = t.occ_bytes; packets = t.occ_pkts } in
-      t.marking.Marking.on_dequeue occ;
-      if Trace_ev.enabled t.tracer Trace_ev.C_dequeue then
-        emit t
-          (Trace_ev.Dequeue
-             {
-               flow = pkt.Packet.flow;
-               occ_bytes = t.occ_bytes;
-               occ_pkts = t.occ_pkts;
-             });
-      t.observer ();
-      Some pkt
+  if Engine.Ring.is_empty t.fifo then None else Some (dequeue_exn t)
+
+let is_empty t = Engine.Ring.is_empty t.fifo
 
 let occupancy_bytes t = t.occ_bytes
 let occupancy_packets t = t.occ_pkts
@@ -156,10 +163,7 @@ let reset_stats t =
   let now = Sim.now t.sim in
   t.stats_start <- now;
   t.last_change <- now;
-  t.int_bytes <- 0.;
-  t.int_bytes2 <- 0.;
-  t.int_pkts <- 0.;
-  t.int_pkts2 <- 0.;
+  Array.fill t.acc 0 4 0.;
   t.max_bytes <- t.occ_bytes;
   t.drops <- 0;
   t.enqueued <- 0;
@@ -171,27 +175,27 @@ let elapsed t =
 
 let mean_occupancy_bytes t =
   let dt = elapsed t in
-  if dt <= 0. then float_of_int t.occ_bytes else t.int_bytes /. dt
+  if dt <= 0. then float_of_int t.occ_bytes else t.acc.(int_bytes) /. dt
 
 let stddev_occupancy_bytes t =
   let dt = elapsed t in
   if dt <= 0. then 0.
   else begin
-    let mean = t.int_bytes /. dt in
-    let var = (t.int_bytes2 /. dt) -. (mean *. mean) in
+    let mean = t.acc.(int_bytes) /. dt in
+    let var = (t.acc.(int_bytes2) /. dt) -. (mean *. mean) in
     sqrt (Stdlib.max var 0.)
   end
 
 let mean_occupancy_packets t =
   let dt = elapsed t in
-  if dt <= 0. then float_of_int t.occ_pkts else t.int_pkts /. dt
+  if dt <= 0. then float_of_int t.occ_pkts else t.acc.(int_pkts) /. dt
 
 let stddev_occupancy_packets t =
   let dt = elapsed t in
   if dt <= 0. then 0.
   else begin
-    let mean = t.int_pkts /. dt in
-    let var = (t.int_pkts2 /. dt) -. (mean *. mean) in
+    let mean = t.acc.(int_pkts) /. dt in
+    let var = (t.acc.(int_pkts2) /. dt) -. (mean *. mean) in
     sqrt (Stdlib.max var 0.)
   end
 

@@ -30,6 +30,13 @@ val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped ]
 
 val dequeue : t -> Packet.t option
 
+val dequeue_exn : t -> Packet.t
+(** {!dequeue} without the option box, for the transmit hot path (pair it
+    with {!is_empty}).
+    @raise Not_found when the queue is empty. *)
+
+val is_empty : t -> bool
+
 val occupancy_bytes : t -> int
 val occupancy_packets : t -> int
 val capacity_bytes : t -> int

@@ -35,8 +35,10 @@ let set_route t ~dst ~port =
   Hashtbl.replace t.routes dst port
 
 let receive t pkt =
-  match Hashtbl.find_opt t.routes pkt.Packet.dst with
-  | Some i -> Port.send t.ports.(i) pkt
-  | None -> t.no_route <- t.no_route + 1
+  (* [find], not [find_opt]: this runs per forwarded packet and the
+     option would be a per-packet allocation. *)
+  match Hashtbl.find t.routes pkt.Packet.dst with
+  | i -> Port.send t.ports.(i) pkt
+  | exception Not_found -> t.no_route <- t.no_route + 1
 
 let no_route_drops t = t.no_route

@@ -42,7 +42,7 @@ let sack_blocks t =
 
 let send_ack t ~ece =
   let pkt =
-    Net.Packet.make ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
+    Net.Packet.make t.sim ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
       ~size:t.ack_bytes ~ecn:Net.Packet.Not_ect
       (Segment.ack ~ack:t.rcv_nxt ~ece ~sack:(sack_blocks t) ())
   in

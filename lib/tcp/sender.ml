@@ -39,8 +39,10 @@ type t = {
   tracer : Obs.Trace.t;
   config : config;
   mutable cc : Cc.t;
-  mutable cwnd : float;
-  mutable ssthresh : float;
+  (* cwnd (slot 0) and ssthresh (slot 1) live in a flat float array: as
+     mutable float fields of this mixed record every window update would
+     box, and the ACK path updates cwnd constantly. *)
+  w : float array;
   mutable snd_una : int;
   mutable snd_nxt : int;
   limit : int option;
@@ -49,7 +51,10 @@ type t = {
   mutable recover : int;
   rtt : Rtt_estimator.t;
   mutable rto_timer : Timer.t option;
-  mutable sample : (int * Time.t) option;
+  (* One in-flight RTT sample, flattened from [(int * Time.t) option] so
+     (re)starting a sample does not allocate; [sample_seq < 0] = none. *)
+  mutable sample_seq : int;
+  mutable sample_sent : Time.t;
   scoreboard : (int, unit) Hashtbl.t;
   rtx_done : (int, unit) Hashtbl.t;
   mutable retransmissions : int;
@@ -81,11 +86,11 @@ let emit t event =
       event;
     }
 
-let effective_window t = Stdlib.max 1 (int_of_float t.cwnd)
+let effective_window t = Stdlib.max 1 (int_of_float t.w.(0))
 
 let outstanding t = t.snd_nxt - t.snd_una
 
-let completed t = t.completed_at <> None
+let completed t = match t.completed_at with None -> false | Some _ -> true
 
 let rto_timer t =
   match t.rto_timer with
@@ -99,21 +104,21 @@ let send_segment t ~seq ~retransmission =
     if t.config.ecn_capable then Net.Packet.Ect else Net.Packet.Not_ect
   in
   let pkt =
-    Net.Packet.make ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
+    Net.Packet.make t.sim ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
       ~size:t.config.segment_bytes ~ecn (Segment.data ~seq)
   in
   if retransmission then begin
     t.retransmissions <- t.retransmissions + 1;
     (* Karn's rule: a retransmission at or below the sampled sequence
        invalidates the sample. *)
-    match t.sample with
-    | Some (s, _) when seq <= s -> t.sample <- None
-    | Some _ | None -> ()
+    if t.sample_seq >= 0 && seq <= t.sample_seq then t.sample_seq <- -1
   end
-  else if t.sample = None && seq >= t.recover then
+  else if t.sample_seq < 0 && seq >= t.recover then begin
     (* Sequences below [recover] may be go-back-N resends of data already
        transmitted once; Karn's rule forbids timing those. *)
-    t.sample <- Some (seq, Sim.now t.sim);
+    t.sample_seq <- seq;
+    t.sample_sent <- Sim.now t.sim
+  end;
   Net.Host.send t.host pkt;
   if not (Timer.is_pending (rto_timer t)) then arm_rto t
 
@@ -150,9 +155,17 @@ let record_sack t blocks =
       blocks
 
 let prune_scoreboard t =
-  Hashtbl.iter
-    (fun seq () -> if seq < t.snd_una then Hashtbl.remove t.scoreboard seq)
-    (Hashtbl.copy t.scoreboard)
+  (* Runs on every new ACK; without SACK the scoreboard is always empty,
+     so check before doing any work (a [Hashtbl.copy] here measurably
+     dominated non-SACK ACK processing). *)
+  if Hashtbl.length t.scoreboard > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun seq () acc -> if seq < t.snd_una then seq :: acc else acc)
+        t.scoreboard []
+    in
+    List.iter (Hashtbl.remove t.scoreboard) stale
+  end
 
 (* Lowest hole in [snd_una, recover) that is neither SACKed nor already
    retransmitted in this recovery episode. *)
@@ -175,11 +188,10 @@ let retransmit_hole t =
 let handle_new_ack t ~ack ~ece =
   let newly = ack - t.snd_una in
   t.snd_una <- ack;
-  (match t.sample with
-  | Some (s, sent_at) when ack > s ->
-      Rtt_estimator.sample t.rtt (Time.diff (Sim.now t.sim) sent_at);
-      t.sample <- None
-  | Some _ | None -> ());
+  if t.sample_seq >= 0 && ack > t.sample_seq then begin
+    Rtt_estimator.sample t.rtt (Time.diff (Sim.now t.sim) t.sample_sent);
+    t.sample_seq <- -1
+  end;
   t.dupacks <- 0;
   prune_scoreboard t;
   if t.in_recovery then begin
@@ -210,7 +222,7 @@ let handle_dup_ack t ~ece =
     if Obs.Trace.enabled t.tracer Obs.Trace.C_fast_retransmit then
       emit t (Obs.Trace.Fast_retransmit { flow = t.flow; snd_una = t.snd_una });
     t.cc.Cc.on_fast_retransmit ();
-    (match t.sample with Some _ -> t.sample <- None | None -> ());
+    t.sample_seq <- -1;
     if t.config.sack then begin
       (* Selective repair: retransmit only the holes the scoreboard shows. *)
       Hashtbl.reset t.rtx_done;
@@ -251,7 +263,7 @@ let handle_rto t =
     t.cc.Cc.on_timeout ();
     t.in_recovery <- false;
     t.dupacks <- 0;
-    t.sample <- None;
+    t.sample_seq <- -1;
     Hashtbl.reset t.scoreboard;
     Hashtbl.reset t.rtx_done;
     (* Go-back-N: rewind and let the window pump resend from snd_una. *)
@@ -281,8 +293,9 @@ let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
       tracer;
       config;
       cc = dummy_cc;
-      cwnd = clamp_cwnd_raw config config.initial_cwnd;
-      ssthresh = config.initial_ssthresh;
+      w =
+        [| clamp_cwnd_raw config config.initial_cwnd;
+           config.initial_ssthresh |];
       snd_una = 0;
       snd_nxt = 0;
       limit = limit_segments;
@@ -293,7 +306,8 @@ let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
         Rtt_estimator.create ~min_rto:config.min_rto ~max_rto:config.max_rto
           ~initial_rto:config.initial_rto ();
       rto_timer = None;
-      sample = None;
+      sample_seq = -1;
+      sample_sent = Time.zero;
       scoreboard = Hashtbl.create 64;
       rtx_done = Hashtbl.create 64;
       retransmissions = 0;
@@ -312,10 +326,10 @@ let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
       Cc.now = (fun () -> Sim.now sim);
       flow;
       tracer;
-      get_cwnd = (fun () -> t.cwnd);
-      set_cwnd = (fun c -> t.cwnd <- clamp_cwnd t c);
-      get_ssthresh = (fun () -> t.ssthresh);
-      set_ssthresh = (fun s -> t.ssthresh <- Float.max s 1.);
+      get_cwnd = (fun () -> t.w.(0));
+      set_cwnd = (fun c -> t.w.(0) <- clamp_cwnd t c);
+      get_ssthresh = (fun () -> t.w.(1));
+      set_ssthresh = (fun s -> t.w.(1) <- Float.max s 1.);
     }
   in
   t.cc <- cc api;
@@ -333,8 +347,8 @@ let start t =
     pump t
   end
 
-let cwnd t = t.cwnd
-let ssthresh t = t.ssthresh
+let cwnd t = t.w.(0)
+let ssthresh t = t.w.(1)
 let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
 let alpha t = t.cc.Cc.alpha ()

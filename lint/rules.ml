@@ -1,12 +1,12 @@
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 type violation = { rule : rule; file : string; line : int; message : string }
 
 exception Parse_error of string * int * string
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -17,6 +17,7 @@ let rule_id = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -28,6 +29,7 @@ let rule_of_id s =
   | "R6" -> Some R6
   | "R7" -> Some R7
   | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let rule_doc = function
@@ -55,6 +57,10 @@ let rule_doc = function
       "no Domain.* / Thread.* / Unix.fork outside lib/exp; Exp.Runner is \
        the only sanctioned parallelism site — simulations stay single-domain \
        so runs are bit-reproducible"
+  | R9 ->
+      "no Obj.magic outside lib/engine/; the engine's pooled containers are \
+       the only audited placeholder-value sites — anywhere else it defeats \
+       the type system"
 
 (* --- Path scoping ------------------------------------------------------ *)
 
@@ -64,6 +70,7 @@ type scope = {
   is_rng : bool;
   is_obs : bool;
   is_exp : bool;
+  is_engine : bool;
 }
 
 let segments path =
@@ -83,6 +90,7 @@ let scope_of_file file =
         is_rng = false;
         is_obs = false;
         is_exp = false;
+        is_engine = false;
       }
   | Some rest ->
       let in_hot_path =
@@ -91,7 +99,8 @@ let scope_of_file file =
       let is_rng = match rest with [ "engine"; "rng.ml" ] -> true | _ -> false in
       let is_obs = match rest with "obs" :: _ -> true | _ -> false in
       let is_exp = match rest with "exp" :: _ -> true | _ -> false in
-      { in_lib = true; in_hot_path; is_rng; is_obs; is_exp }
+      let is_engine = match rest with "engine" :: _ -> true | _ -> false in
+      { in_lib = true; in_hot_path; is_rng; is_obs; is_exp; is_engine }
 
 (* --- Suppression comments ---------------------------------------------- *)
 
@@ -276,6 +285,14 @@ let lint_source ?(rules = all_rules) ~filename source =
       emit R7 loc
         "wall-clock read outside lib/obs; simulated time is Engine.Time and \
          profiling goes through Obs.Profile, so runs stay deterministic";
+    if
+      active R9 && (not sc.is_engine)
+      && match parts with [ "Obj"; "magic" ] -> true | _ -> false
+    then
+      emit R9 loc
+        "Obj.magic outside lib/engine/; only the engine's pooled containers \
+         may use a placeholder value, and their caveats (no float elements) \
+         are documented there";
     if active R8 && not sc.is_exp then
       match parts with
       | ("Domain" | "Thread") :: _ | [ "Unix"; "fork" ] ->

@@ -26,8 +26,12 @@
       strictly single-domain programs — parallelism belongs between runs
       (the runner fans whole specs across domains), never inside one, where
       scheduling nondeterminism would break bit-reproducibility.
+    - {b R9} no [Obj.magic] outside [lib/engine/]: the engine's pooled
+      containers ({!Engine.Heap}, {!Engine.Ring}, the event pool) seed
+      empty slots with an immediate placeholder and are the only audited
+      sites; anywhere else [Obj.magic] defeats the type system.
 
-    Rules R1–R4 and R6–R8 are detected on the parsetree ({!lint_source}); R2
+    Rules R1–R4 and R6–R9 are detected on the parsetree ({!lint_source}); R2
     is necessarily a syntactic heuristic (the parsetree is untyped): an
     equality is flagged when either operand is recognisably a float — a
     float literal, float arithmetic ([+.], [*.], ...), a [float] type
@@ -38,7 +42,7 @@
     comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
     [all]). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 type violation = {
   rule : rule;

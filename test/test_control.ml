@@ -242,18 +242,14 @@ let df_of_policy ~k1_pkts ~k2_pkts ~x_pkts ~n =
     for i = 0 to n - 1 do
       let theta = 2. *. Float.pi *. float_of_int i /. float_of_int n in
       let occ = occupancy theta in
-      let o =
-        {
-          Net.Marking.bytes = int_of_float occ;
-          packets = int_of_float (occ /. scale_bytes);
-        }
-      in
+      let bytes = int_of_float occ in
+      let packets = int_of_float (occ /. scale_bytes) in
       let mark =
-        if occ >= !prev then policy.Net.Marking.on_enqueue o
+        if occ >= !prev then policy.Net.Marking.on_enqueue ~bytes ~packets
         else begin
-          policy.Net.Marking.on_dequeue o;
+          policy.Net.Marking.on_dequeue ~bytes ~packets;
           (* query state without a crossing *)
-          policy.Net.Marking.on_enqueue o
+          policy.Net.Marking.on_enqueue ~bytes ~packets
         end
       in
       prev := occ;

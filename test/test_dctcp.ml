@@ -15,11 +15,11 @@ let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 let drive policy walk =
   List.map
     (fun (dir, occ) ->
-      let o = { Marking.bytes = occ; packets = occ / 1500 } in
       match dir with
-      | `Enq -> Some (policy.Marking.on_enqueue o)
+      | `Enq ->
+          Some (policy.Marking.on_enqueue ~bytes:occ ~packets:(occ / 1500))
       | `Deq ->
-          policy.Marking.on_dequeue o;
+          policy.Marking.on_dequeue ~bytes:occ ~packets:(occ / 1500);
           None)
     walk
 
@@ -520,19 +520,19 @@ let test_protocol_fresh_marking_instances () =
   let m1 = proto.Dctcp.Protocol.marking () in
   let m2 = proto.Dctcp.Protocol.marking () in
   (* Drive m1 into the marking state; m2 must be unaffected. *)
-  ignore (m1.Marking.on_enqueue { Marking.bytes = 4500; packets = 3 });
+  ignore (m1.Marking.on_enqueue ~bytes:4500 ~packets:3);
   checkb "m2 state independent" false
-    (m2.Marking.on_enqueue { Marking.bytes = 1000; packets = 1 })
+    (m2.Marking.on_enqueue ~bytes:1000 ~packets:1)
 
 let test_protocol_pkts_constructors () =
   let p = Dctcp.Protocol.dctcp_pkts ~k:40 () in
   let m = p.Dctcp.Protocol.marking () in
   checkb "marks above 40 pkts" true
-    (m.Marking.on_enqueue { Marking.bytes = 61500; packets = 41 });
+    (m.Marking.on_enqueue ~bytes:61500 ~packets:41);
   let p2 = Dctcp.Protocol.dt_dctcp_pkts ~k1:30 ~k2:50 () in
   let m2 = p2.Dctcp.Protocol.marking () in
   checkb "dt marks above k1 rising" true
-    (m2.Marking.on_enqueue { Marking.bytes = 46500; packets = 31 })
+    (m2.Marking.on_enqueue ~bytes:46500 ~packets:31)
 
 let qtest = QCheck_alcotest.to_alcotest
 

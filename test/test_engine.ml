@@ -1,4 +1,5 @@
-(* Tests for the discrete-event engine: time, heap, rng, simulator, timers. *)
+(* Tests for the discrete-event engine: time, heap, rng, simulator,
+   the monomorphic event queue, ring buffers, and timers. *)
 
 module Time = Engine.Time
 module Heap = Engine.Heap
@@ -422,6 +423,322 @@ let prop_sim_fires_in_time_order =
       in
       List.length order = List.length delays_us && non_decreasing order)
 
+(* --- Event_queue --- *)
+
+module Eq = Engine.Event_queue
+
+(* Drive the monomorphic queue and a naive model (hashtable of live
+   events, min found by scan) through the same trace and demand the
+   same observable behaviour: pop order, popped times, cancel results.
+   The model keys events by schedule order, which is exactly the
+   queue's [seq] tie-break, so the expected order is total. *)
+let run_event_queue_trace ops =
+  let q = Eq.create ~capacity:4 () in
+  let ids = ref [] (* (tag, id), newest first *) in
+  let n_issued = ref 0 in
+  let model = Hashtbl.create 64 (* tag -> key_ns, live events only *) in
+  let fired = ref (-1) in
+  let ok = ref true in
+  let model_min () =
+    Hashtbl.fold
+      (fun tag key acc ->
+        match acc with
+        | Some (k, tg) when k < key || (k = key && tg < tag) -> acc
+        | _ -> Some (key, tag))
+      model None
+  in
+  let do_pop () =
+    match (Eq.pop q, model_min ()) with
+    | false, None -> ()
+    | true, Some (key, tag) ->
+        fired := -1;
+        (Eq.popped_action q) ();
+        if !fired <> tag then ok := false;
+        if Int64.to_int (Time.to_ns (Eq.popped_time q)) <> key then
+          ok := false;
+        Hashtbl.remove model tag
+    | true, None | false, Some _ -> ok := false
+  in
+  List.iter
+    (fun (kind, v) ->
+      match kind with
+      | 0 ->
+          let tag = !n_issued in
+          incr n_issued;
+          let id =
+            Eq.add q ~time:(Time.of_ns (Int64.of_int v)) (fun () ->
+                fired := tag)
+          in
+          ids := (tag, id) :: !ids;
+          Hashtbl.replace model tag v
+      | 1 -> (
+          match !ids with
+          | [] -> ()
+          | l ->
+              let tag, id = List.nth l (v mod List.length l) in
+              let was_live = Hashtbl.mem model tag in
+              let cancelled = Eq.cancel q id in
+              if cancelled <> was_live then ok := false;
+              if cancelled then Hashtbl.remove model tag)
+      | _ -> do_pop ())
+    ops;
+  (* Drain whatever is left; the guard keeps a broken queue from
+     spinning instead of failing. *)
+  let guard = ref (List.length ops + 1) in
+  while !ok && (Eq.live q > 0 || Hashtbl.length model > 0) && !guard > 0 do
+    decr guard;
+    do_pop ()
+  done;
+  !ok && Eq.live q = 0 && Hashtbl.length model = 0
+
+let prop_event_queue_matches_model =
+  QCheck.Test.make ~count:300
+    ~name:"Event_queue matches a naive model on schedule/cancel/pop traces"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 200)
+        (pair (int_bound 2) (int_bound 1_000)))
+    run_event_queue_trace
+
+(* Cancel-heavy traces: bias the op mix so live events accumulate past
+   the compaction threshold (64) and cancels then outnumber the
+   survivors, exercising the cancel-then-compact interleavings. *)
+let prop_event_queue_cancel_heavy =
+  QCheck.Test.make ~count:100
+    ~name:"Event_queue survives cancel-then-compact interleavings"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 100 400)
+        (pair (int_bound 8) (int_bound 1_000)))
+    (fun raw ->
+      (* kinds 0-4 schedule, 5-7 cancel, 8 pops: schedules outnumber
+         cancels early (occupancy crosses 64), cancels hit a deep heap. *)
+      let ops =
+        List.map
+          (fun (k, v) -> ((if k <= 4 then 0 else if k <= 7 then 1 else 2), v))
+          raw
+      in
+      run_event_queue_trace ops)
+
+(* Same game against the generic [Heap] the simulator used before: the
+   reference orders (key, seq) pairs with a comparison closure and
+   models cancellation as a skip-set consulted at pop, which is exactly
+   the old engine's scheme. *)
+let prop_event_queue_matches_heap =
+  QCheck.Test.make ~count:200
+    ~name:"Event_queue pop order equals the generic reference Heap's"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 150)
+        (pair (int_bound 2) (int_bound 500)))
+    (fun ops ->
+      let q = Eq.create ~capacity:4 () in
+      let cmp (k1, s1) (k2, s2) =
+        if k1 <> k2 then Int.compare k1 k2 else Int.compare s1 s2
+      in
+      let h = Heap.create ~capacity:4 ~cmp () in
+      let cancelled = Hashtbl.create 16 in
+      let ids = ref [] in
+      let n = ref 0 in
+      let fired = ref (-1) in
+      let ok = ref true in
+      let rec heap_pop () =
+        match Heap.pop h with
+        | Some (_, s) when Hashtbl.mem cancelled s -> heap_pop ()
+        | other -> other
+      in
+      let do_pop () =
+        match (Eq.pop q, heap_pop ()) with
+        | false, None -> ()
+        | true, Some (k, s) ->
+            fired := -1;
+            (Eq.popped_action q) ();
+            if !fired <> s then ok := false;
+            if Int64.to_int (Time.to_ns (Eq.popped_time q)) <> k then
+              ok := false
+        | true, None | false, Some _ -> ok := false
+      in
+      List.iter
+        (fun (kind, v) ->
+          match kind with
+          | 0 ->
+              let s = !n in
+              incr n;
+              let id =
+                Eq.add q ~time:(Time.of_ns (Int64.of_int v)) (fun () ->
+                    fired := s)
+              in
+              Heap.push h (v, s);
+              ids := (s, id) :: !ids
+          | 1 -> (
+              match !ids with
+              | [] -> ()
+              | l ->
+                  let s, id = List.nth l (v mod List.length l) in
+                  if Eq.cancel q id then Hashtbl.replace cancelled s ())
+          | _ -> do_pop ())
+        ops;
+      let guard = ref (List.length ops + 1) in
+      while !ok && Eq.live q > 0 && !guard > 0 do
+        decr guard;
+        do_pop ()
+      done;
+      !ok && Eq.live q = 0 && heap_pop () = None)
+
+let test_event_queue_compaction_sweep () =
+  let q = Eq.create ~capacity:4 () in
+  let fired = ref [] in
+  let ids =
+    List.init 200 (fun i ->
+        Eq.add q ~time:(Time.of_ns (Int64.of_int i)) (fun () ->
+            fired := i :: !fired))
+  in
+  (* Cancel 150 of 200: dead outruns live well past the sweep trigger,
+     so the heap must have compacted the corpses away. *)
+  List.iteri (fun i id -> if i mod 4 <> 0 then ignore (Eq.cancel q id)) ids;
+  checki "live survivors" 50 (Eq.live q);
+  checkb "compaction swept the cancelled events" true (Eq.length q < 100);
+  while Eq.pop q do
+    (Eq.popped_action q) ()
+  done;
+  let order = List.rev !fired in
+  checki "all survivors fired" 50 (List.length order);
+  checkb "in schedule order" true (order = List.sort compare order)
+
+let test_event_queue_stale_cancel () =
+  let q = Eq.create () in
+  let id = Eq.add q ~time:(Time.of_ns 5L) ignore in
+  checkb "pop fires it" true (Eq.pop q);
+  (* The record is back in the pool; the old id must now be inert. *)
+  checkb "stale id rejected" false (Eq.cancel q id);
+  let id2 = Eq.add q ~time:(Time.of_ns 7L) ignore in
+  checkb "slot reuse keeps new id valid" true (Eq.cancel q id2)
+
+(* Steady-state schedule->pop churn through the pool must not allocate
+   per event beyond the boxed Time.t that [schedule_after] builds. The
+   budget (8 words/event) is far below what an event record or closure
+   per event would cost, so a pooling regression trips it. *)
+let test_event_queue_alloc_regression () =
+  let sim = Sim.create () in
+  let left = ref 0 in
+  let rec act () =
+    decr left;
+    if !left > 0 then ignore (Sim.schedule_after sim (Time.span_of_us 1.) act)
+  in
+  let churn n =
+    left := n;
+    ignore (Sim.schedule_after sim (Time.span_of_us 1.) act);
+    Sim.run sim
+  in
+  churn 1_000 (* warm the pool and heap *);
+  let pool0 = Sim.event_pool_size sim in
+  let before = Gc.minor_words () in
+  let n = 20_000 in
+  churn n;
+  let per_event = (Gc.minor_words () -. before) /. float_of_int n in
+  checkb
+    (Printf.sprintf "%.1f words/event within budget" per_event)
+    true
+    (per_event <= 8.);
+  checki "pool is steady under churn" pool0 (Sim.event_pool_size sim)
+
+let test_heap_drain_releases_elements () =
+  (* After growth and a full drain the heap must not pin the popped
+     elements: ~2 MB of strings passed through, so a reachable size in
+     the hundreds of words proves every slot was cleared. *)
+  let h = Heap.create ~capacity:4 ~cmp:String.compare () in
+  for i = 0 to 511 do
+    Heap.push h (String.make 4096 (Char.chr (i land 0xff)))
+  done;
+  while Heap.pop h <> None do
+    ()
+  done;
+  let words = Obj.reachable_words (Obj.repr h) in
+  checkb
+    (Printf.sprintf "drained heap retains %d words" words)
+    true (words < 4_096)
+
+(* --- Ring --- *)
+
+module Ring = Engine.Ring
+
+let test_ring_fifo_basics () =
+  let r = Ring.create ~capacity:2 () in
+  checkb "fresh ring empty" true (Ring.is_empty r);
+  for i = 1 to 5 do
+    Ring.push r i
+  done;
+  checki "length" 5 (Ring.length r);
+  checkb "peek" true (Ring.peek_opt r = Some 1);
+  checki "pop front" 1 (Ring.pop r);
+  checki "then next" 2 (Ring.pop r);
+  checki "length after pops" 3 (Ring.length r)
+
+let test_ring_pop_empty_raises () =
+  let r : int Ring.t = Ring.create () in
+  checkb "pop_opt on empty" true (Ring.pop_opt r = None);
+  Alcotest.check_raises "pop on empty" Not_found (fun () ->
+      ignore (Ring.pop r))
+
+let test_ring_wraparound_growth () =
+  (* Pop a few from the front, refill past the old back: the write
+     index wraps before the buffer grows, so growth must linearise the
+     wrapped contents. *)
+  let r = Ring.create ~capacity:4 () in
+  for i = 0 to 3 do
+    Ring.push r i
+  done;
+  checki "pop 0" 0 (Ring.pop r);
+  checki "pop 1" 1 (Ring.pop r);
+  for i = 4 to 9 do
+    Ring.push r i
+  done;
+  let seen = ref [] in
+  Ring.iter (fun x -> seen := x :: !seen) r;
+  Alcotest.(check (list int))
+    "iter front-to-back across the wrap" [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !seen);
+  let out = ref [] in
+  while not (Ring.is_empty r) do
+    out := Ring.pop r :: !out
+  done;
+  Alcotest.(check (list int))
+    "drain order" [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:2 () in
+  for i = 0 to 9 do
+    Ring.push r i
+  done;
+  Ring.clear r;
+  checkb "cleared" true (Ring.is_empty r);
+  Ring.push r 42;
+  checki "usable after clear" 42 (Ring.pop r)
+
+let prop_ring_matches_queue =
+  QCheck.Test.make ~count:300 ~name:"Ring behaves like Stdlib.Queue"
+    QCheck.(
+      list_of_size Gen.(int_range 0 200) (pair bool (int_bound 1_000)))
+    (fun ops ->
+      let r = Ring.create ~capacity:1 () in
+      let q = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Ring.push r v;
+            Queue.add v q;
+            true
+          end
+          else
+            match (Ring.pop_opt r, Queue.take_opt q) with
+            | None, None -> true
+            | Some a, Some b -> a = b
+            | _ -> false)
+        ops
+      && Ring.length r = Queue.length q
+      && Ring.peek_opt r = Queue.peek_opt q)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -473,6 +790,29 @@ let suites =
         Alcotest.test_case "step" `Quick test_sim_step;
         Alcotest.test_case "events processed" `Quick test_sim_events_processed;
         qtest prop_sim_fires_in_time_order;
+      ] );
+    ( "engine.event_queue",
+      [
+        Alcotest.test_case "compaction sweep" `Quick
+          test_event_queue_compaction_sweep;
+        Alcotest.test_case "stale cancel rejected" `Quick
+          test_event_queue_stale_cancel;
+        Alcotest.test_case "allocation regression" `Quick
+          test_event_queue_alloc_regression;
+        Alcotest.test_case "heap drain releases elements" `Quick
+          test_heap_drain_releases_elements;
+        qtest prop_event_queue_matches_model;
+        qtest prop_event_queue_matches_heap;
+        qtest prop_event_queue_cancel_heavy;
+      ] );
+    ( "engine.ring",
+      [
+        Alcotest.test_case "FIFO basics" `Quick test_ring_fifo_basics;
+        Alcotest.test_case "pop on empty" `Quick test_ring_pop_empty_raises;
+        Alcotest.test_case "wraparound and growth" `Quick
+          test_ring_wraparound_growth;
+        Alcotest.test_case "clear" `Quick test_ring_clear;
+        qtest prop_ring_matches_queue;
       ] );
     ( "engine.timer",
       [

@@ -1,5 +1,5 @@
 (* Tests for the dtlint static-analysis rules (lint/rules.ml), driven by
-   inline fixture snippets: one positive case per rule R1-R8, the scoping
+   inline fixture snippets: one positive case per rule R1-R9, the scoping
    exemptions, and the suppression-comment escape hatch. *)
 
 module Rules = Dtlint.Rules
@@ -143,6 +143,29 @@ let test_r8_exp_exempt () =
   check_findings "Atomic is not a parallelism primitive" []
     (findings ~file:"lib/net/packet.ml" "let c = Atomic.make 0\n")
 
+(* --- R9: Obj.magic outside lib/engine --- *)
+
+let test_r9_obj_magic () =
+  check_findings "Obj.magic in lib/net" [ ("R9", 1) ]
+    (findings ~file:"lib/net/queue_disc.ml"
+       "let placeholder () = Obj.magic 0\n");
+  check_findings "Obj.magic in bench" [ ("R9", 1) ]
+    (findings ~file:"bench/perf.ml" "let x : int = Obj.magic \"boo\"\n");
+  check_findings "Stdlib-qualified" [ ("R9", 1) ]
+    (findings ~file:"bin/dtsim.ml" "let x : int = Stdlib.Obj.magic 1.0\n");
+  (* Other Obj functions are not the hazard R9 polices. *)
+  check_findings "Obj.repr untouched" []
+    (findings ~file:"lib/net/queue_disc.ml"
+       "let words x = Obj.reachable_words (Obj.repr x)\n")
+
+let test_r9_engine_exempt () =
+  check_findings "lib/engine containers may seed placeholder slots" []
+    (findings ~file:"lib/engine/ring.ml"
+       "let slot () = Obj.magic 0\n");
+  check_findings "suppression works for R9" []
+    (findings ~file:"lib/net/queue_disc.ml"
+       "let p () = Obj.magic 0 (* dtlint: allow R9 *)\n")
+
 (* --- suppression comments --- *)
 
 let test_suppression () =
@@ -201,6 +224,9 @@ let suites =
         Alcotest.test_case "R8 parallelism primitives" `Quick
           test_r8_parallelism;
         Alcotest.test_case "R8 lib/exp exempt" `Quick test_r8_exp_exempt;
+        Alcotest.test_case "R9 Obj.magic outside engine" `Quick
+          test_r9_obj_magic;
+        Alcotest.test_case "R9 lib/engine exempt" `Quick test_r9_engine_exempt;
         Alcotest.test_case "suppression comment" `Quick test_suppression;
         Alcotest.test_case "rule selection" `Quick test_rule_selection;
         Alcotest.test_case "parse errors surface" `Quick test_parse_error;

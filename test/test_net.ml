@@ -11,9 +11,13 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 
-let mk_pkt ?(src = 0) ?(dst = 1) ?(flow = 0) ?(size = 1500)
+(* A dedicated sim that only hands out packet ids for tests that do not
+   otherwise need one. *)
+let pkt_sim = Sim.create ()
+
+let mk_pkt ?(sim = pkt_sim) ?(src = 0) ?(dst = 1) ?(flow = 0) ?(size = 1500)
     ?(ecn = Packet.Ect) () =
-  Packet.make ~src ~dst ~flow ~size ~ecn Packet.No_payload
+  Packet.make sim ~src ~dst ~flow ~size ~ecn Packet.No_payload
 
 (* --- Packet --- *)
 
@@ -27,6 +31,23 @@ let test_packet_fields () =
 let test_packet_ids_unique () =
   let a = mk_pkt () and b = mk_pkt () in
   checkb "distinct ids" true (a.Packet.id <> b.Packet.id)
+
+let test_packet_ids_per_sim () =
+  (* Packet ids come from the owning sim's counter, not process-global
+     state, so two runs hand out the same sequence however many other
+     sims are interleaved with them. *)
+  let ids_of sim others =
+    List.init 8 (fun i ->
+        List.iter (fun o -> if i mod 2 = 0 then ignore (mk_pkt ~sim:o ())) others;
+        (mk_pkt ~sim ()).Packet.id)
+  in
+  let a = Sim.create ~seed:9L () and b = Sim.create ~seed:9L () in
+  let noise = Sim.create () in
+  let ids_a = ids_of a [ noise ] in
+  let ids_b = ids_of b [] in
+  Alcotest.(check (list int)) "identical id sequences" ids_a ids_b;
+  Alcotest.(check (list int))
+    "dense from 1" [ 1; 2; 3; 4; 5; 6; 7; 8 ] ids_b
 
 let test_packet_mark () =
   let p = mk_pkt ~ecn:Packet.Ect () in
@@ -53,7 +74,7 @@ let test_packet_bad_size () =
 let test_marking_none () =
   let m = Marking.none () in
   checkb "never marks" false
-    (m.Marking.on_enqueue { Marking.bytes = 1_000_000; packets = 1000 })
+    (m.Marking.on_enqueue ~bytes:1_000_000 ~packets:1000)
 
 let test_marking_red_below_min () =
   let m =
@@ -61,7 +82,7 @@ let test_marking_red_below_min () =
       ~weight:1.0 ~avg_pkt_size:1500 ()
   in
   checkb "below min never marks" false
-    (m.Marking.on_enqueue { Marking.bytes = 5000; packets = 4 })
+    (m.Marking.on_enqueue ~bytes:5000 ~packets:4)
 
 let test_marking_red_above_max () =
   let m =
@@ -69,7 +90,7 @@ let test_marking_red_above_max () =
       ~weight:1.0 ~avg_pkt_size:1500 ()
   in
   checkb "above max always marks" true
-    (m.Marking.on_enqueue { Marking.bytes = 30_000; packets = 20 })
+    (m.Marking.on_enqueue ~bytes:30_000 ~packets:20)
 
 let test_marking_red_validation () =
   checkb "max<=min raises" true
@@ -115,8 +136,9 @@ let test_queue_tail_drop () =
 let test_queue_marks_via_policy () =
   let sim = Sim.create () in
   let policy =
-    Marking.make ~name:"always" ~on_enqueue:(fun _ -> true)
-      ~on_dequeue:(fun _ -> ())
+    Marking.make ~name:"always"
+      ~on_enqueue:(fun ~bytes:_ ~packets:_ -> true)
+      ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
   in
   let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
   let ect = mk_pkt ~ecn:Packet.Ect () in
@@ -132,11 +154,11 @@ let test_queue_policy_sees_occupancy () =
   let seen = ref [] in
   let policy =
     Marking.make ~name:"spy"
-      ~on_enqueue:(fun occ ->
-        seen := `Enq (occ.Marking.bytes, occ.Marking.packets) :: !seen;
+      ~on_enqueue:(fun ~bytes ~packets ->
+        seen := `Enq (bytes, packets) :: !seen;
         false)
-      ~on_dequeue:(fun occ ->
-        seen := `Deq (occ.Marking.bytes, occ.Marking.packets) :: !seen)
+      ~on_dequeue:(fun ~bytes ~packets ->
+        seen := `Deq (bytes, packets) :: !seen)
   in
   let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
   ignore (Q.enqueue q (mk_pkt ~size:100 ()));
@@ -415,8 +437,9 @@ let test_dumbbell_bottleneck_marks () =
     Net.Topology.dumbbell sim ~n_senders:1 ~bottleneck_rate_bps:1e9
       ~rtt:(Time.span_of_us 100.) ~buffer_bytes:100_000
       ~marking:
-        (Marking.make ~name:"always" ~on_enqueue:(fun _ -> true)
-           ~on_dequeue:(fun _ -> ()))
+        (Marking.make ~name:"always"
+           ~on_enqueue:(fun ~bytes:_ ~packets:_ -> true)
+           ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ()))
       ()
   in
   let ce = ref false in
@@ -660,6 +683,8 @@ let suites =
       [
         Alcotest.test_case "fields" `Quick test_packet_fields;
         Alcotest.test_case "unique ids" `Quick test_packet_ids_unique;
+        Alcotest.test_case "per-sim id determinism" `Quick
+          test_packet_ids_per_sim;
         Alcotest.test_case "CE marking" `Quick test_packet_mark;
         Alcotest.test_case "not-ect immune to marking" `Quick
           test_packet_mark_not_ect;

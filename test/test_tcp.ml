@@ -341,7 +341,7 @@ let test_receiver_ooo_buffering () =
   let r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 () in
   let push seq =
     Net.Host.receive h
-      (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
          (Tcp.Segment.data ~seq))
   in
   push 0;
@@ -368,7 +368,7 @@ let test_receiver_echo_per_packet () =
   let _r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 () in
   let push seq ecn =
     Net.Host.receive h
-      (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
+      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
          (Tcp.Segment.data ~seq))
   in
   push 0 Net.Packet.Ect;
@@ -397,7 +397,7 @@ let test_receiver_echo_dctcp_delayed () =
   in
   let push seq ecn =
     Net.Host.receive h
-      (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
+      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
          (Tcp.Segment.data ~seq))
   in
   (* two unmarked packets -> one coalesced ACK(ece=false) *)
@@ -442,7 +442,7 @@ let test_receiver_sack_blocks () =
   let _r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 ~sack:true () in
   let push seq =
     Net.Host.receive h
-      (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
          (Tcp.Segment.data ~seq));
     Sim.run sim
   in
@@ -479,7 +479,7 @@ let test_receiver_sack_block_limit () =
   List.iter
     (fun seq ->
       Net.Host.receive h
-        (Net.Packet.make ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+        (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
            (Tcp.Segment.data ~seq)))
     [ 2; 4; 6; 8; 10 ];
   Sim.run sim;
