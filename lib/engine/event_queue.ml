@@ -38,6 +38,14 @@ let noop () = ()
    times while the caller still holds the old id. *)
 let gen_bits = 32
 let gen_mask = (1 lsl gen_bits) - 1
+
+(* The packing needs idx and gen to occupy disjoint bit ranges of a
+   native int. On a 32-bit target (or js_of_ocaml) [idx lsl 32] is 0
+   for every slot, so all ids would alias pool slot 0 and stale-cancel
+   detection would silently break — fail loudly instead. *)
+let () =
+  if Sys.int_size < 63 then
+    failwith "Event_queue: requires 63-bit native ints (32-bit unsupported)"
 let id_of ev = (ev.idx lsl gen_bits) lor (ev.gen land gen_mask)
 let none = -1
 
@@ -228,7 +236,23 @@ let add t ~time action =
   heap_push t ev;
   id_of ev
 
-let min_key_ns t = if t.size = 0 then max_int else t.heap.(0).key_ns
+(* Key of the next event [pop] would fire, or [max_int] when no live
+   event remains. Cancelled records met at the root are recycled en
+   route — exactly the ones the next [pop] would skip anyway — so the
+   deadline loop in [Sim.run] never fires a live event past its stop
+   time just because a dead root happened to sit in front of it. *)
+let rec live_min_key_ns t =
+  if t.size = 0 then max_int
+  else begin
+    let root = t.heap.(0) in
+    if root.live then root.key_ns
+    else begin
+      heap_drop_root t;
+      t.dead_count <- t.dead_count - 1;
+      release t root;
+      live_min_key_ns t
+    end
+  end
 
 (* Compaction: drop every cancelled record, then bottom-up heapify in
    O(n). Pop order is unaffected (the (key, seq) order is total). *)
@@ -247,7 +271,10 @@ let compact t =
   done;
   t.size <- !j;
   t.dead_count <- 0;
-  for i = ((t.size - 2) lsr 2) downto 0 do
+  (* [asr], not [lsr]: when compaction leaves <= 1 survivor the bound
+     is negative and must stay negative (skipping the loop), not wrap
+     to a huge index. *)
+  for i = ((t.size - 2) asr 2) downto 0 do
     sift_down t i t.heap.(i)
   done
 

@@ -64,7 +64,10 @@ val pop : t -> bool
 val popped_time : t -> Time.t
 val popped_action : t -> unit -> unit
 
-val min_key_ns : t -> int
-(** Nanosecond key of the heap root — the next event to pop, which may
-    be a not-yet-swept cancelled one — or [max_int] when empty. Lets the
-    run-until loop compare against a deadline without boxing. *)
+val live_min_key_ns : t -> int
+(** Nanosecond key of the next event {!pop} would fire, or [max_int]
+    when no live event remains. Cancelled records met at the root are
+    recycled on the way — the same ones the next [pop] would skip — so
+    the result is the true live minimum, never the key of a stale
+    cancelled root. Lets the run-until loop compare against a deadline
+    without boxing and without overshooting it. *)

@@ -66,10 +66,14 @@ let run ?until t =
   | None -> while step t do () done
   | Some stop ->
       (* Keys are int nanoseconds, so the deadline comparison in the
-         loop is a single unboxed compare. [min_key_ns] is [max_int]
-         when the queue is empty, which never passes the guard. *)
+         loop is a single unboxed compare. [live_min_key_ns] recycles
+         not-yet-swept cancelled roots itself and returns [max_int]
+         when no live event remains, so the guard only passes when the
+         event [step] will actually fire is at or before [stop] — a
+         live event past the deadline never fires just because a dead
+         root sat in front of it. *)
       let stop_ns = Int64.to_int (Time.to_ns stop) in
-      while Event_queue.min_key_ns t.q <= stop_ns do
+      while Event_queue.live_min_key_ns t.q <= stop_ns do
         ignore (step t)
       done;
       if Time.(t.now < stop) then t.now <- stop

@@ -291,6 +291,21 @@ let test_sim_lazy_compaction () =
   checki "only survivors processed" (n / 10) (Sim.events_processed sim);
   checki "heap drained" 0 (Sim.heap_size sim)
 
+let test_sim_run_until_no_overshoot () =
+  (* A not-yet-swept cancelled root must not let [run ~until] overshoot:
+     its key is inside the deadline, but the event [step] would actually
+     fire lies past it and must stay queued. *)
+  let sim = Sim.create () in
+  let fired = ref false in
+  let dead = Sim.schedule_at sim (Time.of_us 5.) ignore in
+  ignore (Sim.schedule_at sim (Time.of_us 10.) (fun () -> fired := true));
+  Sim.cancel sim dead;
+  Sim.run ~until:(Time.of_us 7.) sim;
+  checkb "live event past the deadline did not fire" false !fired;
+  checkf "clock rests at the deadline" 7e-6 (Time.to_sec (Sim.now sim));
+  Sim.run ~until:(Time.of_us 20.) sim;
+  checkb "fires once the deadline covers it" true !fired
+
 let test_sim_past_raises () =
   let sim = Sim.create () in
   ignore (Sim.schedule_at sim (Time.of_us 5.) (fun () -> ()));
@@ -614,6 +629,50 @@ let test_event_queue_stale_cancel () =
   let id2 = Eq.add q ~time:(Time.of_ns 7L) ignore in
   checkb "slot reuse keeps new id valid" true (Eq.cancel q id2)
 
+(* Builds the compaction corner the heapify bound must survive: [extra]
+   live events at early times plus 63 cancelled ones at late times —
+   dead <= live, so no sweep yet — then pops all but [left] live events
+   so the heap sits exactly at the 64-entry compaction floor when the
+   final cancel tips dead past live and compacts down to [left - 1]
+   survivors. The heapify bound [(size - 2) asr 2] must stay negative
+   for 0 or 1 survivors; a logical shift wraps it to a huge index and
+   the sweep crashes with Invalid_argument. *)
+let compact_down_to q ~left =
+  let extra = 64 + left in
+  let live_ids =
+    Array.init extra (fun i ->
+        Eq.add q ~time:(Time.of_ns (Int64.of_int (i + 1))) ignore)
+  in
+  let dead_ids =
+    Array.init 63 (fun i ->
+        Eq.add q ~time:(Time.of_ns (Int64.of_int (1000 + i))) ignore)
+  in
+  Array.iter (fun id -> ignore (Eq.cancel q id)) dead_ids;
+  checki "dead <= live: nothing swept yet" (extra + 63) (Eq.length q);
+  (* The dead events all sort after the live ones, so each pop fires a
+     live event and the corpses stay put. *)
+  for _ = 1 to extra - left do
+    ignore (Eq.pop q)
+  done;
+  checki "heap at the compaction floor" (63 + left) (Eq.length q);
+  checki "live events remaining" left (Eq.live q);
+  checkb "triggering cancel succeeds" true (Eq.cancel q live_ids.(extra - 1));
+  checki "compacted to the survivors" (left - 1) (Eq.length q)
+
+let test_event_queue_compact_to_empty () =
+  let q = Eq.create () in
+  compact_down_to q ~left:1;
+  checki "no live events" 0 (Eq.live q);
+  (* The queue stays usable after compacting to empty. *)
+  ignore (Eq.add q ~time:(Time.of_ns 5L) ignore);
+  checkb "still pops" true (Eq.pop q)
+
+let test_event_queue_compact_to_one () =
+  let q = Eq.create () in
+  compact_down_to q ~left:2;
+  checkb "survivor fires" true (Eq.pop q);
+  checkf "at its scheduled time" 65e-9 (Time.to_sec (Eq.popped_time q))
+
 (* Steady-state schedule->pop churn through the pool must not allocate
    per event beyond the boxed Time.t that [schedule_after] builds. The
    budget (8 words/event) is far below what an event record or closure
@@ -787,6 +846,8 @@ let suites =
         Alcotest.test_case "until inclusive" `Quick test_sim_until_inclusive;
         Alcotest.test_case "until advances idle clock" `Quick
           test_sim_until_advances_clock_when_idle;
+        Alcotest.test_case "until does not overshoot past a dead root" `Quick
+          test_sim_run_until_no_overshoot;
         Alcotest.test_case "step" `Quick test_sim_step;
         Alcotest.test_case "events processed" `Quick test_sim_events_processed;
         qtest prop_sim_fires_in_time_order;
@@ -797,6 +858,10 @@ let suites =
           test_event_queue_compaction_sweep;
         Alcotest.test_case "stale cancel rejected" `Quick
           test_event_queue_stale_cancel;
+        Alcotest.test_case "compact to empty" `Quick
+          test_event_queue_compact_to_empty;
+        Alcotest.test_case "compact to one survivor" `Quick
+          test_event_queue_compact_to_one;
         Alcotest.test_case "allocation regression" `Quick
           test_event_queue_alloc_regression;
         Alcotest.test_case "heap drain releases elements" `Quick
