@@ -242,6 +242,7 @@ let fluid_vs_sim () =
                   (Exp.Spec.protocol_name proto) n;
               protocol = proto;
               workload = Exp.Spec.Longlived config;
+              faults = None;
             })
           [ Exp.Registry.sim_dctcp; Exp.Registry.sim_dt ])
       ns

@@ -2,7 +2,8 @@
    evaluation, plus ablations and substrate micro-benchmarks.
 
    Usage: main.exe [--quick] [-j N] [section ...]
-   Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid perf
+   Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid
+   robustness perf
    (default: all). -j N fans each section's Exp.Runner sweep across N
    domains; results are bit-identical to -j 1 by construction. *)
 
@@ -31,6 +32,7 @@ let sections =
         Extensions.queue_buildup ();
         Extensions.convergence ();
         Extensions.parking_lot () );
+    ("robustness", Robustness.run);
     ("perf", Perf.run);
   ]
 

@@ -181,6 +181,7 @@ let longlived_cmd =
         Spec.name = "dtsim.longlived";
         protocol;
         workload = Spec.Longlived config;
+        faults = None;
       }
     in
     let classes = parse_trace_events trace_events in
@@ -320,6 +321,7 @@ let incast_cmd =
         Spec.name = "dtsim.incast";
         protocol;
         workload = Spec.Incast { config; sack };
+        faults = None;
       }
     in
     let outcome = exec spec in
@@ -370,6 +372,7 @@ let completion_cmd =
         Spec.name = "dtsim.completion";
         protocol;
         workload = Spec.Completion config;
+        faults = None;
       }
     in
     let outcome = exec spec in
@@ -554,6 +557,7 @@ let deadline_cmd =
         Spec.name = "dtsim.deadline";
         protocol = Spec.Dctcp { g; k_bytes = kkb * 1024 };
         workload = Spec.Deadline { config; d2tcp };
+        faults = None;
       }
     in
     let outcome = exec spec in
@@ -605,7 +609,12 @@ let dynamic_cmd =
       }
     in
     let spec =
-      { Spec.name = "dtsim.dynamic"; protocol; workload = Spec.Dynamic config }
+      {
+        Spec.name = "dtsim.dynamic";
+        protocol;
+        workload = Spec.Dynamic config;
+        faults = None;
+      }
     in
     let outcome = exec spec in
     write_manifest_opt ~file:metrics_out outcome;
@@ -659,6 +668,7 @@ let convergence_cmd =
         Spec.name = "dtsim.convergence";
         protocol;
         workload = Spec.Convergence config;
+        faults = None;
       }
     in
     let outcome = exec spec in

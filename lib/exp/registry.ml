@@ -51,6 +51,7 @@ let fig_queue_specs ?warmup ?measure () =
             Spec.name = named "fig_queue" proto (Printf.sprintf "/n=%d" n);
             protocol = proto;
             workload = Spec.Longlived config;
+            faults = None;
           })
         [ sim_dctcp; sim_dt ])
     [ 10; 100 ]
@@ -67,6 +68,7 @@ let fig_sweep_specs ?(ns = sweep_ns) ?warmup ?measure () =
             Spec.name = named "fig_sweep" proto (Printf.sprintf "/n=%d" n);
             protocol = proto;
             workload = Spec.Longlived config;
+            faults = None;
           })
         [ sim_dctcp; sim_dt ])
     ns
@@ -97,6 +99,7 @@ let fig_incast_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20) () =
                   config = { I.default_config with I.n_flows = n; repeats };
                   sack = false;
                 };
+            faults = None;
           })
         testbed_protocols)
     flow_counts
@@ -113,6 +116,7 @@ let fig_completion_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20)
             workload =
               Spec.Completion
                 { Cp.default_config with Cp.n_flows = n; repeats };
+            faults = None;
           })
         testbed_protocols)
     flow_counts
@@ -126,6 +130,7 @@ let threshold_ablation_specs ?(n = 60) ?warmup ?measure () =
       Spec.name = named "ablation_thresholds" proto "";
       protocol = proto;
       workload = Spec.Longlived config;
+      faults = None;
     }
   in
   point sim_dctcp
@@ -140,6 +145,7 @@ let threshold_ablation_specs ?(n = 60) ?warmup ?measure () =
              Printf.sprintf "ablation_thresholds/dt-dctcp/k1=%d,k2=%d" k1 k2;
            protocol = proto;
            workload = Spec.Longlived config;
+           faults = None;
          })
        threshold_splits
 
@@ -155,6 +161,7 @@ let g_ablation_specs ?(n = 60) ?warmup ?measure () =
             Spec.name = named "ablation_g" proto ("/g=" ^ label);
             protocol = proto;
             workload = Spec.Longlived config;
+            faults = None;
           })
         [
           Spec.Dctcp { g; k_bytes = 40 * 1500 };
@@ -170,6 +177,7 @@ let policy_ablation_specs ?(n = 60) ?warmup ?measure () =
         Spec.name = named "ablation_policies" proto "";
         protocol = proto;
         workload = Spec.Longlived config;
+        faults = None;
       })
     [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
 
@@ -189,6 +197,7 @@ let testbed_label_specs ?(flow_counts = [ 28; 30; 32; 34; 36; 38; 40 ])
                   config = { I.default_config with I.n_flows = n; repeats };
                   sack = false;
                 };
+            faults = None;
           })
         [
           ("dctcp-32KB", testbed_dctcp);
@@ -220,6 +229,7 @@ let d2tcp_specs ?(flow_counts = [ 6; 8; 10; 12; 16; 20 ]) ?(repeats = 10) () =
             Spec.name = Printf.sprintf "d2tcp/%s/n=%d" tag n;
             protocol = sim_dctcp;
             workload = Spec.Deadline { config; d2tcp };
+            faults = None;
           })
         [ ("dctcp", false); ("d2tcp", true) ])
     flow_counts
@@ -235,6 +245,7 @@ let sack_specs ?(flow_counts = [ 28; 32; 34; 36; 40; 44 ]) ?(repeats = 10) ()
             Spec.name = Printf.sprintf "sack/%s/n=%d" tag n;
             protocol = testbed_dctcp;
             workload = Spec.Incast { config; sack };
+            faults = None;
           })
         [ ("go-back-n", false); ("sack", true) ])
     flow_counts
@@ -251,6 +262,7 @@ let queue_buildup_specs ?duration () =
         Spec.name = named "queue_buildup" proto "";
         protocol = proto;
         workload = Spec.Dynamic config;
+        faults = None;
       })
     [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
 
@@ -263,6 +275,7 @@ let convergence_specs ?(join_interval = Time.span_of_ms 400.)
         Spec.name = named "convergence" proto "";
         protocol = proto;
         workload = Spec.Convergence config;
+        faults = None;
       })
     [ sim_dctcp; sim_dt ]
 
@@ -277,6 +290,7 @@ let smoke_specs () =
         Spec.Longlived
           (longlived_config ~warmup:(Time.span_of_ms 2.)
              ~measure:(Time.span_of_ms 5.) ~n:4 ());
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/longlived/dt-dctcp";
@@ -285,6 +299,7 @@ let smoke_specs () =
         Spec.Longlived
           (longlived_config ~warmup:(Time.span_of_ms 2.)
              ~measure:(Time.span_of_ms 5.) ~n:4 ());
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/incast/dt-dctcp";
@@ -295,6 +310,7 @@ let smoke_specs () =
             config = { I.default_config with I.n_flows = 8; repeats = 2 };
             sack = false;
           };
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/completion/dctcp";
@@ -302,6 +318,7 @@ let smoke_specs () =
       workload =
         Spec.Completion
           { Cp.default_config with Cp.n_flows = 8; repeats = 2 };
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/dynamic/dctcp";
@@ -316,6 +333,7 @@ let smoke_specs () =
             warmup = Time.span_of_ms 5.;
             drain = Time.span_of_ms 20.;
           };
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/convergence/dt-dctcp";
@@ -329,6 +347,7 @@ let smoke_specs () =
             hold = Time.span_of_ms 40.;
             sample_window = Time.span_of_ms 5.;
           };
+      faults = None;
     };
     {
       Spec.name = "ci_smoke/deadline/d2tcp";
@@ -336,6 +355,155 @@ let smoke_specs () =
       workload =
         Spec.Deadline
           { config = d2tcp_config ~n:6 ~repeats:2; d2tcp = true };
+      faults = None;
+    };
+  ]
+
+(* --- robustness sweeps (fault injection) --- *)
+
+(* Loss resilience: queue statistics and goodput as random loss grows.
+   DT-DCTCP's claim is steadier queues; these sweeps check the claim
+   does not depend on a loss-free fabric. *)
+let robust_loss_rates = [ 0.0001; 0.001; 0.01; 0.05 ]
+
+let robust_loss_specs ?(loss_rates = robust_loss_rates) ?warmup ?measure
+    ?(n = 40) () =
+  List.concat_map
+    (fun p ->
+      let config = longlived_config ?warmup ?measure ~n () in
+      List.map
+        (fun proto ->
+          {
+            Spec.name = named "robust_loss" proto (Printf.sprintf "/p=%g" p);
+            protocol = proto;
+            workload = Spec.Longlived config;
+            faults = Some { Fault.Plan.none with loss_rate = p };
+          })
+        [ sim_dctcp; sim_dt ])
+    loss_rates
+
+(* Oscillation recovery: take the bottleneck down mid-measurement (and,
+   separately, halve its rate for a window) and watch the queue trace
+   find its operating point again. Trace sampling is on so the recovery
+   transient is visible in `dtsim sweep` output. *)
+let robust_flap_specs ?warmup ?measure ?(n = 40) () =
+  let config =
+    longlived_config ?warmup ?measure
+      ~trace_sampling:(Time.span_of_us 20.) ~n ()
+  in
+  let flap =
+    {
+      Fault.Plan.none with
+      flaps =
+        [
+          {
+            Fault.Plan.down_at = Time.span_of_ms 150.;
+            up_at = Time.span_of_ms 170.;
+          };
+        ];
+    }
+  in
+  let brownout =
+    {
+      Fault.Plan.none with
+      rate_changes =
+        [
+          {
+            Fault.Plan.at = Time.span_of_ms 150.;
+            until = Time.span_of_ms 200.;
+            factor = 0.5;
+          };
+        ];
+    }
+  in
+  List.concat_map
+    (fun (slug, plan) ->
+      List.map
+        (fun proto ->
+          {
+            Spec.name = named "robust_flap" proto ("/" ^ slug);
+            protocol = proto;
+            workload = Spec.Longlived config;
+            faults = Some plan;
+          })
+        [ sim_dctcp; sim_dt ])
+    [ ("flap", flap); ("brownout", brownout) ]
+
+(* ECN degradation: a switch that randomly fails to mark (the "non-ECN
+   switch" scenario). Swept across flow counts because the damage is
+   congestion-dependent: the more senders, the more a lost mark costs. *)
+let robust_suppress_specs ?(ns = [ 10; 40; 70; 100 ]) ?warmup ?measure () =
+  List.concat_map
+    (fun n ->
+      let config = longlived_config ?warmup ?measure ~n () in
+      List.map
+        (fun proto ->
+          {
+            Spec.name =
+              named "robust_suppress" proto (Printf.sprintf "/n=%d" n);
+            protocol = proto;
+            workload = Spec.Longlived config;
+            faults =
+              Some
+                { Fault.Plan.none with suppression = Fault.Plan.Suppress_prob 0.5 };
+          })
+        [ sim_dctcp; sim_dt ])
+    ns
+
+(* Sub-minute faulted slice for CI: one plan of each kind, tiny windows,
+   both workload families that support injection. *)
+let robust_smoke_specs () =
+  let tiny ?trace_sampling () =
+    longlived_config ~warmup:(Time.span_of_ms 2.)
+      ~measure:(Time.span_of_ms 5.) ?trace_sampling ~n:4 ()
+  in
+  [
+    {
+      Spec.name = "robust_smoke/longlived/loss";
+      protocol = sim_dctcp;
+      workload = Spec.Longlived (tiny ());
+      faults = Some { Fault.Plan.none with loss_rate = 0.01 };
+    };
+    {
+      Spec.name = "robust_smoke/longlived/flap";
+      protocol = sim_dt;
+      workload = Spec.Longlived (tiny ());
+      faults =
+        Some
+          {
+            Fault.Plan.none with
+            flaps =
+              [
+                {
+                  Fault.Plan.down_at = Time.span_of_ms 3.;
+                  up_at = Time.span_of_ms 4.;
+                };
+              ];
+          };
+    };
+    {
+      Spec.name = "robust_smoke/longlived/suppress";
+      protocol = sim_dt;
+      workload = Spec.Longlived (tiny ());
+      faults =
+        Some
+          {
+            Fault.Plan.none with
+            suppression = Fault.Plan.Suppress_prob 0.5;
+          };
+    };
+    {
+      Spec.name = "robust_smoke/incast/jitter";
+      protocol = testbed_dctcp;
+      workload =
+        Spec.Incast
+          {
+            config = { I.default_config with I.n_flows = 8; repeats = 2 };
+            sack = false;
+          };
+      faults =
+        Some
+          { Fault.Plan.none with jitter_max = Time.span_of_us 20. };
     };
   ]
 
@@ -409,6 +577,26 @@ let entries =
       name = "ci_smoke";
       doc = "fast cross-workload smoke sweep (CI)";
       specs = smoke_specs;
+    };
+    {
+      name = "robust_loss";
+      doc = "robustness: queue stats and goodput vs random loss rate";
+      specs = (fun () -> robust_loss_specs ());
+    };
+    {
+      name = "robust_flap";
+      doc = "robustness: oscillation recovery after a bottleneck flap";
+      specs = (fun () -> robust_flap_specs ());
+    };
+    {
+      name = "robust_suppress";
+      doc = "robustness: stability vs N when half the ECN marks are lost";
+      specs = (fun () -> robust_suppress_specs ());
+    };
+    {
+      name = "robust_smoke";
+      doc = "fast faulted smoke sweep (CI): loss, flap, suppression, jitter";
+      specs = robust_smoke_specs;
     };
   ]
 

@@ -101,6 +101,44 @@ val convergence_specs :
 val smoke_specs : unit -> Spec.t list
 (** Fast cross-workload slice covering every workload variant. *)
 
+(** {2 Robustness sweeps}
+
+    Faulted variants of the long-lived dumbbell (and one faulted
+    Incast): every spec carries a {!Fault.Plan.t}, so these are the
+    registry's only entries that exercise the injector. *)
+
+val robust_loss_rates : float list
+
+val robust_loss_specs :
+  ?loss_rates:float list ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  ?n:int ->
+  unit ->
+  Spec.t list
+(** Queue statistics and goodput vs seeded Bernoulli loss, DCTCP vs
+    DT-DCTCP. *)
+
+val robust_flap_specs :
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  ?n:int ->
+  unit ->
+  Spec.t list
+(** Bottleneck down/up flap plus a half-rate "brownout" window, with
+    trace sampling on so the recovery transient is visible. *)
+
+val robust_suppress_specs :
+  ?ns:int list ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  unit ->
+  Spec.t list
+(** Stability vs flow count when the switch drops half its ECN marks. *)
+
+val robust_smoke_specs : unit -> Spec.t list
+(** Sub-minute faulted slice for CI: loss, flap, suppression, jitter. *)
+
 (** {2 Lookup} *)
 
 type entry = {

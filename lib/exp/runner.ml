@@ -9,18 +9,33 @@ let metric snapshot name =
   | Some (_, v) -> Some v
   | None -> None
 
-let payload_of ?tracer ~metrics proto (w : Spec.workload) =
+let payload_of ?tracer ~metrics ?faults proto (w : Spec.workload) =
+  (* Workloads that have not grown fault support yet must not silently
+     ignore a plan: a "robustness" result that secretly ran fault-free
+     would be worse than no result. *)
+  let unsupported kind =
+    invalid_arg
+      (Printf.sprintf
+         "Exp.Runner: spec has a fault plan but the %s workload does not \
+          support fault injection"
+         kind)
+  in
   match w with
   | Spec.Longlived cfg ->
-      Outcome.Longlived (Workloads.Longlived.run ?tracer ~metrics proto cfg)
+      Outcome.Longlived
+        (Workloads.Longlived.run ?tracer ~metrics ?faults proto cfg)
   | Spec.Incast { config; sack } ->
-      Outcome.Incast (Workloads.Incast.run_with_sack ~sack proto config)
+      Outcome.Incast (Workloads.Incast.run_with_sack ?faults ~sack proto config)
   | Spec.Completion cfg ->
-      Outcome.Completion (Workloads.Completion.run proto cfg)
-  | Spec.Dynamic cfg -> Outcome.Dynamic (Workloads.Dynamic.run proto cfg)
+      Outcome.Completion (Workloads.Completion.run ?faults proto cfg)
+  | Spec.Dynamic cfg ->
+      if Option.is_some faults then unsupported "dynamic";
+      Outcome.Dynamic (Workloads.Dynamic.run proto cfg)
   | Spec.Convergence cfg ->
+      if Option.is_some faults then unsupported "convergence";
       Outcome.Convergence (Workloads.Convergence.run proto cfg)
   | Spec.Deadline { config; d2tcp } ->
+      if Option.is_some faults then unsupported "deadline";
       let kind =
         if d2tcp then
           Workloads.Deadline.Deadline_aware
@@ -39,7 +54,7 @@ let run_one ?tracer (spec : Spec.t) =
     Obs.Profile.time (fun () ->
         match
           let proto = Spec.protocol_of spec.protocol in
-          payload_of ?tracer ~metrics proto spec.workload
+          payload_of ?tracer ~metrics ?faults:spec.faults proto spec.workload
         with
         | payload -> Outcome.Done payload
         | exception exn ->

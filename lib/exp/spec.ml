@@ -20,7 +20,15 @@ type workload =
   | Convergence of Cv.config
   | Deadline of { config : De.config; d2tcp : bool }
 
-type t = { name : string; protocol : protocol; workload : workload }
+type t = {
+  name : string;
+  protocol : protocol;
+  workload : workload;
+  faults : Fault.Plan.t option;
+}
+
+let make ?faults ~name ~protocol ~workload () =
+  { name; protocol; workload; faults }
 
 let protocol_name = function
   | Dctcp _ -> "dctcp"
@@ -206,12 +214,19 @@ let workload_to_json w =
   Json.Obj (kind :: fields)
 
 let to_json t =
-  Json.Obj
+  (* The "faults" key is omitted (not null) when absent, so a spec
+     without faults serializes byte-identically to one from before fault
+     injection existed — pre-existing manifests stay bit-stable. *)
+  let base =
     [
       ("name", Json.String t.name);
       ("protocol", protocol_to_json t.protocol);
       ("workload", workload_to_json t.workload);
     ]
+  in
+  match t.faults with
+  | None -> Json.Obj base
+  | Some plan -> Json.Obj (base @ [ ("faults", Fault.Plan.to_json plan) ])
 
 let to_string t = Json.to_string (to_json t)
 
@@ -490,7 +505,14 @@ let of_json j =
   let* protocol = protocol_of_json pj in
   let* wj = field "workload" j in
   let* workload = workload_of_json wj in
-  Ok { name; protocol; workload }
+  let* faults =
+    match Json.member "faults" j with
+    | None -> Ok None
+    | Some fj ->
+        let* plan = Fault.Plan.of_json fj in
+        Ok (Some plan)
+  in
+  Ok { name; protocol; workload; faults }
 
 let of_string s =
   let* j = Json.parse s in

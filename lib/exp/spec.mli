@@ -22,7 +22,24 @@ type workload =
   | Convergence of Workloads.Convergence.config
   | Deadline of { config : Workloads.Deadline.config; d2tcp : bool }
 
-type t = { name : string; protocol : protocol; workload : workload }
+type t = {
+  name : string;
+  protocol : protocol;
+  workload : workload;
+  faults : Fault.Plan.t option;
+      (** Optional fault plan for the scenario's bottleneck link. [None]
+          means no injector is ever constructed — the run (and the
+          spec's JSON, which omits the key) is bit-identical to a
+          pre-fault-injection build. *)
+}
+
+val make :
+  ?faults:Fault.Plan.t ->
+  name:string ->
+  protocol:protocol ->
+  workload:workload ->
+  unit ->
+  t
 
 val protocol_name : protocol -> string
 (** Stable identifier, also the JSON [kind] tag: ["dctcp"],
@@ -50,7 +67,8 @@ val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 (** Strict inverse of {!to_json}: every config field is required, so a
     spec written by an older build fails loudly instead of silently
-    filling defaults. *)
+    filling defaults. The one exception is ["faults"], whose absence
+    means {!t.faults}[ = None] — older specs predate the field. *)
 
 val to_string : t -> string
 

@@ -1,0 +1,49 @@
+(** Compiles a {!Plan} into scheduled simulator events and per-packet
+    hooks on one link.
+
+    The injector owns a dedicated [Engine.Rng] stream derived from the
+    spec seed ([seed XOR 'FAULT']), so fault randomness (loss coin
+    flips, jitter draws, probabilistic mark suppression) is bit-stable
+    across repeats and [-j] levels and never perturbs the workload's own
+    stream. Determinism contract: a given (plan, seed, scenario) triple
+    always injects the identical fault sequence; with {!Plan.none}
+    nothing is scheduled or hooked at all.
+
+    Typed [Obs.Trace] events ([Link_down] / [Link_up] / [Pkt_lost] /
+    [Mark_suppressed] / [Rate_changed]) are emitted as faults fire, and
+    [fault.*] probes are registered when [metrics] is given. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  plan:Plan.t ->
+  seed:int64 ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?component:string ->
+  unit ->
+  t
+(** [seed] is the scenario's spec seed; the injector derives its own
+    stream from it. [component] (default ["fault"]) labels trace events.
+    @raise Invalid_argument if {!Plan.validate} rejects the plan. *)
+
+val attach : t -> port:Net.Port.t -> unit
+(** Schedule the plan's flaps and rate changes against [port] (spans
+    relative to the current instant, normally simulation start) and
+    install the loss/jitter delivery hook if either channel is enabled.
+    Call once, on the scenario's bottleneck port. *)
+
+val wrap_marking : t -> Net.Marking.t -> Net.Marking.t
+(** Apply the plan's ECN-mark suppression around a marking policy; the
+    identity when the plan keeps marks. Window spans are relative to the
+    current instant. *)
+
+(** {2 Counters} (also exported as [fault.*] metric probes) *)
+
+val link_downs : t -> int
+val link_ups : t -> int
+val pkts_lost : t -> int
+val pkts_delayed : t -> int
+val marks_suppressed : t -> int
+val rate_changes : t -> int

@@ -6,6 +6,21 @@ type t = {
 
 let make ~name ~on_enqueue ~on_dequeue = { name; on_enqueue; on_dequeue }
 
+let suppress ~active ~on_suppress inner =
+  let on_enqueue ~bytes ~packets =
+    (* Always consult the inner policy first: stateful markers (DT-DCTCP
+       hysteresis, RED's EWMA) must keep observing the queue even while
+       their verdicts are being discarded — a degraded switch loses the
+       marks, not the marker's state. *)
+    let mark = inner.on_enqueue ~bytes ~packets in
+    if mark && active () then begin
+      on_suppress ~bytes ~packets;
+      false
+    end
+    else mark
+  in
+  { name = inner.name ^ "+suppress"; on_enqueue; on_dequeue = inner.on_dequeue }
+
 let none () =
   make ~name:"none"
     ~on_enqueue:(fun ~bytes:_ ~packets:_ -> false)

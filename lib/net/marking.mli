@@ -30,6 +30,17 @@ val make :
 val none : unit -> t
 (** Never marks (plain drop-tail). *)
 
+val suppress :
+  active:(unit -> bool) ->
+  on_suppress:(bytes:int -> packets:int -> unit) ->
+  t ->
+  t
+(** ECN-degradation wrapper (fault injection): the inner policy runs on
+    every enqueue — its internal state keeps advancing — but whenever it
+    asks for a mark while [active ()] holds, the mark is discarded and
+    [on_suppress] is invoked with the occupancy instead. Models a
+    non-ECN or mark-dropping switch without disturbing the marker. *)
+
 val red :
   ?rng:Engine.Rng.t ->
   min_th_bytes:int ->

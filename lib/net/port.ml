@@ -8,13 +8,20 @@ module Time = Engine.Time
    link sit in a ring. Both hand-offs are safe because each is FIFO: a
    port serializes one packet at a time, and with a constant link delay
    deliveries complete in transmit order. *)
+type disposition = Deliver | Lose | Delay of Time.span
+
 type t = {
   sim : Sim.t;
-  rate_bps : float;
+  mutable rate_bps : float;
   delay : Time.span;
   queue : Queue_disc.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  mutable up : bool;
+  (* Fault-injection hook consulted once per delivery; [None] (the
+     default) keeps the pre-fault fast path: a single immediate-value
+     branch. *)
+  mutable fault_hook : (Packet.t -> disposition) option;
   mutable bytes_sent : int;
   mutable packets_sent : int;
   in_flight : Packet.t Engine.Ring.t;
@@ -73,6 +80,8 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       queue;
       deliver;
       busy = false;
+      up = true;
+      fault_hook = None;
       bytes_sent = 0;
       packets_sent = 0;
       in_flight = Engine.Ring.create ~capacity:16 ();
@@ -83,7 +92,22 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       memo_tx = 0L;
     }
   in
-  t.deliver_head <- (fun () -> t.deliver (Engine.Ring.pop t.in_flight));
+  t.deliver_head <-
+    (fun () ->
+      let pkt = Engine.Ring.pop t.in_flight in
+      match t.fault_hook with
+      | None -> t.deliver pkt
+      | Some hook -> (
+          match hook pkt with
+          | Deliver -> t.deliver pkt
+          | Lose -> ()
+          | Delay span ->
+              (* Jittered deliveries leave the FIFO ring discipline: the
+                 packet is already popped, so the extra closure (fault
+                 mode only) is the whole cost, and reordering past later
+                 packets is the point. *)
+              ignore
+                (Sim.schedule_after t.sim span (fun () -> t.deliver pkt))));
   t.tx_done <-
     (fun () ->
       let pkt = t.tx_pkt in
@@ -92,13 +116,29 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       t.packets_sent <- t.packets_sent + 1;
       Engine.Ring.push t.in_flight pkt;
       ignore (Sim.schedule_after t.sim t.delay t.deliver_head);
-      start_tx t);
+      if t.up then start_tx t else t.busy <- false);
   t
 
 let send t pkt =
   match Queue_disc.enqueue t.queue pkt with
   | `Dropped -> ()
-  | `Enqueued -> if not t.busy then start_tx t
+  | `Enqueued -> if not t.busy && t.up then start_tx t
+
+let set_up t up =
+  if up && not t.up then begin
+    t.up <- true;
+    if not t.busy then start_tx t
+  end
+  else if not up then t.up <- false
+
+let is_up t = t.up
+
+let set_rate t rate_bps =
+  if rate_bps <= 0. then invalid_arg "Port.set_rate: rate must be positive";
+  t.rate_bps <- rate_bps;
+  t.memo_size <- -1
+
+let set_fault_hook t hook = t.fault_hook <- Some hook
 
 let queue t = t.queue
 let rate_bps t = t.rate_bps

@@ -33,9 +33,11 @@ let connect_host_to_switch sim host switch ~rate_bps ~delay
 
 let connect_switches sim a b ~rate_bps ~delay
     ?(buffer_ab = default_access_buffer) ?(buffer_ba = default_access_buffer)
-    ?(marking_ab = Marking.none ()) ?(marking_ba = Marking.none ()) () =
+    ?(marking_ab = Marking.none ()) ?(marking_ba = Marking.none ())
+    ?tracer_ab ?tracer_ba ?metrics_ab ?metrics_ba () =
   let q_ab =
     Queue_disc.create sim ~capacity_bytes:buffer_ab ~marking:marking_ab
+      ?tracer:tracer_ab ?metrics:metrics_ab
       ~name:(Printf.sprintf "sw%d->sw%d" (Switch.id a) (Switch.id b))
       ()
   in
@@ -46,6 +48,7 @@ let connect_switches sim a b ~rate_bps ~delay
   let ia = Switch.add_port a port_ab in
   let q_ba =
     Queue_disc.create sim ~capacity_bytes:buffer_ba ~marking:marking_ba
+      ?tracer:tracer_ba ?metrics:metrics_ba
       ~name:(Printf.sprintf "sw%d->sw%d" (Switch.id b) (Switch.id a))
       ()
   in

@@ -43,10 +43,18 @@ val connect_switches :
   ?buffer_ba:int ->
   ?marking_ab:Marking.t ->
   ?marking_ba:Marking.t ->
+  ?tracer_ab:Obs.Trace.t ->
+  ?tracer_ba:Obs.Trace.t ->
+  ?metrics_ab:Obs.Metrics.t ->
+  ?metrics_ba:Obs.Metrics.t ->
   unit ->
   int * int
 (** Full-duplex switch-to-switch cable; returns (port index on a toward b,
-    port index on b toward a). Routes are installed by the caller. *)
+    port index on b toward a). Routes are installed by the caller.
+    [tracer_ab] / [metrics_ab] instrument the a-toward-b queue (and
+    [_ba] the reverse one), mirroring [connect_host_to_switch]'s
+    [switch_tracer] / [switch_metrics] so inter-switch bottlenecks (the
+    testbed root trunks) need no bespoke wiring. *)
 
 (** {2 Dumbbell (paper Section VI-A)} *)
 

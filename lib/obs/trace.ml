@@ -16,6 +16,11 @@ type event =
   | Rto of { flow : int; snd_una : int; timeouts : int }
   | Flow_start of { flow : int }
   | Flow_done of { flow : int; segments : int }
+  | Link_down of { occ_bytes : int }
+  | Link_up of { occ_bytes : int }
+  | Pkt_lost of { flow : int; size : int }
+  | Mark_suppressed of { occ_bytes : int; occ_pkts : int }
+  | Rate_changed of { rate_bps : float }
 
 type record = { time : Time.t; component : string; event : event }
 
@@ -30,6 +35,11 @@ type cls =
   | C_rto
   | C_flow_start
   | C_flow_done
+  | C_link_down
+  | C_link_up
+  | C_pkt_lost
+  | C_mark_suppressed
+  | C_rate_changed
 
 let all_classes =
   [
@@ -43,6 +53,11 @@ let all_classes =
     C_rto;
     C_flow_start;
     C_flow_done;
+    C_link_down;
+    C_link_up;
+    C_pkt_lost;
+    C_mark_suppressed;
+    C_rate_changed;
   ]
 
 let cls_index = function
@@ -56,6 +71,11 @@ let cls_index = function
   | C_rto -> 7
   | C_flow_start -> 8
   | C_flow_done -> 9
+  | C_link_down -> 10
+  | C_link_up -> 11
+  | C_pkt_lost -> 12
+  | C_mark_suppressed -> 13
+  | C_rate_changed -> 14
 
 let cls_of_event = function
   | Enqueue _ -> C_enqueue
@@ -68,6 +88,11 @@ let cls_of_event = function
   | Rto _ -> C_rto
   | Flow_start _ -> C_flow_start
   | Flow_done _ -> C_flow_done
+  | Link_down _ -> C_link_down
+  | Link_up _ -> C_link_up
+  | Pkt_lost _ -> C_pkt_lost
+  | Mark_suppressed _ -> C_mark_suppressed
+  | Rate_changed _ -> C_rate_changed
 
 let cls_name = function
   | C_enqueue -> "enqueue"
@@ -80,6 +105,11 @@ let cls_name = function
   | C_rto -> "rto"
   | C_flow_start -> "flow_start"
   | C_flow_done -> "flow_done"
+  | C_link_down -> "link_down"
+  | C_link_up -> "link_up"
+  | C_pkt_lost -> "pkt_lost"
+  | C_mark_suppressed -> "mark_suppressed"
+  | C_rate_changed -> "rate_changed"
 
 let cls_of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -93,6 +123,11 @@ let cls_of_name s =
   | "rto" -> Some C_rto
   | "flow_start" -> Some C_flow_start
   | "flow_done" -> Some C_flow_done
+  | "link_down" -> Some C_link_down
+  | "link_up" -> Some C_link_up
+  | "pkt_lost" -> Some C_pkt_lost
+  | "mark_suppressed" -> Some C_mark_suppressed
+  | "rate_changed" -> Some C_rate_changed
   | _ -> None
 
 (* --- serialization --- *)
@@ -135,6 +170,13 @@ let record_to_json r =
     | Flow_start { flow } -> [ ("flow", Json.Int flow) ]
     | Flow_done { flow; segments } ->
         [ ("flow", Json.Int flow); ("segments", Json.Int segments) ]
+    | Link_down { occ_bytes } | Link_up { occ_bytes } ->
+        [ ("occ_bytes", Json.Int occ_bytes) ]
+    | Pkt_lost { flow; size } ->
+        [ ("flow", Json.Int flow); ("size", Json.Int size) ]
+    | Mark_suppressed { occ_bytes; occ_pkts } ->
+        [ ("occ_bytes", Json.Int occ_bytes); ("occ_pkts", Json.Int occ_pkts) ]
+    | Rate_changed { rate_bps } -> [ ("rate_bps", Json.Float rate_bps) ]
   in
   Json.Obj
     (("t_ns", Json.Int (Int64.to_int (Time.to_ns r.time)))
@@ -173,6 +215,14 @@ let record_to_csv r =
     | Flow_start { flow } -> (Some flow, None, None, "")
     | Flow_done { flow; segments } ->
         (Some flow, None, None, Printf.sprintf "segments=%d" segments)
+    | Link_down { occ_bytes } | Link_up { occ_bytes } ->
+        (None, Some occ_bytes, None, "")
+    | Pkt_lost { flow; size } ->
+        (Some flow, None, None, Printf.sprintf "size=%d" size)
+    | Mark_suppressed { occ_bytes; occ_pkts } ->
+        (None, Some occ_bytes, Some occ_pkts, "")
+    | Rate_changed { rate_bps } ->
+        (None, None, None, Printf.sprintf "rate_bps=%g" rate_bps)
   in
   let opt = function Some v -> string_of_int v | None -> "" in
   Printf.sprintf "%Ld,%s,%s,%s,%s,%s,%s"

@@ -36,6 +36,17 @@ type event =
   | Rto of { flow : int; snd_una : int; timeouts : int }
   | Flow_start of { flow : int }
   | Flow_done of { flow : int; segments : int }
+  | Link_down of { occ_bytes : int }
+      (** Fault injection took the link down; [occ_bytes] is the queue
+          occupancy at that instant. *)
+  | Link_up of { occ_bytes : int }
+  | Pkt_lost of { flow : int; size : int }
+      (** Fault injection dropped an in-flight packet on the wire. *)
+  | Mark_suppressed of { occ_bytes : int; occ_pkts : int }
+      (** The marking policy asked for a CE mark but fault injection
+          suppressed it ("non-ECN switch" degradation). *)
+  | Rate_changed of { rate_bps : float }
+      (** Fault injection changed the link rate mid-run. *)
 
 type record = { time : Engine.Time.t; component : string; event : event }
 
@@ -53,6 +64,11 @@ type cls =
   | C_rto
   | C_flow_start
   | C_flow_done
+  | C_link_down
+  | C_link_up
+  | C_pkt_lost
+  | C_mark_suppressed
+  | C_rate_changed
 
 val all_classes : cls list
 val cls_of_event : event -> cls

@@ -32,4 +32,5 @@ type result = {
   incomplete : int;
 }
 
-val run : Dctcp.Protocol.t -> config -> result
+val run : ?faults:Fault.Plan.t -> Dctcp.Protocol.t -> config -> result
+(** [faults] is forwarded to the underlying {!Incast.run} repeats. *)

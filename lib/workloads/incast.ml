@@ -48,15 +48,32 @@ type run_outcome = {
   finished : bool;
 }
 
-let one_repeat ?(sack = false) (proto : Dctcp.Protocol.t) config ~seed =
+let one_repeat ?(sack = false) ?faults (proto : Dctcp.Protocol.t) config
+    ~seed =
   let sim = Sim.create ~seed () in
+  (* One injector per repeat, derived from the repeat seed, so each
+     repeat sees an independent but reproducible fault realization. *)
+  let injector =
+    Option.map
+      (fun plan ->
+        Fault.Injector.create sim ~plan ~seed ~component:"star_bottleneck" ())
+      faults
+  in
+  let marking =
+    let m = proto.Dctcp.Protocol.marking () in
+    match injector with
+    | None -> m
+    | Some inj -> Fault.Injector.wrap_marking inj m
+  in
   let star =
     Net.Topology.star_testbed sim ~rate_bps:config.rate_bps
       ~bottleneck_buffer:config.buffer_bytes
-      ~leaf_buffer:config.leaf_buffer_bytes
-      ~marking:(proto.Dctcp.Protocol.marking ())
-      ()
+      ~leaf_buffer:config.leaf_buffer_bytes ~marking ()
   in
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      Fault.Injector.attach inj ~port:star.Net.Topology.star_bottleneck);
   let workers = star.Net.Topology.workers in
   let segments =
     (config.bytes_per_flow + config.segment_bytes - 1) / config.segment_bytes
@@ -110,12 +127,12 @@ let goodput_of_completion config completion_s =
   else
     float_of_int (config.n_flows * config.bytes_per_flow * 8) /. completion_s
 
-let run_with_sack ~sack proto config =
+let run_with_sack ?faults ~sack proto config =
   Workload.require_positive ~scenario:"Incast" ~what:"flows" config.n_flows;
   Workload.require_positive ~scenario:"Incast" ~what:"repeats" config.repeats;
   let outcomes =
     Array.init config.repeats (fun r ->
-        one_repeat ~sack proto config
+        one_repeat ~sack ?faults proto config
           ~seed:(Workload.repeat_seed ~base:config.seed ~stride:7919 r))
   in
   let completions = Array.map (fun o -> o.completion_s) outcomes in
@@ -138,4 +155,4 @@ let run_with_sack ~sack proto config =
         0 outcomes;
   }
 
-let run proto config = run_with_sack ~sack:false proto config
+let run ?faults proto config = run_with_sack ?faults ~sack:false proto config

@@ -40,9 +40,13 @@ type result = {
   incomplete : int;  (** Repeats that hit [time_cap]. *)
 }
 
-val run : Dctcp.Protocol.t -> config -> result
+val run : ?faults:Fault.Plan.t -> Dctcp.Protocol.t -> config -> result
+(** When [faults] is given, each repeat attaches a {!Fault.Injector}
+    (seeded from that repeat's seed) to the star's root-to-aggregator
+    bottleneck; when absent no injector is constructed. *)
 
-val run_with_sack : sack:bool -> Dctcp.Protocol.t -> config -> result
+val run_with_sack :
+  ?faults:Fault.Plan.t -> sack:bool -> Dctcp.Protocol.t -> config -> result
 (** Like {!run} with selective-acknowledgment loss recovery toggled (the
     default {!run} uses go-back-N, matching the paper-era stacks). *)
 

@@ -47,10 +47,20 @@ type result = {
   queue_series : (float * float) array option;
 }
 
-let run ?(tracer = Obs.Trace.null) ?metrics (proto : Dctcp.Protocol.t) config
-    =
+let run ?(tracer = Obs.Trace.null) ?metrics ?faults
+    (proto : Dctcp.Protocol.t) config =
   Workload.require_positive ~scenario:"Longlived" ~what:"flows" config.n_flows;
   let sim = Sim.create ~seed:config.seed () in
+  (* With no plan the injector is never constructed: the run is
+     event-for-event the one this workload produced before fault
+     injection existed. *)
+  let injector =
+    Option.map
+      (fun plan ->
+        Fault.Injector.create sim ~plan ~seed:config.seed ~tracer ?metrics
+          ~component:"bottleneck" ())
+      faults
+  in
   (* The hysteresis flip observer: the policy lives inside the marking
      closure, so the run — which has both the sim and the tracer in
      scope — is the place to build it. *)
@@ -65,13 +75,20 @@ let run ?(tracer = Obs.Trace.null) ?metrics (proto : Dctcp.Protocol.t) config
           event = Obs.Trace.Mark_state_flip { marking; occ_bytes };
         }
   in
+  let marking =
+    let m = proto.Dctcp.Protocol.marking ~on_flip () in
+    match injector with
+    | None -> m
+    | Some inj -> Fault.Injector.wrap_marking inj m
+  in
   let net =
     Net.Topology.dumbbell sim ~n_senders:config.n_flows
       ~bottleneck_rate_bps:config.bottleneck_rate_bps ~rtt:config.rtt
-      ~buffer_bytes:config.buffer_bytes
-      ~marking:(proto.Dctcp.Protocol.marking ~on_flip ())
-      ~tracer ?metrics ()
+      ~buffer_bytes:config.buffer_bytes ~marking ~tracer ?metrics ()
   in
+  (match injector with
+  | None -> ()
+  | Some inj -> Fault.Injector.attach inj ~port:net.Net.Topology.bottleneck);
   let tcp_config =
     {
       Tcp.Sender.default_config with

@@ -47,12 +47,16 @@ type result = {
 }
 
 val run :
-  ?tracer:Obs.Trace.t -> ?metrics:Obs.Metrics.t -> Dctcp.Protocol.t ->
-  config -> result
+  ?tracer:Obs.Trace.t -> ?metrics:Obs.Metrics.t -> ?faults:Fault.Plan.t ->
+  Dctcp.Protocol.t -> config -> result
 (** [tracer] (default {!Obs.Trace.null}) is attached to the bottleneck
     queue and every sender, and receives [Mark_state_flip] events
     (component ["bottleneck"]) whenever the protocol's marking policy has
     hysteresis state. When [metrics] is given, the scenario registers
     probes [marking.flips_up]/[.flips_down], [engine.events_processed],
     [engine.heap_high_water], and the summed [sender.*] counters on top
-    of the per-queue probes from {!Net.Queue_disc.create}. *)
+    of the per-queue probes from {!Net.Queue_disc.create}.
+    When [faults] is given, a {!Fault.Injector} (seeded from
+    [config.seed]) is attached to the bottleneck port and wrapped around
+    the marking policy; when absent no injector is constructed and the
+    run is bit-identical to one without fault support. *)

@@ -1,12 +1,12 @@
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 type violation = { rule : rule; file : string; line : int; message : string }
 
 exception Parse_error of string * int * string
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -18,6 +18,7 @@ let rule_id = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -30,6 +31,7 @@ let rule_of_id s =
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
 
 let rule_doc = function
@@ -61,6 +63,11 @@ let rule_doc = function
       "no Obj.magic outside lib/engine/; the engine's pooled containers are \
        the only audited placeholder-value sites — anywhere else it defeats \
        the type system"
+  | R10 ->
+      "no Rng.create / Rng.split outside lib/engine, lib/fault, \
+       lib/workloads and lib/exp; ad-hoc streams fork the deterministic \
+       seed tree, so new draws must come from an owner layer's seeded \
+       stream"
 
 (* --- Path scoping ------------------------------------------------------ *)
 
@@ -71,6 +78,7 @@ type scope = {
   is_obs : bool;
   is_exp : bool;
   is_engine : bool;
+  is_rng_owner : bool;
 }
 
 let segments path =
@@ -91,6 +99,7 @@ let scope_of_file file =
         is_obs = false;
         is_exp = false;
         is_engine = false;
+        is_rng_owner = false;
       }
   | Some rest ->
       let in_hot_path =
@@ -100,7 +109,13 @@ let scope_of_file file =
       let is_obs = match rest with "obs" :: _ -> true | _ -> false in
       let is_exp = match rest with "exp" :: _ -> true | _ -> false in
       let is_engine = match rest with "engine" :: _ -> true | _ -> false in
-      { in_lib = true; in_hot_path; is_rng; is_obs; is_exp; is_engine }
+      let is_rng_owner =
+        match rest with
+        | ("engine" | "fault" | "workloads" | "exp") :: _ -> true
+        | _ -> false
+      in
+      { in_lib = true; in_hot_path; is_rng; is_obs; is_exp; is_engine;
+        is_rng_owner }
 
 (* --- Suppression comments ---------------------------------------------- *)
 
@@ -293,6 +308,14 @@ let lint_source ?(rules = all_rules) ~filename source =
         "Obj.magic outside lib/engine/; only the engine's pooled containers \
          may use a placeholder value, and their caveats (no float elements) \
          are documented there";
+    (if active R10 && not sc.is_rng_owner then
+       match List.rev parts with
+       | ("create" | "split") :: "Rng" :: _ ->
+           emit R10 loc
+             "new Rng stream outside an owner layer (lib/engine, lib/fault, \
+              lib/workloads, lib/exp); derive randomness from the owning \
+              layer's seeded stream so the seed tree stays deterministic"
+       | _ -> ());
     if active R8 && not sc.is_exp then
       match parts with
       | ("Domain" | "Thread") :: _ | [ "Unix"; "fork" ] ->

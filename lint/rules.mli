@@ -30,8 +30,14 @@
       containers ({!Engine.Heap}, {!Engine.Ring}, the event pool) seed
       empty slots with an immediate placeholder and are the only audited
       sites; anywhere else [Obj.magic] defeats the type system.
+    - {b R10} no [Rng.create] / [Rng.split] outside the stream-owning
+      layers ([lib/engine], [lib/fault], [lib/workloads], [lib/exp]): every
+      random stream must be derivable from a spec seed, so only the layers
+      that receive seeds may mint streams. A transport or queue module
+      minting its own stream would fork the seed tree invisibly — the
+      faulted-run analogue of R1.
 
-    Rules R1–R4 and R6–R9 are detected on the parsetree ({!lint_source}); R2
+    Rules R1–R4 and R6–R10 are detected on the parsetree ({!lint_source}); R2
     is necessarily a syntactic heuristic (the parsetree is untyped): an
     equality is flagged when either operand is recognisably a float — a
     float literal, float arithmetic ([+.], [*.], ...), a [float] type
@@ -42,7 +48,7 @@
     comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
     [all]). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 type violation = {
   rule : rule;

@@ -163,11 +163,59 @@ let workload_gen =
       deadline_gen;
     ]
 
+(* Fault plans: valid by construction (windows sorted and disjoint,
+   rates in range) so the round-trip property never trips Plan.validate. *)
+let faults_gen =
+  let window_list_gen =
+    Gen.map
+      (fun bounds ->
+        let sorted = List.sort_uniq compare bounds in
+        let rec pair = function
+          | lo :: hi :: rest -> (lo, hi) :: pair rest
+          | _ -> []
+        in
+        pair (List.map Int64.of_int sorted))
+      (Gen.list_size (Gen.int_range 0 6) (Gen.int_range 0 2_000_000_000))
+  in
+  let suppression_gen =
+    Gen.oneof
+      [
+        Gen.return Fault.Plan.Keep_marks;
+        Gen.return Fault.Plan.Suppress_all;
+        Gen.map
+          (fun (at, d) ->
+            Fault.Plan.Suppress_window
+              { at; until = Int64.add at (Int64.of_int d) })
+          (Gen.pair span_gen (Gen.int_range 1 1_000_000_000));
+        Gen.map (fun p -> Fault.Plan.Suppress_prob p) (Gen.float_range 0. 1.);
+      ]
+  in
+  Gen.map3
+    (fun flaps (loss_rate, jitter_max) (rate_changes, suppression) ->
+      {
+        Fault.Plan.flaps =
+          List.map
+            (fun (down_at, up_at) -> { Fault.Plan.down_at; up_at })
+            flaps;
+        loss_rate;
+        jitter_max;
+        rate_changes =
+          List.map
+            (fun (at, until) -> { Fault.Plan.at; until; factor = 0.5 })
+            rate_changes;
+        suppression;
+      })
+    window_list_gen
+    (Gen.pair (Gen.float_range 0. 0.99) span_gen)
+    (Gen.pair window_list_gen suppression_gen)
+
 let spec_gen =
   Gen.map3
-    (fun name protocol workload -> { Spec.name; protocol; workload })
+    (fun name protocol (workload, faults) ->
+      { Spec.name; protocol; workload; faults })
     (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 16))
-    protocol_gen workload_gen
+    protocol_gen
+    (Gen.pair workload_gen (Gen.opt faults_gen))
 
 let spec_arb = QCheck.make ~print:Spec.to_string spec_gen
 
@@ -195,6 +243,7 @@ let smoke_longlived ~name ~seed =
           measure = Time.span_of_ms 2.;
           seed;
         };
+    faults = None;
   }
 
 let smoke_incast ~name ~seed =
@@ -214,6 +263,7 @@ let smoke_incast ~name ~seed =
             };
           sack = false;
         };
+    faults = None;
   }
 
 let test_extreme_seeds () =
@@ -338,6 +388,7 @@ let test_failure_isolation () =
       workload =
         Spec.Longlived
           { Workloads.Longlived.default_config with n_flows = 0 };
+      faults = None;
     }
   in
   let good_a = smoke_longlived ~name:"iso/good-a" ~seed:11L in

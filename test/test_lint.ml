@@ -1,5 +1,5 @@
 (* Tests for the dtlint static-analysis rules (lint/rules.ml), driven by
-   inline fixture snippets: one positive case per rule R1-R9, the scoping
+   inline fixture snippets: one positive case per rule R1-R10, the scoping
    exemptions, and the suppression-comment escape hatch. *)
 
 module Rules = Dtlint.Rules
@@ -166,6 +166,41 @@ let test_r9_engine_exempt () =
     (findings ~file:"lib/net/queue_disc.ml"
        "let p () = Obj.magic 0 (* dtlint: allow R9 *)\n")
 
+(* --- R10: Rng stream creation outside the owner layers --- *)
+
+let test_r10_rng_stream () =
+  check_findings "Rng.create in lib/net" [ ("R10", 1) ]
+    (findings ~file:"lib/net/port.ml"
+       "let r = Engine.Rng.create ~seed:1L\n");
+  check_findings "Rng.split in lib/tcp" [ ("R10", 1) ]
+    (findings ~file:"lib/tcp/sender.ml"
+       "let fork parent = Rng.split parent\n");
+  check_findings "Rng.create in bench" [ ("R10", 1) ]
+    (findings ~file:"bench/perf.ml"
+       "let r = Engine.Rng.create ~seed:7L\n");
+  check_findings "Rng.create in bin" [ ("R10", 1) ]
+    (findings ~file:"bin/dtsim.ml"
+       "let r = Engine.Rng.create ~seed:7L\n");
+  (* Drawing from an existing stream is fine anywhere — R10 polices
+     minting streams, not using them. *)
+  check_findings "Rng.float untouched" []
+    (findings ~file:"lib/net/port.ml" "let d rng = Engine.Rng.float rng\n")
+
+let test_r10_owner_exempt () =
+  List.iter
+    (fun file ->
+      check_findings (file ^ " may mint streams") []
+        (findings ~file "let r = Engine.Rng.create ~seed:1L\n"))
+    [
+      "lib/engine/sim.ml";
+      "lib/fault/injector.ml";
+      "lib/workloads/incast.ml";
+      "lib/exp/runner.ml";
+    ];
+  check_findings "suppression works for R10" []
+    (findings ~file:"lib/net/port.ml"
+       "let r = Rng.create ~seed:1L (* dtlint: allow R10 *)\n")
+
 (* --- suppression comments --- *)
 
 let test_suppression () =
@@ -227,6 +262,10 @@ let suites =
         Alcotest.test_case "R9 Obj.magic outside engine" `Quick
           test_r9_obj_magic;
         Alcotest.test_case "R9 lib/engine exempt" `Quick test_r9_engine_exempt;
+        Alcotest.test_case "R10 Rng streams outside owners" `Quick
+          test_r10_rng_stream;
+        Alcotest.test_case "R10 owner layers exempt" `Quick
+          test_r10_owner_exempt;
         Alcotest.test_case "suppression comment" `Quick test_suppression;
         Alcotest.test_case "rule selection" `Quick test_rule_selection;
         Alcotest.test_case "parse errors surface" `Quick test_parse_error;

@@ -9,16 +9,27 @@ module Cm = Workloads.Completion
 
 (* Every concrete workload conforms to Workloads.Workload.S — the
    uniformity Exp.Spec relies on to describe scenarios declaratively.
-   Longlived carries optional tracer/metrics arguments and Deadline takes
-   the protocol bundle piecewise, so both conform through the same thin
-   adapters Exp.Runner applies. *)
-module _ : Workloads.Workload.S = Workloads.Incast
-module _ : Workloads.Workload.S = Workloads.Completion
+   Longlived carries optional tracer/metrics/faults arguments, the fan-in
+   workloads optional faults, and Deadline takes the protocol bundle
+   piecewise, so they conform through the same thin adapters Exp.Runner
+   applies. *)
 module _ : Workloads.Workload.S = Workloads.Dynamic
 module _ : Workloads.Workload.S = Workloads.Convergence
 
 module _ : Workloads.Workload.S = struct
   include Workloads.Longlived
+
+  let run proto config = run proto config
+end
+
+module _ : Workloads.Workload.S = struct
+  include Workloads.Incast
+
+  let run proto config = run proto config
+end
+
+module _ : Workloads.Workload.S = struct
+  include Workloads.Completion
 
   let run proto config = run proto config
 end
