@@ -25,6 +25,7 @@ type t = {
   mutable bytes_sent : int;
   mutable packets_sent : int;
   in_flight : Packet.t Engine.Ring.t;
+  idle : Packet.t;  (* this port's idle placeholder; never transmitted *)
   mutable tx_pkt : Packet.t;  (* packet currently serializing *)
   mutable tx_done : unit -> unit;  (* fires when [tx_pkt] finishes *)
   mutable deliver_head : unit -> unit;  (* delivers front of [in_flight] *)
@@ -35,8 +36,12 @@ type t = {
   mutable memo_tx : Time.span;
 }
 
-(* Placeholder for [tx_pkt] while the port is idle; never transmitted. *)
-let idle_pkt =
+(* Placeholder for [tx_pkt] while the port is idle. Allocated per port:
+   packets carry a mutable [ecn] field, and a single shared placeholder
+   would be module-level mutable state visible to every domain of a
+   parallel sweep (dtlint R12). One extra allocation per port, at
+   creation time. *)
+let fresh_idle_pkt () =
   {
     Packet.id = -1;
     src = -1;
@@ -72,6 +77,7 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
   if rate_bps <= 0. then invalid_arg "Port.create: rate must be positive";
   if Int64.compare delay 0L < 0 then
     invalid_arg "Port.create: negative delay";
+  let idle = fresh_idle_pkt () in
   let t =
     {
       sim;
@@ -85,7 +91,8 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       bytes_sent = 0;
       packets_sent = 0;
       in_flight = Engine.Ring.create ~capacity:16 ();
-      tx_pkt = idle_pkt;
+      idle;
+      tx_pkt = idle;
       tx_done = ignore;
       deliver_head = ignore;
       memo_size = -1;
@@ -111,7 +118,7 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
   t.tx_done <-
     (fun () ->
       let pkt = t.tx_pkt in
-      t.tx_pkt <- idle_pkt;
+      t.tx_pkt <- t.idle;
       t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
       t.packets_sent <- t.packets_sent + 1;
       Engine.Ring.push t.in_flight pkt;

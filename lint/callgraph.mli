@@ -1,0 +1,69 @@
+(** Cross-module call graph over loaded [.cmt] units.
+
+    Nodes are module-level value bindings, identified by their canonical
+    dotted path (["Engine.Sim.step"], ["Net.Port.send"], nested modules
+    included). Side-effecting top-level items ([let () = ...],
+    [Tstr_eval]) become pseudo-nodes named [Mod.<init:LINE>] so module
+    initialisation code participates in taint propagation like any other
+    code.
+
+    Edges are {e references}: every resolved identifier mentioned in a
+    binding's body, whether in call position or merely escaping as a
+    value (a function whose address escapes into the event queue runs
+    later, so a reference is treated as a potential call — the
+    over-approximation that makes the taint analysis sound for
+    event-driven code). Use-site paths are normalised so that
+    [Engine__Time.add], [Engine.Time.add] and a bare in-module [add] all
+    resolve to the same node, and a [Stdlib.] prefix is dropped so
+    primitives compare as [Random.int], [compare], [Hashtbl.hash]. *)
+
+type def = {
+  id : string;  (** canonical dotted identifier *)
+  unit_canonical : string;  (** owning compilation unit, dotted *)
+  source : string;  (** source path, e.g. ["lib/engine/sim.ml"] *)
+  line : int;  (** 1-based line of the binding *)
+}
+
+type t
+
+val normalize : Path.t -> string
+(** Canonical dotted name of a use-site path: ["__"] module mangling
+    becomes ["."], one leading ["Stdlib."] is dropped. *)
+
+val build : Cmt_loader.unit_info list -> t
+
+val defs : t -> def list
+(** All nodes, sorted by [id] — iteration order is deterministic and
+    independent of the order units were loaded in. *)
+
+val find_def : t -> string -> def option
+
+val refs : t -> string -> (string * int) list
+(** References made by a node's body, in source order, deduplicated by
+    target (first occurrence wins). Targets are either known node ids or
+    normalised external names ([Random.int], [List.iter], ...). *)
+
+val resolve : t -> from_def:string -> string -> string option
+(** Resolve a reference target to a node id: exact match first, then
+    against each enclosing module prefix of [from_def] (so a reference
+    to [Sub.helper] from [Mod.Sub2.f] finds [Mod.Sub.helper]). [None]
+    for externals (stdlib, otherlibs). *)
+
+val bodies : t -> (def * Typedtree.expression) list
+(** Every node paired with its body, sorted by [def.id] — the hook for
+    per-expression typed passes (R13, R14) that need to know which
+    function they are inside. *)
+
+val globals : t -> (def * Types.type_expr) list
+(** Module-level single-variable bindings with their inferred type —
+    the candidate set for R12's mutable-global scan. Sorted by id. *)
+
+val type_decls : t -> (string * Typedtree.type_declaration) list
+(** Type declarations keyed by canonical path (["Obs.Metrics.t"]) —
+    lets R12 see through user record types with [mutable] fields. *)
+
+val is_toplevel_ident : t -> unit:string -> Ident.t -> bool
+(** Whether an identifier is bound at module level in the given
+    compilation unit (canonical name). Used by R14 to separate closure
+    captures from references to statically-allocated globals. Scoped per
+    unit because [Ident] stamps restart for each compilation unit. *)

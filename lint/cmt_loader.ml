@@ -1,0 +1,70 @@
+type unit_info = {
+  modname : string;
+  canonical : string;
+  source : string;
+  structure : Typedtree.structure;
+}
+
+(* Split on the literal "__" dune uses to mangle wrapped-library module
+   names; single underscores are ordinary identifier characters. *)
+let canonical_of_modname m =
+  let n = String.length m in
+  let parts = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if m.[!i] = '_' && m.[!i + 1] = '_' then begin
+      parts := String.sub m !start (!i - !start) :: !parts;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  parts := String.sub m !start (n - !start) :: !parts;
+  List.rev !parts |> List.filter (fun s -> s <> "") |> String.concat "."
+
+let load_file path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation structure, Some source
+        when Filename.check_suffix source ".ml" ->
+          let modname = cmt.Cmt_format.cmt_modname in
+          Some
+            { modname; canonical = canonical_of_modname modname; source;
+              structure }
+      | _ -> None)
+
+(* Unlike the source walker in Rules, this one must descend into
+   dot-prefixed directories: dune hides the .cmt artifacts under
+   .<lib>.objs/byte/. Only .git (huge, never holds cmts) is skipped. *)
+let rec walk path acc =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if name = ".git" then acc
+             else walk (Filename.concat path name) acc)
+           acc
+  | false ->
+      if Filename.check_suffix path ".cmt" then path :: acc else acc
+
+let load_tree ~roots =
+  let files =
+    List.fold_left (fun acc r -> walk r acc) [] roots
+    |> List.sort_uniq String.compare
+  in
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc f ->
+      match load_file f with
+      | Some u when not (Hashtbl.mem seen u.modname) ->
+          Hashtbl.add seen u.modname ();
+          u :: acc
+      | _ -> acc)
+    [] files
+  |> List.sort (fun a b -> String.compare a.canonical b.canonical)

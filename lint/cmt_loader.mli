@@ -1,0 +1,36 @@
+(** Loading dune-produced [.cmt] Typedtree artifacts for the typed pass.
+
+    Dune compiles every module with [-bin-annot], leaving a [.cmt] per
+    module under [_build/default/<dir>/.<lib>.objs/byte/]. Each records the
+    module's {e typed} AST plus the path of the source file it came from,
+    which is what lets the typed rules report violations against real
+    source locations and honour the per-line suppression comments.
+
+    Module names are canonicalised from dune's mangled form
+    ([Engine__Time]) to the dotted form users write ([Engine.Time]), so
+    call-graph identifiers line up with {!Callgraph.normalize}d use-site
+    paths no matter which spelling the source used. *)
+
+type unit_info = {
+  modname : string;  (** compiler module name, e.g. ["Engine__Time"] *)
+  canonical : string;  (** dotted form, e.g. ["Engine.Time"] *)
+  source : string;  (** source path as recorded by the compiler, e.g.
+                        ["lib/engine/time.ml"] *)
+  structure : Typedtree.structure;
+}
+
+val canonical_of_modname : string -> string
+(** ["Engine__Time"] → ["Engine.Time"]; names without ["__"] unchanged. *)
+
+val load_file : string -> unit_info option
+(** Read one [.cmt]. [None] when it is not an implementation (interfaces,
+    partial trees), has no recorded source file, or the source is not an
+    [.ml] file (dune's generated library-alias modules end in [.ml-gen]
+    and carry no user code). Unreadable or wrong-magic files also yield
+    [None] — a stale artifact must not crash the lint. *)
+
+val load_tree : roots:string list -> unit_info list
+(** Walk each root recursively (descending into dune's dot-prefixed
+    [.objs] directories, skipping [.git]) and load every [.cmt] found.
+    Units are deduplicated by module name and returned sorted by
+    [canonical], so the result is independent of filesystem order. *)

@@ -1,0 +1,186 @@
+type kind = Nondet | Wall | Spawn
+
+type reason =
+  | Root of { name : string; line : int }
+  | Via of { def : string; line : int }
+
+type taint = {
+  nondet : reason option;
+  wall : reason option;
+  spawn : reason option;
+  seeded : bool;
+}
+
+type t = (string, taint) Hashtbl.t
+
+let pure = { nondet = None; wall = None; spawn = None; seeded = false }
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let rec after_lib = function
+  | "lib" :: rest -> Some rest
+  | _ :: rest -> after_lib rest
+  | [] -> None
+
+(* The two sanctioned absorption sites: the seeded Rng wrapper itself, and
+   the observability layer's profiling clock (cf. R1 and R7). *)
+let is_rng_barrier src =
+  match after_lib (segments src) with
+  | Some [ "engine"; "rng.ml" ] -> true
+  | _ -> false
+
+let is_obs_barrier src =
+  match after_lib (segments src) with
+  | Some ("obs" :: _) -> true
+  | _ -> false
+
+let classify_root name =
+  if starts_with ~prefix:"Random." name then Some Nondet
+  else
+    match name with
+    | "Hashtbl.hash" | "Hashtbl.seeded_hash" | "Hashtbl.hash_param" ->
+        Some Nondet
+    | "compare" -> Some Nondet (* bare = Stdlib.compare, polymorphic *)
+    | "Sys.time" | "Unix.gettimeofday" | "Unix.time" -> Some Wall
+    | "Domain.spawn" | "Thread.create" | "Unix.fork" -> Some Spawn
+    | _ -> None
+
+let is_seeded_target name = starts_with ~prefix:"Engine.Rng." name
+
+(* A reference, pre-resolved: either an edge to another node or (when it
+   does not resolve) possibly a primitive taint root. *)
+type rref = {
+  target : string;
+  line : int;
+  node : string option;
+  root : kind option;
+}
+
+let resolved_refs g (d : Callgraph.def) =
+  List.map
+    (fun (target, line) ->
+      match Callgraph.resolve g ~from_def:d.id target with
+      | Some node -> { target; line; node = Some node; root = None }
+      | None -> { target; line; node = None; root = classify_root target })
+    (Callgraph.refs g d.id)
+
+type bits = { n : bool; w : bool; s : bool; sd : bool }
+
+let compute g =
+  let defs = Callgraph.defs g in
+  let rrefs = Hashtbl.create 256 in
+  List.iter (fun d -> Hashtbl.replace rrefs d.Callgraph.id (resolved_refs g d)) defs;
+  let state : (string, bits) Hashtbl.t = Hashtbl.create 256 in
+  let get id =
+    Option.value ~default:{ n = false; w = false; s = false; sd = false }
+      (Hashtbl.find_opt state id)
+  in
+  (* Boolean fixpoint first; reasons are assigned canonically afterwards so
+     the reported chains do not depend on propagation order. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d : Callgraph.def) ->
+        let old = get d.id in
+        let bits =
+          List.fold_left
+            (fun b r ->
+              match (r.node, r.root) with
+              | Some node, _ ->
+                  let g' = get node in
+                  {
+                    n = b.n || g'.n;
+                    w = b.w || g'.w;
+                    s = b.s || g'.s;
+                    sd = b.sd || g'.sd;
+                  }
+              | None, Some Nondet -> { b with n = true }
+              | None, Some Wall -> { b with w = true }
+              | None, Some Spawn -> { b with s = true }
+              | None, None ->
+                  if is_seeded_target r.target then { b with sd = true } else b)
+            { n = false; w = false; s = false; sd = false }
+            (Hashtbl.find rrefs d.id)
+        in
+        let bits =
+          if is_rng_barrier d.source then { bits with n = false; sd = true }
+          else bits
+        in
+        let bits =
+          if is_obs_barrier d.source then { bits with w = false } else bits
+        in
+        if bits <> old then begin
+          Hashtbl.replace state d.id bits;
+          changed := true
+        end)
+      defs
+  done;
+  (* Canonical reason: the first reference, in source order, that carries
+     the taint. *)
+  let reason_for d kind =
+    let has (b : bits) = function
+      | Nondet -> b.n
+      | Wall -> b.w
+      | Spawn -> b.s
+    in
+    List.find_map
+      (fun r ->
+        match (r.node, r.root) with
+        | Some node, _ when has (get node) kind ->
+            Some (Via { def = node; line = r.line })
+        | None, Some k when k = kind ->
+            Some (Root { name = r.target; line = r.line })
+        | _ -> None)
+      (Hashtbl.find rrefs d.Callgraph.id)
+  in
+  let out : t = Hashtbl.create 256 in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let b = get d.id in
+      Hashtbl.replace out d.id
+        {
+          nondet = (if b.n then reason_for d Nondet else None);
+          wall = (if b.w then reason_for d Wall else None);
+          spawn = (if b.s then reason_for d Spawn else None);
+          seeded = b.sd;
+        })
+    defs;
+  out
+
+let taint_of t id = Option.value ~default:pure (Hashtbl.find_opt t id)
+
+let effect_name taint =
+  if taint.nondet <> None then "nondeterministic"
+  else if taint.wall <> None then "wall-clock"
+  else if taint.spawn <> None then "domain-spawning"
+  else if taint.seeded then "seeded-rng"
+  else "pure"
+
+let reason_of taint = function
+  | Nondet -> taint.nondet
+  | Wall -> taint.wall
+  | Spawn -> taint.spawn
+
+let chain g t kind id =
+  let step (d : Callgraph.def) =
+    Printf.sprintf "%s (%s:%d)" d.id d.source d.line
+  in
+  let rec go id visited acc =
+    if List.mem id visited then List.rev acc
+    else
+      match Callgraph.find_def g id with
+      | None -> List.rev acc
+      | Some d -> (
+          let acc = step d :: acc in
+          match reason_of (taint_of t id) kind with
+          | Some (Root { name; _ }) -> List.rev (name :: acc)
+          | Some (Via { def; _ }) -> go def (id :: visited) acc
+          | None -> List.rev acc)
+  in
+  go id [] []

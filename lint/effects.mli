@@ -1,0 +1,67 @@
+(** Effect classification over the call graph.
+
+    Every node is classified against a small effect lattice:
+
+    {v
+                    nondeterministic   wall-clock   domain-spawning
+                           \               |              /
+                            +------- tainted ------------+
+                                         |
+                                     seeded-rng
+                                         |
+                                        pure
+    v}
+
+    - {b pure} — no effectful root reachable;
+    - {b seeded-rng} — draws randomness, but only through the seeded
+      {!Engine.Rng} (deterministic given the spec seed);
+    - {b nondeterministic} — some call path reaches [Random.*],
+      [Hashtbl.hash] or polymorphic [compare];
+    - {b wall-clock} — some call path reaches [Sys.time] /
+      [Unix.gettimeofday] / [Unix.time];
+    - {b domain-spawning} — some call path reaches [Domain.spawn] /
+      [Thread.create] / [Unix.fork].
+
+    Taint propagates caller-ward to a fixpoint, with two sanctioned
+    {e barriers} that absorb it: [lib/engine/rng.ml] absorbs
+    nondeterminism (it is the seeded wrapper itself) and [lib/obs/]
+    absorbs wall-clock reads ([Obs.Profile] is the one sanctioned
+    profiling site, per R7). The reasons recorded for each taint are
+    recomputed canonically after the fixpoint, so reported chains do not
+    depend on propagation order (see the module-reordering qcheck
+    property in the tests). *)
+
+type kind = Nondet | Wall | Spawn
+
+type reason =
+  | Root of { name : string; line : int }
+      (** direct reference to a primitive root at [line] *)
+  | Via of { def : string; line : int }
+      (** reference at [line] to a node that is itself tainted *)
+
+type taint = {
+  nondet : reason option;
+  wall : reason option;
+  spawn : reason option;
+  seeded : bool;
+}
+
+type t
+
+val classify_root : string -> kind option
+(** Classify a normalised external name as a primitive taint root. *)
+
+val compute : Callgraph.t -> t
+val taint_of : t -> string -> taint
+
+val effect_name : taint -> string
+(** Human name of the strongest classification: ["nondeterministic"],
+    ["wall-clock"], ["domain-spawning"], ["seeded-rng"] or ["pure"]
+    (taints dominate seededness; among taints the order above is used
+    for display only). *)
+
+val chain : Callgraph.t -> t -> kind -> string -> string list
+(** [chain g t kind id] renders the call chain from node [id] to the
+    primitive root that taints it, one formatted step per element:
+    ["Net.Port.delay (lib/net/port.ml:12)"; ...; "Random.float"].
+    Empty when [id] is not tainted for [kind]. *)

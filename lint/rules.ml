@@ -1,12 +1,22 @@
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type rule =
+  | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+  | R11 | R12 | R13 | R14
 
-type violation = { rule : rule; file : string; line : int; message : string }
+type violation = {
+  rule : rule;
+  file : string;
+  line : int;
+  message : string;
+  notes : string list;
+}
 
 exception Parse_error of string * int * string
 
-let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let syntactic_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 ]
+let typed_rules = [ R11; R12; R13; R14 ]
+let all_rules = syntactic_rules @ typed_rules
 
 let rule_id = function
   | R1 -> "R1"
@@ -19,6 +29,10 @@ let rule_id = function
   | R8 -> "R8"
   | R9 -> "R9"
   | R10 -> "R10"
+  | R11 -> "R11"
+  | R12 -> "R12"
+  | R13 -> "R13"
+  | R14 -> "R14"
 
 let rule_of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -32,6 +46,10 @@ let rule_of_id s =
   | "R8" -> Some R8
   | "R9" -> Some R9
   | "R10" -> Some R10
+  | "R11" -> Some R11
+  | "R12" -> Some R12
+  | "R13" -> Some R13
+  | "R14" -> Some R14
   | _ -> None
 
 let rule_doc = function
@@ -68,6 +86,25 @@ let rule_doc = function
        lib/workloads and lib/exp; ad-hoc streams fork the deterministic \
        seed tree, so new draws must come from an owner layer's seeded \
        stream"
+  | R11 ->
+      "typed: no call chain from Random.*, Hashtbl.hash, polymorphic \
+       compare or a wall-clock read into lib/engine|net|tcp|dctcp|fault|\
+       workloads — wrapper functions are followed transitively across \
+       modules, closing the laundering gap in R1/R3/R7"
+  | R12 ->
+      "typed: no top-level mutable state (ref, array, Hashtbl, Buffer, \
+       mutable record fields) reachable from a Domain.spawn-ing function \
+       unless it is Atomic or carries a justified per-domain-ownership \
+       annotation — the guard rail for Exp.Runner's parallel sweeps"
+  | R13 ->
+      "typed: no raw int64 arithmetic on Engine.Time.t instants (a \
+       coercion of Time.t, or Int64 ops fed by Time.to_ns) outside \
+       lib/engine/time.ml; instants carry a unit, spans are plain int64"
+  | R14 ->
+      "typed: no per-call allocation in event hot-path functions of \
+       lib/engine and lib/net — partial applications, environment-\
+       capturing closures and boxed-float returns burn the ~13 minor \
+       words/event budget"
 
 (* --- Path scoping ------------------------------------------------------ *)
 
@@ -120,6 +157,7 @@ let scope_of_file file =
 (* --- Suppression comments ---------------------------------------------- *)
 
 type allow = All | Only of rule list
+type suppressions = (int, allow) Hashtbl.t
 
 let find_sub s sub =
   let n = String.length s and m = String.length sub in
@@ -162,6 +200,12 @@ let suppressions source =
               Hashtbl.replace tbl (i + 1) allow))
     lines;
   tbl
+
+let suppressed (sup : suppressions) rule ~line =
+  match Hashtbl.find_opt sup line with
+  | Some All -> true
+  | Some (Only rs) -> List.mem rule rs
+  | None -> false
 
 (* --- Expression classification ----------------------------------------- *)
 
@@ -265,13 +309,8 @@ let lint_source ?(rules = all_rules) ~filename source =
   let out = ref [] in
   let emit rule loc message =
     let line = loc.Location.loc_start.Lexing.pos_lnum in
-    let allowed =
-      match Hashtbl.find_opt sup line with
-      | Some All -> true
-      | Some (Only rs) -> List.mem rule rs
-      | None -> false
-    in
-    if not allowed then out := { rule; file = filename; line; message } :: !out
+    if not (suppressed sup rule ~line) then
+      out := { rule; file = filename; line; message; notes = [] } :: !out
   in
   let str = parse_structure ~filename source in
   let compare_is_local = binds_compare str in
@@ -394,6 +433,7 @@ let check_mli ~ml_file ~mli_exists =
         rule = R5;
         file = ml_file;
         line = 1;
+        notes = [];
         message =
           Printf.sprintf
             "missing interface %si; every lib module must state its public \
@@ -438,3 +478,11 @@ let lint_paths ?(rules = all_rules) paths =
 
 let pp_violation ppf v =
   Format.fprintf ppf "%s:%d: [%s] %s" v.file v.line (rule_id v.rule) v.message
+
+(* Head line as [pp_violation], then one indented line per note (call-chain
+   steps for the typed rules). Keeping notes off the head line lets a CI
+   problem matcher parse [file:line: [Rn] message] while the log still shows
+   the full trace. *)
+let pp_violation_full ppf v =
+  pp_violation ppf v;
+  List.iter (fun n -> Format.fprintf ppf "@\n    %s" n) v.notes

@@ -44,26 +44,65 @@
     annotation, or a call to a well-known float-returning function
     ([to_sec], [sqrt], [Float.*], ...).
 
+    Rules R11–R14 are the {e typed} whole-program pass: they operate on
+    dune-produced [.cmt] Typedtree artifacts (see {!Typed_rules}) and can
+    therefore follow call chains across modules and read inferred types:
+
+    - {b R11} transitive nondeterminism taint: no call path from
+      [Random.*], [Hashtbl.hash], polymorphic [compare] or a wall-clock
+      read into [lib/engine|net|tcp|dctcp|fault|workloads], wrappers
+      included — the whole-program closure of R1/R3/R7.
+    - {b R12} static data-race detection: top-level mutable state ([ref],
+      [array], [Hashtbl.t], [Buffer.t], records with [mutable] fields)
+      reachable from a [Domain.spawn]-ing function must be [Atomic.t] or
+      carry a justified ownership annotation.
+    - {b R13} time-unit hygiene: no raw [int64] arithmetic on
+      {!Engine.Time.t} instants outside [lib/engine/time.ml].
+    - {b R14} hot-path allocation: no partial applications, capturing
+      closures or boxed-float returns in functions reachable from the
+      event-loop entry points of [lib/engine] / [lib/net].
+
     Any line-based rule can be suppressed for one line with a trailing
     comment: [(* dtlint: allow R2 *)] (several ids may be listed, or
     [all]). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+type rule =
+  | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+  | R11 | R12 | R13 | R14
 
 type violation = {
   rule : rule;
   file : string;  (** path as given on the command line *)
   line : int;  (** 1-based line of the offending expression *)
   message : string;  (** human-readable explanation, no location prefix *)
+  notes : string list;
+      (** extra context lines (the typed rules put the call-chain trace
+          here); empty for the syntactic rules *)
 }
 
 exception Parse_error of string * int * string
 (** [(file, line, message)] — the file is not syntactically valid OCaml. *)
 
 val all_rules : rule list
+(** Every rule, R1–R14, in order. *)
+
+val syntactic_rules : rule list
+(** R1–R10: detected on the parsetree, no build artifacts needed. *)
+
+val typed_rules : rule list
+(** R11–R14: need [.cmt] Typedtree artifacts (the [--typed] pass). *)
+
 val rule_id : rule -> string
 val rule_of_id : string -> rule option
 val rule_doc : rule -> string
+
+type suppressions
+(** Per-line [(* dtlint: allow Rn *)] table for one source file. *)
+
+val suppressions : string -> suppressions
+(** Parse the suppression comments out of a source text. *)
+
+val suppressed : suppressions -> rule -> line:int -> bool
 
 val lint_source : ?rules:rule list -> filename:string -> string -> violation list
 (** Lint an implementation ([.ml]) given as a string. [filename] scopes the
@@ -87,4 +126,8 @@ val lint_paths : ?rules:rule list -> string list -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
 (** [file:line: [Rn] message] — one line, suitable for compiler-style
-    output. *)
+    output (and for the CI problem matcher). Notes are omitted. *)
+
+val pp_violation_full : Format.formatter -> violation -> unit
+(** Like {!pp_violation} followed by one indented line per note — the
+    call-chain trace for the typed rules. *)

@@ -61,7 +61,7 @@ let test_time_pp () =
 
 (* --- Heap --- *)
 
-let int_heap () = Heap.create ~cmp:compare ()
+let int_heap () = Heap.create ~cmp:Int.compare ()
 
 let test_heap_basic () =
   let h = int_heap () in
@@ -88,7 +88,7 @@ let test_heap_sorted_drain () =
   List.iter (Heap.push h) data;
   check
     Alcotest.(list int)
-    "to_sorted_list" (List.sort compare data) (Heap.to_sorted_list h);
+    "to_sorted_list" (List.sort Int.compare data) (Heap.to_sorted_list h);
   (* Non destructive *)
   checki "still full" (List.length data) (Heap.length h)
 
@@ -114,7 +114,7 @@ let prop_heap_sorts =
       let rec drain acc =
         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
       in
-      drain [] = List.sort compare l)
+      drain [] = List.sort Int.compare l)
 
 let prop_heap_interleaved =
   QCheck.Test.make ~count:200
@@ -131,7 +131,7 @@ let prop_heap_interleaved =
             true
           end
           else begin
-            match (Heap.pop h, List.sort compare !model) with
+            match (Heap.pop h, List.sort Int.compare !model) with
             | None, [] -> true
             | Some x, m :: rest ->
                 model := rest;
@@ -140,27 +140,31 @@ let prop_heap_interleaved =
           end)
         ops)
 
-(* --- Rng --- *)
+(* --- Rng ---
+
+   These tests create Rng streams directly: the stream type is the unit
+   under test, so R10 (streams belong to owner layers) is suppressed on
+   each creation line. *)
 
 let test_rng_determinism () =
-  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:7L in  (* dtlint: allow R10 *)
   for _ = 1 to 100 do
     check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
   done
 
 let test_rng_seed_sensitivity () =
-  let a = Rng.create ~seed:7L and b = Rng.create ~seed:8L in
+  let a = Rng.create ~seed:7L and b = Rng.create ~seed:8L in  (* dtlint: allow R10 *)
   checkb "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
 
 let test_rng_float_range () =
-  let r = Rng.create ~seed:42L in
+  let r = Rng.create ~seed:42L in  (* dtlint: allow R10 *)
   for _ = 1 to 1000 do
     let f = Rng.float r in
     checkb "in [0,1)" true (f >= 0. && f < 1.)
   done
 
 let test_rng_int_range () =
-  let r = Rng.create ~seed:42L in
+  let r = Rng.create ~seed:42L in  (* dtlint: allow R10 *)
   for _ = 1 to 1000 do
     let i = Rng.int r ~bound:17 in
     checkb "in [0,17)" true (i >= 0 && i < 17)
@@ -169,14 +173,14 @@ let test_rng_int_range () =
     (fun () -> ignore (Rng.int r ~bound:0))
 
 let test_rng_uniform () =
-  let r = Rng.create ~seed:1L in
+  let r = Rng.create ~seed:1L in  (* dtlint: allow R10 *)
   for _ = 1 to 200 do
     let x = Rng.uniform r ~lo:3. ~hi:5. in
     checkb "uniform range" true (x >= 3. && x < 5.)
   done
 
 let test_rng_exponential_mean () =
-  let r = Rng.create ~seed:11L in
+  let r = Rng.create ~seed:11L in  (* dtlint: allow R10 *)
   let n = 20000 in
   let sum = ref 0. in
   for _ = 1 to n do
@@ -186,22 +190,22 @@ let test_rng_exponential_mean () =
   checkb "exponential mean within 5%" true (Float.abs (mean -. 2.) < 0.1)
 
 let test_rng_split_independent () =
-  let parent = Rng.create ~seed:3L in
-  let c1 = Rng.split parent in
-  let c2 = Rng.split parent in
+  let parent = Rng.create ~seed:3L in  (* dtlint: allow R10 *)
+  let c1 = Rng.split parent in  (* dtlint: allow R10 *)
+  let c2 = Rng.split parent in  (* dtlint: allow R10 *)
   checkb "children differ" true (Rng.int64 c1 <> Rng.int64 c2)
 
 let test_rng_shuffle_permutation () =
-  let r = Rng.create ~seed:5L in
+  let r = Rng.create ~seed:5L in  (* dtlint: allow R10 *)
   let arr = Array.init 50 Fun.id in
   let orig = Array.copy arr in
   Rng.shuffle r arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   checkb "is permutation" true (sorted = orig)
 
 let test_rng_jitter_bounds () =
-  let r = Rng.create ~seed:9L in
+  let r = Rng.create ~seed:9L in  (* dtlint: allow R10 *)
   for _ = 1 to 500 do
     let j = Rng.jitter_span r ~max:1000L in
     checkb "jitter in range" true (Int64.compare j 0L >= 0 && Int64.compare j 1000L <= 0)
@@ -618,7 +622,7 @@ let test_event_queue_compaction_sweep () =
   done;
   let order = List.rev !fired in
   checki "all survivors fired" 50 (List.length order);
-  checkb "in schedule order" true (order = List.sort compare order)
+  checkb "in schedule order" true (order = List.sort Int.compare order)
 
 let test_event_queue_stale_cancel () =
   let q = Eq.create () in

@@ -169,7 +169,7 @@ let faults_gen =
   let window_list_gen =
     Gen.map
       (fun bounds ->
-        let sorted = List.sort_uniq compare bounds in
+        let sorted = List.sort_uniq Int.compare bounds in
         let rec pair = function
           | lo :: hi :: rest -> (lo, hi) :: pair rest
           | _ -> []

@@ -377,7 +377,7 @@ let test_fft_sine_bin () =
 
 let test_fft_parseval () =
   let n = 32 in
-  let rng = Engine.Rng.create ~seed:5L in
+  let rng = Engine.Rng.create ~seed:5L in  (* dtlint: allow R10 *)
   let input =
     Array.init n (fun _ ->
         { Complex.re = Engine.Rng.uniform rng ~lo:(-1.) ~hi:1.; im = 0. })

@@ -160,7 +160,8 @@ let small_incast =
 let test_incast_small_completes () =
   let r = I.run incast_proto small_incast in
   checki "all repeats finish" 0 r.I.incomplete;
-  checkb "no timeouts at small n" true (r.I.timeouts_per_run = 0.);
+  (* exactly zero timeouts is the property under test *)
+  checkb "no timeouts at small n" true (r.I.timeouts_per_run = 0.);  (* dtlint: allow R2 *)
   checkb
     (Printf.sprintf "goodput %.0f Mbps reasonable" (r.I.mean_goodput_bps /. 1e6))
     true
