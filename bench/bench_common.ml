@@ -25,6 +25,10 @@ let jobs = ref 1
 
 let run_specs specs = Exp.Runner.run ~jobs:!jobs specs
 
+(* Same, with the streaming oscillation analyzer teed into every run
+   (its JSON block lands in each outcome's manifest). *)
+let run_specs_analyzed specs = Exp.Runner.run ~jobs:!jobs ~analyze:true specs
+
 (* The protocol operating points now live in Exp.Registry; the two the
    analysis sections (spectrum, parking lot) instantiate directly: *)
 let dctcp_sim () = Exp.Spec.protocol_of Exp.Registry.sim_dctcp
@@ -109,7 +113,7 @@ let write_manifest ~section ~wall_s ?(seed = 0L) ?(events = 0) ?(params = [])
       ~name:("bench." ^ section)
       ~seed
       ~params:(("quick", Obs.Json.Bool !quick) :: params)
-      ~wall_clock_s:wall_s ~events ~metrics
+      ~wall_clock_s:wall_s ~events ~metrics ()
   in
   let file = Printf.sprintf "BENCH_%s.json" section in
   let oc = open_out file in

@@ -3,7 +3,7 @@
 
    Usage: main.exe [--quick] [-j N] [section ...]
    Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid
-   robustness perf
+   robustness oscillation perf
    (default: all). -j N fans each section's Exp.Runner sweep across N
    domains; results are bit-identical to -j 1 by construction. *)
 
@@ -33,6 +33,7 @@ let sections =
         Extensions.convergence ();
         Extensions.parking_lot () );
     ("robustness", Robustness.run);
+    ("oscillation", Oscillation.run);
     ("perf", Perf.run);
   ]
 

@@ -66,8 +66,11 @@ let tests =
    its sink configurations, on a fixed DT-DCTCP dumbbell scenario. The
    null-tracer row is the "<2% regression with sinks disabled" guard. --- *)
 
-let tracing_scenario tracer =
+let tracing_scenario ?profiler tracer =
   let sim = Engine.Sim.create ~seed:7L () in
+  (match profiler with
+  | None -> ()
+  | Some p -> Obs.Selfprof.attach p sim);
   let d =
     Net.Topology.dumbbell sim ~n_senders:4 ~bottleneck_rate_bps:10e9
       ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(100 * 1500)
@@ -118,25 +121,42 @@ let tracing_overhead () =
           (r.Obs.Profile.events_per_s /. untraced.Obs.Profile.events_per_s);
       ]
   in
+  (* Self-profiler axis on the same scenario: attached (counts every
+     event, wall-times 1 in 32) vs the detached single-branch path. The
+     attached row is the "<2% with profiling off, bounded when on"
+     guard's measured half; the null row above doubles as its off half
+     (no profiler is ever constructed there). *)
+  let prof = Obs.Selfprof.create () in
+  let profiled = tracing_scenario ~profiler:prof Obs.Trace.null in
   row "null (disabled)" untraced;
   row "ring (64k records)" ring;
   row "csv (tempfile)" csv;
+  row "self-profiler (1/32 timed)" profiled;
   Stats.Table.print t;
+  Printf.printf "  profiler observed %d events, timed %d\n"
+    (Obs.Selfprof.total prof)
+    (Obs.Selfprof.sampled_total prof);
   Bench_common.write_manifest ~section:"obs"
     ~wall_s:
       (untraced.Obs.Profile.wall_s +. ring.Obs.Profile.wall_s
-     +. csv.Obs.Profile.wall_s)
+     +. csv.Obs.Profile.wall_s +. profiled.Obs.Profile.wall_s)
     ~seed:7L ~events:untraced.Obs.Profile.events
     ~params:
       [
         ("scenario", Obs.Json.String "dt-dctcp dumbbell, 4 flows");
         ("ring_capacity", Obs.Json.Int 65536);
+        ("selfprof_sample_every", Obs.Json.Int 32);
       ]
     ~metrics:
       [
         ("events_per_s.null", untraced.Obs.Profile.events_per_s);
         ("events_per_s.ring", ring.Obs.Profile.events_per_s);
         ("events_per_s.csv", csv.Obs.Profile.events_per_s);
+        ("events_per_s.selfprof", profiled.Obs.Profile.events_per_s);
+        ( "selfprof.events_observed",
+          float_of_int (Obs.Selfprof.total prof) );
+        ( "selfprof.events_timed",
+          float_of_int (Obs.Selfprof.sampled_total prof) );
         ("ring.records_kept", float_of_int (Obs.Trace.ring_length ring_buf));
         ("ring.records_total", float_of_int (Obs.Trace.ring_total ring_buf));
       ]

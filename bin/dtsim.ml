@@ -89,8 +89,8 @@ let testbed_protocol proto g kkb k1kb k2kb =
 let proto_label p = (Spec.protocol_of p).Dctcp.Protocol.name
 
 (* Run one spec; a failed workload is a CLI error, not a silent success. *)
-let exec ?tracer spec =
-  let outcome = Runner.run_one ?tracer spec in
+let exec ?tracer ?on_sim ?analyze spec =
+  let outcome = Runner.run_one ?tracer ?on_sim ?analyze spec in
   (match outcome.Runner.result with
   | Outcome.Failed { error; _ } ->
       Printf.eprintf "dtsim: %s\n" error;
@@ -128,7 +128,8 @@ let parse_trace_events spec =
 
 let longlived_cmd =
   let run proto g k k1 k2 seed n rate_gbps rtt_us warmup_ms measure_ms
-      trace_csv cwnd_csv trace_out trace_events metrics_out =
+      trace_csv cwnd_csv trace_out trace_events metrics_out analysis_out
+      profile_out =
     let protocol = sim_protocol proto g k k1 k2 in
     (* The cwnd trace needs direct access to a flow, so it runs its own
        small scenario mirroring the workload's configuration. *)
@@ -188,15 +189,54 @@ let longlived_cmd =
     let trace_oc = if trace_out = "" then None else Some (open_out trace_out) in
     let tracer =
       match trace_oc with
-      | Some oc -> Obs.Trace.create ?classes (Obs.Trace.Jsonl oc)
+      | Some oc ->
+          let tr = Obs.Trace.create ?classes (Obs.Trace.Jsonl oc) in
+          (* Header first: the analyzer config this spec implies plus the
+             tracer's class filter, so `dtsim analyze` can replay the
+             file with the exact online parameters. *)
+          (match Runner.analysis_config spec with
+          | Some acfg ->
+              Obs.Json.write oc
+                (Obs.Analyze.Header.to_json
+                   {
+                     Obs.Analyze.Header.config = acfg;
+                     classes = Obs.Trace.enabled_classes tr;
+                   });
+              output_char oc '\n'
+          | None -> ());
+          tr
       | None -> Obs.Trace.null
     in
-    let outcome = exec ~tracer spec in
+    let profiler =
+      if profile_out = "" then None else Some (Obs.Selfprof.create ())
+    in
+    let on_sim =
+      Option.map (fun p sim -> Obs.Selfprof.attach p sim) profiler
+    in
+    let outcome = exec ~tracer ?on_sim ~analyze:(analysis_out <> "") spec in
     (match trace_oc with
     | Some oc ->
         close_out oc;
         Printf.printf "event trace         %s\n" trace_out
     | None -> ());
+    (match (analysis_out, outcome.Runner.manifest.Obs.Manifest.analysis) with
+    | "", _ | _, None -> ()
+    | file, Some analysis ->
+        let oc = open_out file in
+        Obs.Json.write oc analysis;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "analysis            %s\n" file);
+    (match profiler with
+    | None -> ()
+    | Some p ->
+        let oc = open_out profile_out in
+        Obs.Json.write oc (Obs.Selfprof.to_json p);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "engine profile      %s (%d events, %d timed)\n"
+          profile_out (Obs.Selfprof.total p)
+          (Obs.Selfprof.sampled_total p));
     write_manifest_opt ~file:metrics_out outcome;
     let r =
       match outcome.Runner.result with
@@ -271,13 +311,31 @@ let longlived_cmd =
              Exp.Spec, wall clock, events/s, final metrics snapshot) to \
              FILE as JSON.")
   in
+  let analysis_out =
+    Arg.(
+      value & opt string ""
+      & info [ "analysis-out" ] ~docv:"FILE"
+          ~doc:
+            "Run the streaming oscillation analyzer online (teed into the \
+             trace stream) and write its JSON block to FILE. The same \
+             block is embedded in --metrics-out, and `dtsim analyze` on a \
+             --trace-out file reproduces it bit for bit.")
+  in
+  let profile_out =
+    Arg.(
+      value & opt string ""
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Attach the sampled per-event-class engine self-profiler and \
+             write its JSON report to FILE.")
+  in
   Cmd.v
     (Cmd.info "longlived"
        ~doc:"N long-lived flows over the 10 Gbps dumbbell (paper Figs 1, 10-12)")
     Term.(
       const run $ proto_arg $ g_arg $ k_arg $ k1_arg $ k2_arg $ seed_arg $ n
       $ rate $ rtt $ warmup $ measure $ trace $ cwnd_trace $ trace_out
-      $ trace_events $ metrics_out)
+      $ trace_events $ metrics_out $ analysis_out $ profile_out)
 
 (* --- incast --- *)
 
@@ -895,6 +953,144 @@ let sweep_cmd =
     Term.(
       const run $ entry $ spec_file $ jobs $ out_dir $ verify $ list_entries)
 
+(* --- analyze: offline replay of a JSONL trace through the exact
+   streaming analyzers a live run uses --- *)
+
+let analyze_cmd =
+  let module An = Obs.Analyze in
+  let run file out =
+    let ic = try open_in file with Sys_error e -> fail "%s" e in
+    let next_line () = try Some (input_line ic) with End_of_file -> None in
+    (* First non-blank line must be the header record: it carries the
+       analyzer configuration the writing run used, which is what makes
+       the offline result bit-identical to the online one. *)
+    let line_no = ref 0 in
+    let rec first_json () =
+      match next_line () with
+      | None -> fail "%s: empty trace file" file
+      | Some l ->
+          incr line_no;
+          if String.trim l = "" then first_json ()
+          else begin
+            match Obs.Json.parse l with
+            | Error e -> fail "%s:%d: %s" file !line_no e
+            | Ok j -> j
+          end
+    in
+    let header_json = first_json () in
+    if not (An.Header.is_header header_json) then
+      fail
+        "%s: first record is not a trace header (traces written by `dtsim \
+         longlived --trace-out` carry one; a headerless file cannot be \
+         analyzed offline)"
+        file;
+    let header =
+      match An.Header.of_json header_json with
+      | Ok h -> h
+      | Error e -> fail "%s: %s" file e
+    in
+    let cfg = header.An.Header.config in
+    let missing =
+      List.filter
+        (fun c -> not (List.mem c header.An.Header.classes))
+        An.required_classes
+    in
+    if missing <> [] then
+      Printf.eprintf
+        "dtsim analyze: warning: trace was recorded without class(es) %s; \
+         the analysis will under-report them\n"
+        (String.concat ", " (List.map Obs.Trace.cls_name missing));
+    (* The on_sample hook collects the resampled series for the offline
+       FFT cross-check; the analyzer itself never buffers it. *)
+    let samples = ref [] in
+    let an =
+      An.create ~on_sample:(fun x -> samples := x :: !samples) cfg
+    in
+    let tracer = An.tracer an in
+    let rec replay () =
+      match next_line () with
+      | None -> ()
+      | Some l ->
+          incr line_no;
+          (if String.trim l <> "" then
+             match Obs.Json.parse l with
+             | Error e -> fail "%s:%d: %s" file !line_no e
+             | Ok j -> (
+                 match Obs.Trace.record_of_json j with
+                 | Ok r -> Obs.Trace.emit tracer r
+                 | Error e -> fail "%s:%d: %s" file !line_no e));
+          replay ()
+    in
+    replay ();
+    close_in ic;
+    An.finalize an;
+    let s = An.summary an in
+    Printf.printf "trace               %s (%d records, %.3f s)\n" file
+      s.An.records s.An.duration_s;
+    (match cfg.An.band_bytes with
+    | Some (lo, hi) ->
+        Printf.printf "marking band        [%d, %d] bytes\n" lo hi
+    | None ->
+        Printf.printf "marking band        none (cycle detector disabled)\n");
+    Printf.printf "occupancy           %.2f pkts mean, %.2f std\n"
+      s.An.occ_mean_pkts s.An.occ_std_pkts;
+    Printf.printf
+      "cycles              %d (amplitude mean %.1f pkts, max %.1f, period \
+       mean %.3f ms)\n"
+      s.An.cycles s.An.amp_mean_pkts s.An.amp_max_pkts
+      (s.An.period_mean_s *. 1e3);
+    Printf.printf "marking flip rate   %.1f Hz\n" s.An.flip_rate_hz;
+    Printf.printf "sync index          mean %.3f, max %.3f\n" s.An.sync_mean
+      s.An.sync_max;
+    (match (s.An.dominant_freq_hz, An.spectrum_note an) with
+    | Some f, _ ->
+        Printf.printf "dominant frequency  %.1f Hz (autocorr, period %.3f ms)\n"
+          f (1e3 /. f)
+    | None, Some note -> Printf.printf "dominant frequency  none: %s\n" note
+    | None, None -> Printf.printf "dominant frequency  none\n");
+    (* Independent cross-check: FFT over the buffered series. Silence
+       would be indistinguishable from "no oscillation", so the two
+       degenerate verdicts print their explicit diagnostics. *)
+    let series = Array.of_list (List.rev !samples) in
+    let sample_rate_hz = 1e9 /. Int64.to_float cfg.An.sample_period in
+    (match Stats.Spectrum.analyze ~samples:series ~sample_rate_hz with
+    | Stats.Spectrum.Peak p ->
+        Printf.printf "FFT cross-check     %.1f Hz\n"
+          p.Stats.Spectrum.frequency_hz
+    | v -> (
+        match Stats.Spectrum.verdict_note v with
+        | Some note -> Printf.printf "FFT cross-check     none: %s\n" note
+        | None -> assert false));
+    if out <> "" then begin
+      let oc = open_out out in
+      Obs.Json.write oc (An.to_json an);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "analysis            %s\n" out
+    end
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL event trace written by `dtsim longlived --trace-out`.")
+  in
+  let out =
+    Arg.(
+      value & opt string ""
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the analysis JSON block to FILE (bit-identical to the \
+             block an online `--analysis-out` run embeds).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Replay a JSONL trace offline through the same streaming \
+          oscillation analyzers a live run tees into")
+    Term.(const run $ file $ out)
+
 let () =
   let doc =
     "reproduction of 'Ease the Queue Oscillation: Analysis and Enhancement \
@@ -914,4 +1110,5 @@ let () =
             dynamic_cmd;
             convergence_cmd;
             sweep_cmd;
+            analyze_cmd;
           ]))

@@ -23,6 +23,9 @@ type event = {
       (* The same instant, boxed once at schedule time, so firing can
          advance the clock without re-boxing an int64. *)
   mutable action : unit -> unit;
+  mutable cls : int;
+      (* {!Event_class} index tag, carried for the self-profiler. An
+         immediate int: tagging costs one mutable-field store. *)
   mutable live : bool;  (* Scheduled and not cancelled, not yet fired. *)
   mutable gen : int;  (* Bumped on every release; validates ids. *)
   mutable next_free : int;  (* Free-list link (pool index), -1 = end. *)
@@ -60,6 +63,7 @@ type t = {
   mutable dead_count : int;  (* cancelled events still in the heap *)
   mutable popped_time : Time.t;
   mutable popped_action : unit -> unit;
+  mutable popped_cls : int;
   dummy : event;  (* placeholder for empty heap/pool slots *)
 }
 
@@ -76,6 +80,7 @@ let create ?(capacity = 1024) () =
       seq = -1;
       time = Time.zero;
       action = noop;
+      cls = 0;
       live = false;
       gen = 0;
       next_free = -1;
@@ -93,6 +98,7 @@ let create ?(capacity = 1024) () =
     dead_count = 0;
     popped_time = Time.zero;
     popped_action = noop;
+    popped_cls = 0;
     dummy;
   }
 
@@ -128,6 +134,7 @@ let alloc t =
         seq = 0;
         time = Time.zero;
         action = noop;
+        cls = 0;
         live = false;
         gen = 0;
         next_free = -1;
@@ -224,17 +231,22 @@ let heap_drop_root t =
 
 (* --- queue operations ---------------------------------------------- *)
 
-let add t ~time action =
+let add_cls t ~time ~cls action =
   let ev = alloc t in
   ev.key_ns <- Int64.to_int (Time.to_ns time);
   ev.seq <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
   ev.time <- time;
   ev.action <- action;
+  ev.cls <- cls;
   ev.live <- true;
   t.live_count <- t.live_count + 1;
   heap_push t ev;
   id_of ev
+
+(* [~cls] is a required label (not optional): an optional int argument
+   would box [Some cls] on every call, and this is the hot path. *)
+let add t ~time action = add_cls t ~time ~cls:0 action
 
 (* Key of the next event [pop] would fire, or [max_int] when no live
    event remains. Cancelled records met at the root are recycled en
@@ -306,6 +318,7 @@ let rec pop t =
       t.live_count <- t.live_count - 1;
       t.popped_time <- root.time;
       t.popped_action <- root.action;
+      t.popped_cls <- root.cls;
       release t root;
       true
     end
@@ -319,3 +332,4 @@ let rec pop t =
 
 let popped_time t = t.popped_time
 let popped_action t = t.popped_action
+let popped_cls t = t.popped_cls

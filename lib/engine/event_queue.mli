@@ -47,7 +47,14 @@ val pool_size : t -> int
 
 val add : t -> time:Time.t -> (unit -> unit) -> id
 (** Schedules an action. Events added at equal [time] fire in [add]
-    order. O(log₄ n); allocates only when the pool has no free record. *)
+    order. O(log₄ n); allocates only when the pool has no free record.
+    The event carries class tag 0 ({!Event_class.Other}). *)
+
+val add_cls : t -> time:Time.t -> cls:int -> (unit -> unit) -> id
+(** {!add} with an explicit {!Event_class} index tag for the
+    self-profiler. [cls] is a required label (an optional int would box
+    on every call); tagging is one immediate store and never changes
+    pop order. *)
 
 val cancel : t -> id -> bool
 (** Marks the event dead; returns [false] (and does nothing) if the id
@@ -63,6 +70,9 @@ val pop : t -> bool
 
 val popped_time : t -> Time.t
 val popped_action : t -> unit -> unit
+
+val popped_cls : t -> int
+(** {!Event_class} index of the last popped event (0 = untagged). *)
 
 val live_min_key_ns : t -> int
 (** Nanosecond key of the next event {!pop} would fire, or [max_int]

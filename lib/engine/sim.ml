@@ -8,9 +8,15 @@ type t = {
   mutable hwm : int;
   mutable ids : int;
   mutable instrument : unit -> unit;
+  (* Self-profiler hooks: when [profiling] is false the step loop pays a
+     single immediate-bool branch and touches neither closure. *)
+  mutable profiling : bool;
+  mutable prof_before : int -> unit;
+  mutable prof_after : int -> unit;
 }
 
 let noop () = ()
+let noop_cls (_ : int) = ()
 let no_event = Event_queue.none
 
 let create ?(seed = 1L) () =
@@ -22,6 +28,9 @@ let create ?(seed = 1L) () =
     hwm = 0;
     ids = 0;
     instrument = noop;
+    profiling = false;
+    prof_before = noop_cls;
+    prof_after = noop_cls;
   }
 
 let now t = t.now
@@ -31,22 +40,26 @@ let fresh_id t =
   t.ids <- t.ids + 1;
   t.ids
 
-let schedule_at t time action =
+let schedule_at_cls t time ~cls action =
   if Time.(time < t.now) then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %s is before now (%s)"
          (Time.to_string time) (Time.to_string t.now));
-  let id = Event_queue.add t.q ~time action in
+  let id = Event_queue.add_cls t.q ~time ~cls action in
   (* High water tracks true heap occupancy (live plus not-yet-swept
      cancelled entries): that is the memory the engine actually holds. *)
   let occ = Event_queue.length t.q in
   if occ > t.hwm then t.hwm <- occ;
   id
 
-let schedule_after t span action =
+let schedule_at t time action = schedule_at_cls t time ~cls:0 action
+
+let schedule_after_cls t span ~cls action =
   if Int64.compare span 0L < 0 then
     invalid_arg "Sim.schedule_after: negative delay";
-  schedule_at t (Time.add t.now span) action
+  schedule_at_cls t (Time.add t.now span) ~cls action
+
+let schedule_after t span action = schedule_after_cls t span ~cls:0 action
 
 let cancel t id = ignore (Event_queue.cancel t.q id)
 
@@ -55,7 +68,16 @@ let step t =
     t.now <- Event_queue.popped_time t.q;
     t.processed <- t.processed + 1;
     let action = Event_queue.popped_action t.q in
-    action ();
+    if t.profiling then begin
+      (* Read the class before running the action: the action may pop
+         nothing itself, but keeping the read first costs nothing and
+         makes the pairing obviously correct. *)
+      let cls = Event_queue.popped_cls t.q in
+      t.prof_before cls;
+      action ();
+      t.prof_after cls
+    end
+    else action ();
     t.instrument ();
     true
   end
@@ -85,3 +107,15 @@ let heap_high_water t = t.hwm
 let event_pool_size t = Event_queue.pool_size t.q
 let set_instrument t f = t.instrument <- f
 let clear_instrument t = t.instrument <- noop
+
+let set_profiler t ~before ~after =
+  t.prof_before <- before;
+  t.prof_after <- after;
+  t.profiling <- true
+
+let clear_profiler t =
+  t.profiling <- false;
+  t.prof_before <- noop_cls;
+  t.prof_after <- noop_cls
+
+let profiling t = t.profiling

@@ -35,9 +35,11 @@ let cancel t =
     t.armed <- false
   end
 
+let cls_timer = Event_class.index Event_class.Timer
+
 let set_at t ~at =
   cancel t;
-  t.ev <- Sim.schedule_at t.sim at t.fire;
+  t.ev <- Sim.schedule_at_cls t.sim at ~cls:cls_timer t.fire;
   t.armed <- true;
   t.at <- at
 

@@ -9,7 +9,39 @@ let metric snapshot name =
   | Some (_, v) -> Some v
   | None -> None
 
-let payload_of ?tracer ~metrics ?faults proto (w : Spec.workload) =
+(* The analyzer band is the marking operating point of the protocol
+   under test. Single-threshold protocols get a degenerate band widened
+   by one segment either side of K, so instantaneous-marking chatter
+   around the threshold still registers as band crossings; Reno has no
+   marking threshold at all, which disables the cycle detector. *)
+let band_of (p : Spec.protocol) ~segment_bytes =
+  match p with
+  | Spec.Dctcp { k_bytes; _ } | Spec.Ecn_reno { k_bytes } ->
+      Some (k_bytes - segment_bytes, k_bytes + segment_bytes)
+  | Spec.Dt_dctcp { k1_bytes; k2_bytes; _ } -> Some (k1_bytes, k2_bytes)
+  | Spec.Reno -> None
+
+let default_sample_period = Engine.Time.span_of_us 20.
+
+let analysis_config (spec : Spec.t) =
+  match spec.workload with
+  | Spec.Longlived cfg ->
+      let segment_bytes = cfg.Workloads.Longlived.segment_bytes in
+      Some
+        {
+          Obs.Analyze.sample_period =
+            Option.value cfg.Workloads.Longlived.trace_sampling
+              ~default:default_sample_period;
+          band_bytes = band_of spec.protocol ~segment_bytes;
+          n_flows = cfg.Workloads.Longlived.n_flows;
+          rtt = cfg.Workloads.Longlived.rtt;
+          segment_bytes;
+        }
+  | Spec.Incast _ | Spec.Completion _ | Spec.Dynamic _ | Spec.Convergence _
+  | Spec.Deadline _ ->
+      None
+
+let payload_of ?tracer ?on_sim ~metrics ?faults proto (w : Spec.workload) =
   (* Workloads that have not grown fault support yet must not silently
      ignore a plan: a "robustness" result that secretly ran fault-free
      would be worse than no result. *)
@@ -23,7 +55,7 @@ let payload_of ?tracer ~metrics ?faults proto (w : Spec.workload) =
   match w with
   | Spec.Longlived cfg ->
       Outcome.Longlived
-        (Workloads.Longlived.run ?tracer ~metrics ?faults proto cfg)
+        (Workloads.Longlived.run ?tracer ~metrics ?faults ?on_sim proto cfg)
   | Spec.Incast { config; sack } ->
       Outcome.Incast (Workloads.Incast.run_with_sack ?faults ~sack proto config)
   | Spec.Completion cfg ->
@@ -48,13 +80,32 @@ let payload_of ?tracer ~metrics ?faults proto (w : Spec.workload) =
            ~marking:(fun () -> proto.Dctcp.Protocol.marking ())
            ~echo:proto.Dctcp.Protocol.echo kind config)
 
-let run_one ?tracer (spec : Spec.t) =
+let run_one ?tracer ?on_sim ?(analyze = false) (spec : Spec.t) =
   let metrics = Obs.Metrics.create () in
+  (* The analyzer tees into whatever tracer the caller supplied; with
+     [analyze = false] nothing is constructed and the run — tracer
+     plumbing included — is the one this runner always produced. *)
+  let analyzer =
+    if not analyze then None
+    else
+      Option.map (fun cfg -> Obs.Analyze.create cfg) (analysis_config spec)
+  in
+  let tracer =
+    match analyzer with
+    | None -> tracer
+    | Some an ->
+        let atr = Obs.Analyze.tracer an in
+        Some
+          (match tracer with
+          | None -> atr
+          | Some user -> Obs.Trace.tee user atr)
+  in
   let result, wall_s =
     Obs.Profile.time (fun () ->
         match
           let proto = Spec.protocol_of spec.protocol in
-          payload_of ?tracer ~metrics ?faults:spec.faults proto spec.workload
+          payload_of ?tracer ?on_sim ~metrics ?faults:spec.faults proto
+            spec.workload
         with
         | payload -> Outcome.Done payload
         | exception exn ->
@@ -67,10 +118,11 @@ let run_one ?tracer (spec : Spec.t) =
     | Some v -> int_of_float v
     | None -> 0
   in
+  let analysis = Option.map Obs.Analyze.to_json analyzer in
   let manifest =
-    Obs.Manifest.make ~name:spec.name ~seed:(Spec.seed spec)
+    Obs.Manifest.make ?analysis ~name:spec.name ~seed:(Spec.seed spec)
       ~params:[ ("spec", Spec.to_json spec) ]
-      ~wall_clock_s:wall_s ~events ~metrics:snapshot
+      ~wall_clock_s:wall_s ~events ~metrics:snapshot ()
   in
   { spec; result; manifest }
 
@@ -80,18 +132,18 @@ let run_one ?tracer (spec : Spec.t) =
    simulations themselves share no mutable state (each run builds its own
    Sim/Rng from the spec's seed). [Domain.join] gives the happens-before
    edge that makes the slot writes visible to the caller. *)
-let run ?(jobs = 1) specs =
+let run ?(jobs = 1) ?(analyze = false) specs =
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let workers = Stdlib.min jobs n in
-  if workers <= 1 then Array.map (fun s -> run_one s) specs
+  if workers <= 1 then Array.map (fun s -> run_one ~analyze s) specs
   else begin
     let slots = Array.make n None in
     let next = Atomic.make 0 in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        slots.(i) <- Some (run_one specs.(i));
+        slots.(i) <- Some (run_one ~analyze specs.(i));
         worker ()
       end
     in

@@ -17,15 +17,36 @@ type outcome = {
           manifest alone. *)
 }
 
-val run_one : ?tracer:Obs.Trace.t -> Spec.t -> outcome
+val analysis_config : Spec.t -> Obs.Analyze.config option
+(** The streaming-analysis configuration a spec implies: the workload's
+    sampling period (default 20 us when [trace_sampling] is unset), the
+    protocol's marking band — (K1, K2) for DT-DCTCP, K widened by one
+    segment either side for single-threshold protocols, none for Reno —
+    and the flow count / RTT for the synchronization index. [None] for
+    workloads the analyzer does not cover yet (currently everything but
+    longlived). [dtsim analyze] writes this same config into the trace
+    header, which is what keeps online and offline analysis identical. *)
+
+val run_one :
+  ?tracer:Obs.Trace.t ->
+  ?on_sim:(Engine.Sim.t -> unit) ->
+  ?analyze:bool ->
+  Spec.t ->
+  outcome
 (** Executes one spec with a fresh metrics registry. A raising workload
     yields [result = Failed _] rather than an exception; the manifest is
     still produced. [tracer] is forwarded to workloads that accept one
-    (currently longlived). *)
+    (currently longlived); [on_sim] likewise (the self-profiler's
+    attachment point). [analyze] (default false) tees an {!Obs.Analyze}
+    analyzer into the run's tracer and embeds its JSON block into the
+    manifest; when false nothing is constructed and the manifest is
+    byte-identical to pre-analysis builds. *)
 
-val run : ?jobs:int -> Spec.t list -> outcome array
+val run : ?jobs:int -> ?analyze:bool -> Spec.t list -> outcome array
 (** [run ~jobs specs] executes every spec and returns outcomes in spec
     order. [jobs <= 1] (default) runs serially in the calling domain;
     otherwise [min jobs (length specs)] workers claim specs off a shared
     atomic counter. A failing run occupies its slot as [Failed] and
-    never aborts the sweep. *)
+    never aborts the sweep. [analyze] is forwarded to {!run_one} for
+    every spec (each worker builds its own analyzer, so sweeps stay
+    data-race free). *)

@@ -63,18 +63,20 @@ let emit t event =
     Trace.emit t.tracer
       { time = Sim.now t.sim; component = t.component; event }
 
+let cls_fault = Engine.Event_class.(index Fault)
+
 let attach t ~port =
   let queue = Net.Port.queue port in
   let occ () = Net.Queue_disc.occupancy_bytes queue in
   List.iter
     (fun { Plan.down_at; up_at } ->
       ignore
-        (Sim.schedule_after t.sim down_at (fun () ->
+        (Sim.schedule_after_cls t.sim down_at ~cls:cls_fault (fun () ->
              Net.Port.set_up port false;
              t.link_downs <- t.link_downs + 1;
              emit t (Trace.Link_down { occ_bytes = occ () })));
       ignore
-        (Sim.schedule_after t.sim up_at (fun () ->
+        (Sim.schedule_after_cls t.sim up_at ~cls:cls_fault (fun () ->
              Net.Port.set_up port true;
              t.link_ups <- t.link_ups + 1;
              emit t (Trace.Link_up { occ_bytes = occ () }))))
@@ -87,8 +89,10 @@ let attach t ~port =
         t.rate_changes <- t.rate_changes + 1;
         emit t (Trace.Rate_changed { rate_bps = rate })
       in
-      ignore (Sim.schedule_after t.sim at (set (base_rate *. factor)));
-      ignore (Sim.schedule_after t.sim until (set base_rate)))
+      ignore
+        (Sim.schedule_after_cls t.sim at ~cls:cls_fault
+           (set (base_rate *. factor)));
+      ignore (Sim.schedule_after_cls t.sim until ~cls:cls_fault (set base_rate)))
     t.plan.Plan.rate_changes;
   let loss = t.plan.Plan.loss_rate and jitter = t.plan.Plan.jitter_max in
   if loss > 0. || Int64.compare jitter 0L > 0 then

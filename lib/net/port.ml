@@ -10,6 +10,11 @@ module Time = Engine.Time
    deliveries complete in transmit order. *)
 type disposition = Deliver | Lose | Delay of Time.span
 
+(* Profiler class tags: serialization completions vs propagation-delay
+   deliveries. Immediate ints bound once at module init. *)
+let cls_link_tx = Engine.Event_class.(index Link_tx)
+let cls_link_rx = Engine.Event_class.(index Link_rx)
+
 type t = {
   sim : Sim.t;
   mutable rate_bps : float;
@@ -70,7 +75,10 @@ let start_tx t =
     let pkt = Queue_disc.dequeue_exn t.queue in
     t.busy <- true;
     t.tx_pkt <- pkt;
-    ignore (Sim.schedule_after t.sim (tx_span t ~bytes:pkt.Packet.size) t.tx_done)
+    ignore
+      (Sim.schedule_after_cls t.sim
+         (tx_span t ~bytes:pkt.Packet.size)
+         ~cls:cls_link_tx t.tx_done)
   end
 
 let create sim ~rate_bps ~delay ~queue ~deliver =
@@ -114,7 +122,8 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
                  mode only) is the whole cost, and reordering past later
                  packets is the point. *)
               ignore
-                (Sim.schedule_after t.sim span (fun () -> t.deliver pkt))));
+                (Sim.schedule_after_cls t.sim span ~cls:cls_link_rx
+                   (fun () -> t.deliver pkt))));
   t.tx_done <-
     (fun () ->
       let pkt = t.tx_pkt in
@@ -122,7 +131,7 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
       t.packets_sent <- t.packets_sent + 1;
       Engine.Ring.push t.in_flight pkt;
-      ignore (Sim.schedule_after t.sim t.delay t.deliver_head);
+      ignore (Sim.schedule_after_cls t.sim t.delay ~cls:cls_link_rx t.deliver_head);
       if t.up then start_tx t else t.busy <- false);
   t
 

@@ -6,9 +6,10 @@ type t = {
   events : int;
   events_per_s : float;
   metrics : (string * float) list;
+  analysis : Json.t option;
 }
 
-let make ~name ~seed ~params ~wall_clock_s ~events ~metrics =
+let make ?analysis ~name ~seed ~params ~wall_clock_s ~events ~metrics () =
   let events_per_s =
     if wall_clock_s > 0. then float_of_int events /. wall_clock_s else 0.
   in
@@ -20,10 +21,11 @@ let make ~name ~seed ~params ~wall_clock_s ~events ~metrics =
     events;
     events_per_s;
     metrics = List.sort (fun (a, _) (b, _) -> String.compare a b) metrics;
+    analysis;
   }
 
 let to_json m =
-  Json.Obj
+  let base =
     [
       ("name", Json.String m.name);
       (* int64 seeds can exceed a JSON reader's integer range; a string
@@ -35,6 +37,13 @@ let to_json m =
       ("events_per_s", Json.Float m.events_per_s);
       ("metrics", Metrics.snapshot_to_json m.metrics);
     ]
+  in
+  (* Appended after the historic fields, and only when present: a run
+     without analysis serializes byte-identically to pre-analysis
+     builds. *)
+  match m.analysis with
+  | None -> Json.Obj base
+  | Some a -> Json.Obj (base @ [ ("analysis", a) ])
 
 let of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -91,7 +100,8 @@ let of_json j =
         go [] kvs
     | _ -> Error "manifest: field \"metrics\" is not an object"
   in
-  Ok { name; seed; params; wall_clock_s; events; events_per_s; metrics }
+  let analysis = Json.member "analysis" j in
+  Ok { name; seed; params; wall_clock_s; events; events_per_s; metrics; analysis }
 
 let write oc m =
   Json.write oc (to_json m);

@@ -15,15 +15,21 @@ type t = {
   events : int;  (** Engine events processed. *)
   events_per_s : float;
   metrics : (string * float) list;  (** Name-sorted. *)
+  analysis : Json.t option;
+      (** Streaming-analysis block ({!Analyze.to_json}), present only
+          when the run was executed with analysis enabled. [None]
+          serializes to the historic manifest shape, byte for byte. *)
 }
 
 val make :
+  ?analysis:Json.t ->
   name:string ->
   seed:int64 ->
   params:(string * Json.t) list ->
   wall_clock_s:float ->
   events:int ->
   metrics:(string * float) list ->
+  unit ->
   t
 (** Computes [events_per_s] (0 when [wall_clock_s <= 0]) and sorts
     [metrics] by name. *)

@@ -3,7 +3,9 @@ module Time = Engine.Time
 
 type t = { mutable active : bool }
 
-let start sim ~period ~stop_at ?(immediate = false) f =
+let cls_sample = Engine.Event_class.(index Sample)
+
+let start sim ~period ~stop_at ?(immediate = false) ?(clamp_first = false) f =
   if Int64.compare period 0L <= 0 then
     invalid_arg "Obs.Sampler.start: period must be positive";
   let t = { active = true } in
@@ -11,10 +13,19 @@ let start sim ~period ~stop_at ?(immediate = false) f =
     if t.active then begin
       f (Sim.now sim);
       let next = Time.add (Sim.now sim) period in
-      if Time.(next <= stop_at) then ignore (Sim.schedule_at sim next tick)
+      if Time.(next <= stop_at) then
+        ignore (Sim.schedule_at_cls sim next ~cls:cls_sample tick)
     end
   in
-  if immediate then tick () else ignore (Sim.schedule_after sim period tick);
+  if immediate then tick ()
+  else begin
+    (* Historic wart, kept as the default for bit-identical manifests:
+       the first deferred tick fires unconditionally, even when it lands
+       past [stop_at]. [clamp_first] opts into the bounded behaviour. *)
+    let first = Time.add (Sim.now sim) period in
+    if (not clamp_first) || Time.(first <= stop_at) then
+      ignore (Sim.schedule_at_cls sim first ~cls:cls_sample tick)
+  end;
   t
 
 let stop t = t.active <- false

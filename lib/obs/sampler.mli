@@ -5,7 +5,8 @@
     reimplemented it): call [f now] every [period] until the {e next}
     tick would land after [stop_at]. The [stop_at] bound is mandatory —
     an unbounded self-rescheduling loop would keep the simulation alive
-    forever. *)
+    forever. Ticks are scheduled with the {!Engine.Event_class.Sample}
+    profiler tag. *)
 
 type t
 
@@ -14,13 +15,19 @@ val start :
   period:Engine.Time.span ->
   stop_at:Engine.Time.t ->
   ?immediate:bool ->
+  ?clamp_first:bool ->
   (Engine.Time.t -> unit) ->
   t
 (** Start sampling. With [~immediate:true] the first call to [f] happens
     synchronously at the current simulation time; otherwise the first
-    tick fires one [period] from now (and that first tick is
-    unconditional even if it lands past [stop_at], matching the historic
-    [Net.Trace] behaviour).
+    tick fires one [period] from now.
+
+    By default that first deferred tick is {e unconditional} even if it
+    lands past [stop_at] — the historic [Net.Trace] behaviour, preserved
+    because existing runs' manifests are bit-identical to it. Pass
+    [~clamp_first:true] to skip the first tick when it would land past
+    [stop_at], making the bound uniform across all ticks. Both
+    behaviours are pinned by regression tests.
     @raise Invalid_argument if [period <= 0]. *)
 
 val stop : t -> unit

@@ -184,6 +184,109 @@ let record_to_json r =
     :: ("component", Json.String r.component)
     :: fields)
 
+let record_of_json j =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace record: missing field %S" name)
+  in
+  let int name =
+    let* v = field name in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "trace record: field %S is not an integer" name)
+  in
+  let num name =
+    let* v = field name in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "trace record: field %S is not a number" name)
+  in
+  let bool name =
+    let* v = field name in
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "trace record: field %S is not a boolean" name)
+  in
+  let str name =
+    let* v = field name in
+    match v with
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "trace record: field %S is not a string" name)
+  in
+  let* t_ns = int "t_ns" in
+  let* ev = str "event" in
+  let* component = str "component" in
+  let* event =
+    match ev with
+    | "enqueue" ->
+        let* flow = int "flow" in
+        let* occ_bytes = int "occ_bytes" in
+        let* occ_pkts = int "occ_pkts" in
+        Ok (Enqueue { flow; occ_bytes; occ_pkts })
+    | "dequeue" ->
+        let* flow = int "flow" in
+        let* occ_bytes = int "occ_bytes" in
+        let* occ_pkts = int "occ_pkts" in
+        Ok (Dequeue { flow; occ_bytes; occ_pkts })
+    | "drop" ->
+        let* flow = int "flow" in
+        let* occ_bytes = int "occ_bytes" in
+        Ok (Drop { flow; occ_bytes })
+    | "mark" ->
+        let* flow = int "flow" in
+        let* occ_bytes = int "occ_bytes" in
+        let* occ_pkts = int "occ_pkts" in
+        Ok (Mark { flow; occ_bytes; occ_pkts })
+    | "mark_state_flip" ->
+        let* marking = bool "marking" in
+        let* occ_bytes = int "occ_bytes" in
+        Ok (Mark_state_flip { marking; occ_bytes })
+    | "cwnd_cut" ->
+        let* flow = int "flow" in
+        let* cwnd_before = num "cwnd_before" in
+        let* cwnd_after = num "cwnd_after" in
+        let* alpha = num "alpha" in
+        Ok (Cwnd_cut { flow; cwnd_before; cwnd_after; alpha })
+    | "fast_retransmit" ->
+        let* flow = int "flow" in
+        let* snd_una = int "snd_una" in
+        Ok (Fast_retransmit { flow; snd_una })
+    | "rto" ->
+        let* flow = int "flow" in
+        let* snd_una = int "snd_una" in
+        let* timeouts = int "timeouts" in
+        Ok (Rto { flow; snd_una; timeouts })
+    | "flow_start" ->
+        let* flow = int "flow" in
+        Ok (Flow_start { flow })
+    | "flow_done" ->
+        let* flow = int "flow" in
+        let* segments = int "segments" in
+        Ok (Flow_done { flow; segments })
+    | "link_down" ->
+        let* occ_bytes = int "occ_bytes" in
+        Ok (Link_down { occ_bytes })
+    | "link_up" ->
+        let* occ_bytes = int "occ_bytes" in
+        Ok (Link_up { occ_bytes })
+    | "pkt_lost" ->
+        let* flow = int "flow" in
+        let* size = int "size" in
+        Ok (Pkt_lost { flow; size })
+    | "mark_suppressed" ->
+        let* occ_bytes = int "occ_bytes" in
+        let* occ_pkts = int "occ_pkts" in
+        Ok (Mark_suppressed { occ_bytes; occ_pkts })
+    | "rate_changed" ->
+        let* rate_bps = num "rate_bps" in
+        Ok (Rate_changed { rate_bps })
+    | other -> Error (Printf.sprintf "trace record: unknown event %S" other)
+  in
+  Ok { time = Time.of_ns (Int64.of_int t_ns); component; event }
+
 let csv_header = "time_ns,event,component,flow,occ_bytes,occ_pkts,detail"
 
 let record_to_csv r =
@@ -314,3 +417,13 @@ let dispatch sink r =
   | Fn f -> f r
 
 let emit t r = if enabled t (cls_of_event r.event) then dispatch t.sink r
+
+let enabled_classes t = List.filter (enabled t) all_classes
+
+(* The tee accepts the union of both masks and lets each branch
+   re-filter in its own [emit], so a record flows to exactly the
+   tracers whose class sets admit it. The union mask is computed at
+   tee time; widening a branch's classes afterwards requires a new
+   tee. *)
+let tee a b =
+  { mask = a.mask lor b.mask; sink = Fn (fun r -> emit a r; emit b r) }

@@ -124,6 +124,20 @@ val emit : t -> record -> unit
 (** Forward to the sink if the record's class is enabled. Callers on hot
     paths should guard with {!enabled} to avoid constructing the record. *)
 
+val enabled_classes : t -> cls list
+(** The classes the tracer currently accepts, in {!all_classes} order.
+    Used by the trace-file header so an offline consumer knows which
+    classes the file can possibly contain. *)
+
+val tee : t -> t -> t
+(** [tee a b] forwards each record to both [a] and [b]. Its own mask is
+    the union of the two masks {e at tee time}, and each branch
+    re-filters with its own mask on delivery — so emit-site [enabled]
+    guards fire when either branch wants the class, and each branch
+    still receives exactly its own class set. This is how analysis
+    attaches alongside a file sink without disturbing what the file
+    records. *)
+
 (** {1 Serialization} *)
 
 val csv_header : string
@@ -134,3 +148,9 @@ val record_to_csv : record -> string
 
 val record_to_json : record -> Json.t
 (** Object with [t_ns], [event], [component], plus per-event fields. *)
+
+val record_of_json : Json.t -> (record, string) result
+(** Strict inverse of {!record_to_json}: every field the constructor
+    carries is required (numbers tolerate int-vs-float spelling). This
+    is what lets [dtsim analyze] replay a JSONL trace through the same
+    streaming analyzers a live run uses. *)

@@ -75,23 +75,30 @@ let power_spectrum samples =
 
 type peak = { frequency_hz : float; power : float; total_power : float }
 
-let dominant_frequency ~samples ~sample_rate_hz =
+type verdict =
+  | Peak of peak
+  | Too_short of { samples : int; needed : int }
+  | No_variation of { samples : int }
+
+let min_samples = 16
+
+let analyze ~samples ~sample_rate_hz =
   let n = Array.length samples in
-  if n < 16 then None
+  if n < min_samples then Too_short { samples = n; needed = min_samples }
   else begin
     let ps = power_spectrum samples in
     let n_fft = 2 * Array.length ps in
     let total = Array.fold_left ( +. ) 0. ps in
-    if total <= 0. then None
+    if total <= 0. then No_variation { samples = n }
     else begin
       (* skip DC (k = 0); find the strongest bin *)
       let best = ref 1 in
       for k = 2 to Array.length ps - 1 do
         if ps.(k) > ps.(!best) then best := k
       done;
-      if ps.(!best) <= 0. then None
+      if ps.(!best) <= 0. then No_variation { samples = n }
       else
-        Some
+        Peak
           {
             frequency_hz =
               float_of_int !best *. sample_rate_hz /. float_of_int n_fft;
@@ -100,3 +107,18 @@ let dominant_frequency ~samples ~sample_rate_hz =
           }
     end
   end
+
+let verdict_note = function
+  | Peak _ -> None
+  | Too_short { samples; needed } ->
+      Some
+        (Printf.sprintf "series too short: %d samples (need >= %d)" samples
+           needed)
+  | No_variation { samples } ->
+      Some
+        (Printf.sprintf "no variation: series of %d samples is flat" samples)
+
+let dominant_frequency ~samples ~sample_rate_hz =
+  match analyze ~samples ~sample_rate_hz with
+  | Peak p -> Some p
+  | Too_short _ | No_variation _ -> None

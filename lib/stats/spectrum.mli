@@ -20,7 +20,21 @@ type peak = {
   total_power : float;
 }
 
+(** Why a series does (or does not) yield a dominant frequency — the
+    diagnostic [dtsim analyze] surfaces instead of a silent [None]. *)
+type verdict =
+  | Peak of peak
+  | Too_short of { samples : int; needed : int }
+  | No_variation of { samples : int }  (** Zero total spectral power. *)
+
+val analyze : samples:float array -> sample_rate_hz:float -> verdict
+(** The strongest non-DC spectral peak, or the specific reason there is
+    none. *)
+
+val verdict_note : verdict -> string option
+(** Human-readable explanation for the two no-peak verdicts; [None] for
+    [Peak]. *)
+
 val dominant_frequency :
   samples:float array -> sample_rate_hz:float -> peak option
-(** The strongest non-DC spectral peak. [None] when the series is too
-    short (< 16 samples) or has no variation. *)
+(** [analyze] with both failure verdicts collapsed to [None]. *)

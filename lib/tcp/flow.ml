@@ -38,8 +38,12 @@ let create sim ~src ~dst ~flow ~cc ?tracer ?(config = Sender.default_config)
 
 let start t = Sender.start t.sender
 
+let cls_protocol = Engine.Event_class.(index Protocol)
+
 let start_at t at =
-  ignore (Sim.schedule_at t.sim at (fun () -> Sender.start t.sender))
+  ignore
+    (Sim.schedule_at_cls t.sim at ~cls:cls_protocol (fun () ->
+         Sender.start t.sender))
 
 let flow_id t = t.id
 let sender t = t.sender

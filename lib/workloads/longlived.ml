@@ -47,10 +47,11 @@ type result = {
   queue_series : (float * float) array option;
 }
 
-let run ?(tracer = Obs.Trace.null) ?metrics ?faults
+let run ?(tracer = Obs.Trace.null) ?metrics ?faults ?on_sim
     (proto : Dctcp.Protocol.t) config =
   Workload.require_positive ~scenario:"Longlived" ~what:"flows" config.n_flows;
   let sim = Sim.create ~seed:config.seed () in
+  (match on_sim with None -> () | Some f -> f sim);
   (* With no plan the injector is never constructed: the run is
      event-for-event the one this workload produced before fault
      injection existed. *)

@@ -48,8 +48,12 @@ type result = {
 
 val run :
   ?tracer:Obs.Trace.t -> ?metrics:Obs.Metrics.t -> ?faults:Fault.Plan.t ->
+  ?on_sim:(Engine.Sim.t -> unit) ->
   Dctcp.Protocol.t -> config -> result
-(** [tracer] (default {!Obs.Trace.null}) is attached to the bottleneck
+(** [on_sim] is called with the freshly created simulator before any
+    component is built — the hook the engine self-profiler attaches
+    through. It must not schedule events.
+    [tracer] (default {!Obs.Trace.null}) is attached to the bottleneck
     queue and every sender, and receives [Mark_state_flip] events
     (component ["bottleneck"]) whenever the protocol's marking policy has
     hysteresis state. When [metrics] is given, the scenario registers

@@ -705,6 +705,85 @@ let test_event_queue_alloc_regression () =
     (per_event <= 8.);
   checki "pool is steady under churn" pool0 (Sim.event_pool_size sim)
 
+(* --- event classes and the profiler hooks --- *)
+
+let test_event_queue_cls () =
+  let q = Eq.create () in
+  ignore (Eq.add_cls q ~time:(Time.of_ns 10L) ~cls:3 ignore);
+  ignore (Eq.add q ~time:(Time.of_ns 20L) ignore);
+  ignore (Eq.add_cls q ~time:(Time.of_ns 30L) ~cls:5 ignore);
+  checkb "pop 1" true (Eq.pop q);
+  checki "tagged class comes back" 3 (Eq.popped_cls q);
+  checkb "pop 2" true (Eq.pop q);
+  checki "plain add defaults to class 0" 0 (Eq.popped_cls q);
+  checkb "pop 3" true (Eq.pop q);
+  checki "pooled slot re-tagged, not recycled" 5 (Eq.popped_cls q)
+
+let test_event_class_table () =
+  let module C = Engine.Event_class in
+  checki "count matches all" C.count (Array.length C.all);
+  Array.iter
+    (fun c ->
+      checkb
+        ("index/of_index roundtrip: " ^ C.name c)
+        true
+        (C.of_index (C.index c) = c))
+    C.all;
+  checki "Other is the default slot" 0 (C.index C.Other);
+  checkb "out-of-range index rejected" true
+    (match C.of_index C.count with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sim_profiler_hooks () =
+  let sim = Sim.create () in
+  let seen_before = ref [] and seen_after = ref [] in
+  checkb "profiling off by default" false (Sim.profiling sim);
+  Sim.set_profiler sim
+    ~before:(fun c -> seen_before := c :: !seen_before)
+    ~after:(fun c -> seen_after := c :: !seen_after);
+  checkb "profiling on after set" true (Sim.profiling sim);
+  ignore (Sim.schedule_at_cls sim (Time.of_ns 1L) ~cls:2 (fun () -> ()));
+  ignore (Sim.schedule_after_cls sim 2L ~cls:4 (fun () -> ()));
+  ignore (Sim.schedule_at sim (Time.of_ns 3L) (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check (list int)) "before saw each class in order" [ 2; 4; 0 ]
+    (List.rev !seen_before);
+  Alcotest.(check (list int)) "after mirrors before" [ 2; 4; 0 ]
+    (List.rev !seen_after);
+  Sim.clear_profiler sim;
+  checkb "profiling off after clear" false (Sim.profiling sim);
+  ignore (Sim.schedule_at sim (Time.of_ns 10L) (fun () -> ()));
+  Sim.run sim;
+  checki "cleared hooks are silent" 3 (List.length !seen_before)
+
+(* With no profiler attached the dispatch loop's extra cost is one
+   predicted-false branch: the same churn that pins the pooled queue's
+   allocation budget must stay within it after a set/clear cycle. *)
+let test_profiler_disabled_alloc () =
+  let sim = Sim.create () in
+  Sim.set_profiler sim ~before:(fun _ -> ()) ~after:(fun _ -> ());
+  Sim.clear_profiler sim;
+  let left = ref 0 in
+  let rec act () =
+    decr left;
+    if !left > 0 then ignore (Sim.schedule_after sim (Time.span_of_us 1.) act)
+  in
+  let churn n =
+    left := n;
+    ignore (Sim.schedule_after sim (Time.span_of_us 1.) act);
+    Sim.run sim
+  in
+  churn 1_000;
+  let before = Gc.minor_words () in
+  let n = 20_000 in
+  churn n;
+  let per_event = (Gc.minor_words () -. before) /. float_of_int n in
+  checkb
+    (Printf.sprintf "%.1f words/event with profiler cleared" per_event)
+    true
+    (per_event <= 8.)
+
 let test_heap_drain_releases_elements () =
   (* After growth and a full drain the heap must not pin the popped
      elements: ~2 MB of strings passed through, so a reachable size in
@@ -854,6 +933,9 @@ let suites =
           test_sim_run_until_no_overshoot;
         Alcotest.test_case "step" `Quick test_sim_step;
         Alcotest.test_case "events processed" `Quick test_sim_events_processed;
+        Alcotest.test_case "profiler hooks" `Quick test_sim_profiler_hooks;
+        Alcotest.test_case "profiler disabled allocation" `Quick
+          test_profiler_disabled_alloc;
         qtest prop_sim_fires_in_time_order;
       ] );
     ( "engine.event_queue",
@@ -868,6 +950,8 @@ let suites =
           test_event_queue_compact_to_one;
         Alcotest.test_case "allocation regression" `Quick
           test_event_queue_alloc_regression;
+        Alcotest.test_case "event class tags" `Quick test_event_queue_cls;
+        Alcotest.test_case "event class table" `Quick test_event_class_table;
         Alcotest.test_case "heap drain releases elements" `Quick
           test_heap_drain_releases_elements;
         qtest prop_event_queue_matches_model;

@@ -436,6 +436,63 @@ let test_manifest_reconstruction () =
                     (Spec.equal spec s')
               | Error e -> Alcotest.fail e)))
 
+(* --- streaming analysis: online (teed into the run) and offline
+   (replaying the same records through a fresh analyzer, via the JSONL
+   wire format) must produce bit-identical blocks. --- *)
+
+let test_online_offline_analysis () =
+  let spec = smoke_longlived ~name:"analysis/equiv" ~seed:7L in
+  let records = ref [] in
+  let collector =
+    Obs.Trace.create ~classes:Obs.Analyze.required_classes
+      (Obs.Trace.Fn (fun r -> records := r :: !records))
+  in
+  let o = Runner.run_one ~tracer:collector ~analyze:true spec in
+  (match o.Runner.result with
+  | Outcome.Done _ -> ()
+  | Outcome.Failed { error; _ } -> Alcotest.fail error);
+  let online =
+    match o.Runner.manifest.Obs.Manifest.analysis with
+    | Some j -> j
+    | None -> Alcotest.fail "analyze:true produced no analysis block"
+  in
+  let cfg =
+    match Runner.analysis_config spec with
+    | Some c -> c
+    | None -> Alcotest.fail "longlived spec has no analysis config"
+  in
+  let offline = Obs.Analyze.create cfg in
+  List.iter
+    (fun r ->
+      (* Round-trip each record through its JSONL form, exactly as
+         `dtsim analyze` reads a trace file back. *)
+      let buf = Buffer.create 128 in
+      Json.to_buffer buf (Obs.Trace.record_to_json r);
+      match Json.parse (Buffer.contents buf) with
+      | Error e -> Alcotest.fail e
+      | Ok j -> (
+          match Obs.Trace.record_of_json j with
+          | Error e -> Alcotest.fail e
+          | Ok r' -> Obs.Analyze.feed offline r'))
+    (List.rev !records);
+  Obs.Analyze.finalize offline;
+  Alcotest.(check bool) "records were collected" true (!records <> []);
+  Alcotest.(check bool) "online and offline blocks bit-identical" true
+    (Json.equal online (Obs.Analyze.to_json offline))
+
+let test_manifest_no_analysis () =
+  let spec = smoke_longlived ~name:"analysis/off" ~seed:9L in
+  let o = Runner.run_one spec in
+  (match o.Runner.result with
+  | Outcome.Done _ -> ()
+  | Outcome.Failed { error; _ } -> Alcotest.fail error);
+  Alcotest.(check bool) "analysis field is None" true
+    (o.Runner.manifest.Obs.Manifest.analysis = None);
+  (* The serialized manifest must not even carry the key, so registry
+     outputs stay byte-identical to pre-analysis builds. *)
+  Alcotest.(check bool) "no analysis member in JSON" true
+    (Json.member "analysis" (Obs.Manifest.to_json o.Runner.manifest) = None)
+
 let suites =
   [
     ( "exp.spec",
@@ -456,5 +513,9 @@ let suites =
         Alcotest.test_case "failure isolation" `Quick test_failure_isolation;
         Alcotest.test_case "manifest reconstructs the spec" `Quick
           test_manifest_reconstruction;
+        Alcotest.test_case "online analysis = offline replay" `Quick
+          test_online_offline_analysis;
+        Alcotest.test_case "analysis absent when disabled" `Quick
+          test_manifest_no_analysis;
       ] );
   ]

@@ -426,6 +426,47 @@ let test_dominant_frequency_flat () =
        ~sample_rate_hz:100.
     = None)
 
+(* The verdict API keeps both degenerate cases distinguishable — the
+   diagnostics `dtsim analyze` surfaces instead of a silent None. *)
+let test_spectrum_verdicts () =
+  (match
+     Stats.Spectrum.analyze ~samples:(Array.make 8 0.) ~sample_rate_hz:100.
+   with
+  | Stats.Spectrum.Too_short { samples; needed } ->
+      checki "sample count reported" 8 samples;
+      checki "threshold reported" 16 needed
+  | _ -> Alcotest.fail "8 samples must be Too_short");
+  (match
+     Stats.Spectrum.analyze ~samples:(Array.make 256 3.) ~sample_rate_hz:100.
+   with
+  | Stats.Spectrum.No_variation { samples } ->
+      checki "sample count reported" 256 samples
+  | _ -> Alcotest.fail "constant series must be No_variation");
+  let fs = 1000. in
+  let sine =
+    Array.init 256 (fun i -> sin (2. *. Float.pi *. 50. *. float_of_int i /. fs))
+  in
+  (match Stats.Spectrum.analyze ~samples:sine ~sample_rate_hz:fs with
+  | Stats.Spectrum.Peak p ->
+      checkb "peak at 50 Hz" true
+        (Float.abs (p.Stats.Spectrum.frequency_hz -. 50.) < 4.);
+      checkb "peak has no note" true
+        (Stats.Spectrum.verdict_note (Stats.Spectrum.Peak p) = None)
+  | v -> (
+      match Stats.Spectrum.verdict_note v with
+      | Some n -> Alcotest.fail ("sine did not peak: " ^ n)
+      | None -> Alcotest.fail "sine did not peak"));
+  (* Every no-peak verdict explains itself. *)
+  List.iter
+    (fun v ->
+      match Stats.Spectrum.verdict_note v with
+      | Some note -> checkb "note is not empty" true (String.length note > 0)
+      | None -> Alcotest.fail "degenerate verdict without a note")
+    [
+      Stats.Spectrum.Too_short { samples = 3; needed = 16 };
+      Stats.Spectrum.No_variation { samples = 99 };
+    ]
+
 (* --- Fairness --- *)
 
 let test_jain_known () =
@@ -536,5 +577,6 @@ let suites =
         Alcotest.test_case "dominant frequency" `Quick test_dominant_frequency;
         Alcotest.test_case "degenerate inputs" `Quick
           test_dominant_frequency_flat;
+        Alcotest.test_case "verdict diagnostics" `Quick test_spectrum_verdicts;
       ] );
   ]
