@@ -243,6 +243,7 @@ let fluid_vs_sim () =
               protocol = proto;
               workload = Exp.Spec.Longlived config;
               faults = None;
+              buffer = Net.Buffer_mgr.Static;
             })
           [ Exp.Registry.sim_dctcp; Exp.Registry.sim_dt ])
       ns

@@ -3,7 +3,7 @@
 
    Usage: main.exe [--quick] [-j N] [section ...]
    Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid
-   robustness oscillation perf
+   robustness oscillation buffer perf
    (default: all). -j N fans each section's Exp.Runner sweep across N
    domains; results are bit-identical to -j 1 by construction. *)
 
@@ -34,6 +34,7 @@ let sections =
         Extensions.parking_lot () );
     ("robustness", Robustness.run);
     ("oscillation", Oscillation.run);
+    ("buffer", Buffer.run);
     ("perf", Perf.run);
   ]
 

@@ -31,6 +31,7 @@ let spec_of ~label ~protocol ~n =
     protocol;
     workload = Spec.Longlived config;
     faults = None;
+    buffer = Net.Buffer_mgr.Static;
   }
 
 (* Navigate the manifest's analysis block; a missing path is a harness

@@ -26,7 +26,7 @@ let sim_event_churn () =
 
 let queue_churn () =
   let sim = Engine.Sim.create () in
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   for _ = 0 to 127 do
     ignore
       (Net.Queue_disc.enqueue q

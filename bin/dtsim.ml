@@ -183,6 +183,7 @@ let longlived_cmd =
         protocol;
         workload = Spec.Longlived config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let classes = parse_trace_events trace_events in
@@ -380,6 +381,7 @@ let incast_cmd =
         protocol;
         workload = Spec.Incast { config; sack };
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let outcome = exec spec in
@@ -431,6 +433,7 @@ let completion_cmd =
         protocol;
         workload = Spec.Completion config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let outcome = exec spec in
@@ -616,6 +619,7 @@ let deadline_cmd =
         protocol = Spec.Dctcp { g; k_bytes = kkb * 1024 };
         workload = Spec.Deadline { config; d2tcp };
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let outcome = exec spec in
@@ -672,6 +676,7 @@ let dynamic_cmd =
         protocol;
         workload = Spec.Dynamic config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let outcome = exec spec in
@@ -727,6 +732,7 @@ let convergence_cmd =
         protocol;
         workload = Spec.Convergence config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       }
     in
     let outcome = exec spec in

@@ -45,3 +45,28 @@ val double_threshold :
     [K1 = K2] the state never enters the band and flips still occur at
     the single threshold's crossings).
     @raise Invalid_argument if a threshold is negative. *)
+
+(** {2 Limit-relative (scaled) variants}
+
+    On a shared-memory switch ({!Net.Buffer_mgr.Dynamic_threshold}) the
+    capacity behind a port moves as other ports fill, so an absolute [K]
+    can sit above the entire effective limit (never marks, queue tail
+    drops instead) or pin the queue near empty. The scaled variants take
+    thresholds as {e fractions of the current effective limit} and
+    re-derive the byte thresholds from every [on_limit] callback — the
+    paper's hysteresis band riding on a moving K. Fractions are
+    quantised to 1/1024ths so the derivation is pure integer arithmetic
+    (bit-identical across machines, allocation-free per packet). On a
+    Static buffer [on_limit] fires once at queue creation, making these
+    equivalent to the absolute policies at [frac x capacity]. *)
+
+val single_threshold_scaled : k_frac:float -> Net.Marking.t
+(** DCTCP marking at [K = k_frac x effective limit].
+    @raise Invalid_argument if [k_frac] is outside [0, 1]. *)
+
+val double_threshold_scaled :
+  ?on_flip:flip_callback -> k1_frac:float -> k2_frac:float -> unit -> Net.Marking.t
+(** Hysteresis marker with [K1 = k1_frac x limit], [K2 = k2_frac x
+    limit]. The in-band rule (directional vs thermostat) follows the
+    quantised fraction ordering and cannot change as the limit moves.
+    @raise Invalid_argument if a fraction is outside [0, 1]. *)

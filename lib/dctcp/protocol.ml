@@ -56,3 +56,30 @@ let ecn_reno ~k_bytes =
       (fun ?on_flip:_ () -> Marking_policies.single_threshold ~k_bytes);
     echo = Tcp.Receiver.Per_packet;
   }
+
+let newreno () =
+  {
+    name = "NewReno";
+    cc = Reno_cc.newreno;
+    marking = (fun ?on_flip:_ () -> Net.Marking.none ());
+    echo = Tcp.Receiver.Per_packet;
+  }
+
+let dctcp_scaled ?g ?init_alpha ~k_frac () =
+  {
+    name = "DCTCP";
+    cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
+    marking =
+      (fun ?on_flip:_ () -> Marking_policies.single_threshold_scaled ~k_frac);
+    echo = Tcp.Receiver.Per_packet;
+  }
+
+let dt_dctcp_scaled ?g ?init_alpha ~k1_frac ~k2_frac () =
+  {
+    name = "DT-DCTCP";
+    cc = Dctcp_cc.cc ~params:(dctcp_params ?g ?init_alpha ()) ();
+    marking =
+      (fun ?on_flip () ->
+        Marking_policies.double_threshold_scaled ?on_flip ~k1_frac ~k2_frac ());
+    echo = Tcp.Receiver.Per_packet;
+  }

@@ -33,3 +33,22 @@ val reno : unit -> t
 val ecn_reno : k_bytes:int -> t
 (** Classic RFC-3168 ECN TCP with single-threshold marking: reacts to any
     ECE by halving — the "ECN is not sufficient" comparison point. *)
+
+val newreno : unit -> t
+(** NewReno-style loss-based TCP ({!Reno_cc.newreno}, no marking): the
+    non-ECN competitor for the shared-buffer sweeps. *)
+
+val dctcp_scaled : ?g:float -> ?init_alpha:float -> k_frac:float -> unit -> t
+(** DCTCP marking at [K = k_frac x effective limit]
+    ({!Marking_policies.single_threshold_scaled}) — the threshold rides
+    the buffer manager's moving capacity on shared-pool switches. *)
+
+val dt_dctcp_scaled :
+  ?g:float ->
+  ?init_alpha:float ->
+  k1_frac:float ->
+  k2_frac:float ->
+  unit ->
+  t
+(** DT-DCTCP with the hysteresis band at fractions of the effective
+    limit ({!Marking_policies.double_threshold_scaled}). *)

@@ -1,0 +1,62 @@
+(* NewReno-style loss-based congestion control: the non-ECN competitor
+   for the shared-buffer sweeps. Unlike [Tcp.Cc.reno], which halves on
+   every fast retransmit, this controller halves at most once per
+   loss-recovery episode — further duplicate-ACK retransmits before
+   snd_una passes the recovery point leave the window alone, as in RFC
+   6582. With tiny shared buffers a single overflow burst loses several
+   segments from one window; halving once instead of per loss is what
+   keeps the comparison against the ECN protocols fair.
+
+   ECN is ignored entirely (ECE never moves the window): the point of
+   the competitor is to show what pure loss feedback does to a shared
+   pool that the marking protocols keep half-empty. *)
+
+type api = Tcp.Cc.flow_api
+
+(* Reno window arithmetic, local copies: [Tcp.Cc] keeps its helpers
+   private and this module must not perturb that interface. *)
+let grow (api : api) newly_acked =
+  if newly_acked > 0 then begin
+    let cwnd = api.Tcp.Cc.get_cwnd () in
+    if cwnd < api.Tcp.Cc.get_ssthresh () then
+      api.Tcp.Cc.set_cwnd (cwnd +. float_of_int newly_acked)
+    else api.Tcp.Cc.set_cwnd (cwnd +. (float_of_int newly_acked /. cwnd))
+  end
+
+let halve (api : api) =
+  let cwnd = api.Tcp.Cc.get_cwnd () in
+  let target = Stdlib.max (cwnd /. 2.) 1. in
+  api.Tcp.Cc.set_ssthresh target;
+  api.Tcp.Cc.set_cwnd target
+
+let collapse (api : api) =
+  let cwnd = api.Tcp.Cc.get_cwnd () in
+  api.Tcp.Cc.set_ssthresh (Stdlib.max (cwnd /. 2.) 1.);
+  api.Tcp.Cc.set_cwnd 1.
+
+let newreno (api : api) =
+  (* [recover] is the snd_nxt recorded when the last halving happened;
+     fast retransmits for segments below it belong to the same loss
+     episode and must not halve again. *)
+  let recover = ref 0 in
+  let una = ref 0 in
+  let nxt = ref 0 in
+  {
+    Tcp.Cc.name = "newreno";
+    on_ack =
+      (fun ~newly_acked ~ece:_ ~snd_una ~snd_nxt ->
+        una := snd_una;
+        nxt := snd_nxt;
+        grow api newly_acked);
+    on_fast_retransmit =
+      (fun () ->
+        if !una >= !recover then begin
+          halve api;
+          recover := !nxt
+        end);
+    on_timeout =
+      (fun () ->
+        collapse api;
+        recover := !nxt);
+    alpha = (fun () -> None);
+  }

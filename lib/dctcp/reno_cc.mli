@@ -1,0 +1,11 @@
+(** NewReno-style loss-based congestion control (RFC 6582 flavor).
+
+    The non-ECN competitor for the shared-buffer study: reacts to loss
+    only (ECE is ignored), with at most one multiplicative decrease per
+    loss-recovery episode — a fast retransmit while snd_una has not yet
+    passed the recovery point of the previous halving leaves the window
+    untouched. Contrast with {!Tcp.Cc.reno}, which halves on {e every}
+    fast retransmit and therefore collapses under the multi-segment
+    losses a tiny shared buffer inflicts in a single RTT. *)
+
+val newreno : Tcp.Cc.factory

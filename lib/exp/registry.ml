@@ -52,6 +52,7 @@ let fig_queue_specs ?warmup ?measure () =
             protocol = proto;
             workload = Spec.Longlived config;
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [ sim_dctcp; sim_dt ])
     [ 10; 100 ]
@@ -69,6 +70,7 @@ let fig_sweep_specs ?(ns = sweep_ns) ?warmup ?measure () =
             protocol = proto;
             workload = Spec.Longlived config;
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [ sim_dctcp; sim_dt ])
     ns
@@ -100,6 +102,7 @@ let fig_incast_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20) () =
                   sack = false;
                 };
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         testbed_protocols)
     flow_counts
@@ -117,6 +120,7 @@ let fig_completion_specs ?(flow_counts = incast_flow_counts) ?(repeats = 20)
               Spec.Completion
                 { Cp.default_config with Cp.n_flows = n; repeats };
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         testbed_protocols)
     flow_counts
@@ -131,6 +135,7 @@ let threshold_ablation_specs ?(n = 60) ?warmup ?measure () =
       protocol = proto;
       workload = Spec.Longlived config;
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     }
   in
   point sim_dctcp
@@ -146,6 +151,7 @@ let threshold_ablation_specs ?(n = 60) ?warmup ?measure () =
            protocol = proto;
            workload = Spec.Longlived config;
            faults = None;
+           buffer = Net.Buffer_mgr.Static;
          })
        threshold_splits
 
@@ -162,6 +168,7 @@ let g_ablation_specs ?(n = 60) ?warmup ?measure () =
             protocol = proto;
             workload = Spec.Longlived config;
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [
           Spec.Dctcp { g; k_bytes = 40 * 1500 };
@@ -178,6 +185,7 @@ let policy_ablation_specs ?(n = 60) ?warmup ?measure () =
         protocol = proto;
         workload = Spec.Longlived config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       })
     [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
 
@@ -198,6 +206,7 @@ let testbed_label_specs ?(flow_counts = [ 28; 30; 32; 34; 36; 38; 40 ])
                   sack = false;
                 };
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [
           ("dctcp-32KB", testbed_dctcp);
@@ -230,6 +239,7 @@ let d2tcp_specs ?(flow_counts = [ 6; 8; 10; 12; 16; 20 ]) ?(repeats = 10) () =
             protocol = sim_dctcp;
             workload = Spec.Deadline { config; d2tcp };
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [ ("dctcp", false); ("d2tcp", true) ])
     flow_counts
@@ -246,6 +256,7 @@ let sack_specs ?(flow_counts = [ 28; 32; 34; 36; 40; 44 ]) ?(repeats = 10) ()
             protocol = testbed_dctcp;
             workload = Spec.Incast { config; sack };
             faults = None;
+            buffer = Net.Buffer_mgr.Static;
           })
         [ ("go-back-n", false); ("sack", true) ])
     flow_counts
@@ -263,6 +274,7 @@ let queue_buildup_specs ?duration () =
         protocol = proto;
         workload = Spec.Dynamic config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       })
     [ sim_dctcp; sim_dt; sim_ecn_reno; sim_reno ]
 
@@ -276,8 +288,62 @@ let convergence_specs ?(join_interval = Time.span_of_ms 400.)
         protocol = proto;
         workload = Spec.Convergence config;
         faults = None;
+        buffer = Net.Buffer_mgr.Static;
       })
     [ sim_dctcp; sim_dt ]
+
+(* --- shared-buffer sizing study (extension) ---
+
+   Sweep one shared switch memory from well under a bandwidth-delay
+   product to deep buffering, governed by Dynamic Threshold at three
+   alpha settings. The ECN protocols mark at fractions of the moving
+   effective limit (the scaled policies), so the same protocol point is
+   meaningful at every pool size; NewReno is the loss-based competitor
+   that only notices the buffer when it overflows. *)
+
+let bdp_bytes = 125_000
+let buffer_pool_sizes = [ 10_000; 62_500; 125_000; 250_000; 1_000_000 ]
+let buffer_alphas = [ 0.5; 1.0; 2.0 ]
+let scaled_dctcp = Spec.Dctcp_scaled { g; k_frac = 0.25 }
+let scaled_dt = Spec.Dt_dctcp_scaled { g; k1_frac = 0.2; k2_frac = 0.3 }
+
+let buffer_protocols =
+  [
+    ("dctcp", scaled_dctcp);
+    ("dt-dctcp", scaled_dt);
+    ("newreno", Spec.Newreno);
+  ]
+
+let fig_buffer_specs ?(pool_sizes = buffer_pool_sizes)
+    ?(alphas = buffer_alphas) ?warmup ?measure ?(n = 10) () =
+  List.concat_map
+    (fun pool_bytes ->
+      List.concat_map
+        (fun alpha ->
+          (* [buffer_bytes] still sizes the non-pool queues and anchors
+             the analyzer's notion of capacity; at the bottleneck switch
+             the pool replaces it. *)
+          let config =
+            {
+              (longlived_config ?warmup ?measure ~n ()) with
+              L.buffer_bytes = pool_bytes;
+            }
+          in
+          List.map
+            (fun (slug, proto) ->
+              {
+                Spec.name =
+                  Printf.sprintf "fig_buffer/%s/B=%d/a=%g" slug pool_bytes
+                    alpha;
+                protocol = proto;
+                workload = Spec.Longlived config;
+                faults = None;
+                buffer =
+                  Net.Buffer_mgr.Dynamic_threshold { pool_bytes; alpha };
+              })
+            buffer_protocols)
+        alphas)
+    pool_sizes
 
 (* A fast cross-workload slice (sub-minute serial) for CI: exercises every
    workload variant and both marking families. *)
@@ -291,6 +357,7 @@ let smoke_specs () =
           (longlived_config ~warmup:(Time.span_of_ms 2.)
              ~measure:(Time.span_of_ms 5.) ~n:4 ());
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/longlived/dt-dctcp";
@@ -300,6 +367,7 @@ let smoke_specs () =
           (longlived_config ~warmup:(Time.span_of_ms 2.)
              ~measure:(Time.span_of_ms 5.) ~n:4 ());
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/incast/dt-dctcp";
@@ -311,6 +379,7 @@ let smoke_specs () =
             sack = false;
           };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/completion/dctcp";
@@ -319,6 +388,7 @@ let smoke_specs () =
         Spec.Completion
           { Cp.default_config with Cp.n_flows = 8; repeats = 2 };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/dynamic/dctcp";
@@ -334,6 +404,7 @@ let smoke_specs () =
             drain = Time.span_of_ms 20.;
           };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/convergence/dt-dctcp";
@@ -348,6 +419,7 @@ let smoke_specs () =
             sample_window = Time.span_of_ms 5.;
           };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "ci_smoke/deadline/d2tcp";
@@ -356,6 +428,7 @@ let smoke_specs () =
         Spec.Deadline
           { config = d2tcp_config ~n:6 ~repeats:2; d2tcp = true };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     };
   ]
 
@@ -378,6 +451,7 @@ let robust_loss_specs ?(loss_rates = robust_loss_rates) ?warmup ?measure
             protocol = proto;
             workload = Spec.Longlived config;
             faults = Some { Fault.Plan.none with loss_rate = p };
+            buffer = Net.Buffer_mgr.Static;
           })
         [ sim_dctcp; sim_dt ])
     loss_rates
@@ -425,6 +499,7 @@ let robust_flap_specs ?warmup ?measure ?(n = 40) () =
             protocol = proto;
             workload = Spec.Longlived config;
             faults = Some plan;
+            buffer = Net.Buffer_mgr.Static;
           })
         [ sim_dctcp; sim_dt ])
     [ ("flap", flap); ("brownout", brownout) ]
@@ -446,6 +521,7 @@ let robust_suppress_specs ?(ns = [ 10; 40; 70; 100 ]) ?warmup ?measure () =
             faults =
               Some
                 { Fault.Plan.none with suppression = Fault.Plan.Suppress_prob 0.5 };
+            buffer = Net.Buffer_mgr.Static;
           })
         [ sim_dctcp; sim_dt ])
     ns
@@ -463,6 +539,7 @@ let robust_smoke_specs () =
       protocol = sim_dctcp;
       workload = Spec.Longlived (tiny ());
       faults = Some { Fault.Plan.none with loss_rate = 0.01 };
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "robust_smoke/longlived/flap";
@@ -480,6 +557,7 @@ let robust_smoke_specs () =
                 };
               ];
           };
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "robust_smoke/longlived/suppress";
@@ -491,6 +569,7 @@ let robust_smoke_specs () =
             Fault.Plan.none with
             suppression = Fault.Plan.Suppress_prob 0.5;
           };
+      buffer = Net.Buffer_mgr.Static;
     };
     {
       Spec.name = "robust_smoke/incast/jitter";
@@ -504,6 +583,7 @@ let robust_smoke_specs () =
       faults =
         Some
           { Fault.Plan.none with jitter_max = Time.span_of_us 20. };
+      buffer = Net.Buffer_mgr.Static;
     };
   ]
 
@@ -572,6 +652,12 @@ let entries =
       name = "convergence";
       doc = "extension: convergence and fairness under flow churn";
       specs = (fun () -> convergence_specs ());
+    };
+    {
+      name = "fig_buffer";
+      doc =
+        "extension: buffer-sizing study on a shared Dynamic-Threshold pool";
+      specs = (fun () -> fig_buffer_specs ());
     };
     {
       name = "ci_smoke";

@@ -98,6 +98,41 @@ val convergence_specs :
   unit ->
   Spec.t list
 
+(** {2 Shared-buffer sizing study (extension)} *)
+
+val bdp_bytes : int
+(** One bandwidth-delay product of the simulated dumbbell: 10 Gbps x
+    100 us / 8 = 125 KB. *)
+
+val buffer_pool_sizes : int list
+(** Default pool sweep, from under 0.1 BDP (10 KB) to deep (8 BDP). *)
+
+val buffer_alphas : float list
+(** Dynamic-Threshold alpha settings (0.5, 1, 2). *)
+
+val scaled_dctcp : Spec.protocol
+(** DCTCP marking at K = 0.25 x effective limit. *)
+
+val scaled_dt : Spec.protocol
+(** DT-DCTCP with the hysteresis band at (0.20, 0.30) x effective
+    limit. *)
+
+val buffer_protocols : (string * Spec.protocol) list
+(** Slugged protocol points of the buffer study: the two scaled ECN
+    transports plus loss-based NewReno. *)
+
+val fig_buffer_specs :
+  ?pool_sizes:int list ->
+  ?alphas:float list ->
+  ?warmup:Engine.Time.span ->
+  ?measure:Engine.Time.span ->
+  ?n:int ->
+  unit ->
+  Spec.t list
+(** Long-lived dumbbell at [n] flows (default 10) where the bottleneck
+    switch draws every port from one Dynamic-Threshold pool, swept over
+    [pool_sizes] x [alphas] x {!buffer_protocols}. *)
+
 val smoke_specs : unit -> Spec.t list
 (** Fast cross-workload slice covering every workload variant. *)
 

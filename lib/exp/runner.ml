@@ -12,14 +12,33 @@ let metric snapshot name =
 (* The analyzer band is the marking operating point of the protocol
    under test. Single-threshold protocols get a degenerate band widened
    by one segment either side of K, so instantaneous-marking chatter
-   around the threshold still registers as band crossings; Reno has no
-   marking threshold at all, which disables the cycle detector. *)
-let band_of (p : Spec.protocol) ~segment_bytes =
+   around the threshold still registers as band crossings; loss-based
+   protocols have no marking threshold at all, which disables the cycle
+   detector. Scaled protocols mark at fractions of the effective limit,
+   so their band needs the steady-state limit: under [Static] that is
+   the configured capacity; under Dynamic Threshold a single loaded
+   port whose queue parks at [f x limit] settles at the fixed point
+   [limit = alpha (B - f limit)], i.e. [alpha B / (1 + alpha f)]. *)
+let steady_limit ~(buffer : Net.Buffer_mgr.config) ~buffer_bytes ~frac =
+  match buffer with
+  | Net.Buffer_mgr.Static -> float_of_int buffer_bytes
+  | Net.Buffer_mgr.Dynamic_threshold { pool_bytes; alpha } ->
+      alpha *. float_of_int pool_bytes /. (1. +. (alpha *. frac))
+
+let band_of (p : Spec.protocol) ~buffer ~buffer_bytes ~segment_bytes =
   match p with
   | Spec.Dctcp { k_bytes; _ } | Spec.Ecn_reno { k_bytes } ->
       Some (k_bytes - segment_bytes, k_bytes + segment_bytes)
   | Spec.Dt_dctcp { k1_bytes; k2_bytes; _ } -> Some (k1_bytes, k2_bytes)
-  | Spec.Reno -> None
+  | Spec.Reno | Spec.Newreno -> None
+  | Spec.Dctcp_scaled { k_frac; _ } ->
+      let limit = steady_limit ~buffer ~buffer_bytes ~frac:k_frac in
+      let k = int_of_float (k_frac *. limit) in
+      Some (k - segment_bytes, k + segment_bytes)
+  | Spec.Dt_dctcp_scaled { k1_frac; k2_frac; _ } ->
+      let frac = (k1_frac +. k2_frac) /. 2. in
+      let limit = steady_limit ~buffer ~buffer_bytes ~frac in
+      Some (int_of_float (k1_frac *. limit), int_of_float (k2_frac *. limit))
 
 let default_sample_period = Engine.Time.span_of_us 20.
 
@@ -32,7 +51,10 @@ let analysis_config (spec : Spec.t) =
           Obs.Analyze.sample_period =
             Option.value cfg.Workloads.Longlived.trace_sampling
               ~default:default_sample_period;
-          band_bytes = band_of spec.protocol ~segment_bytes;
+          band_bytes =
+            band_of spec.protocol ~buffer:spec.buffer
+              ~buffer_bytes:cfg.Workloads.Longlived.buffer_bytes
+              ~segment_bytes;
           n_flows = cfg.Workloads.Longlived.n_flows;
           rtt = cfg.Workloads.Longlived.rtt;
           segment_bytes;
@@ -41,33 +63,23 @@ let analysis_config (spec : Spec.t) =
   | Spec.Deadline _ ->
       None
 
-let payload_of ?tracer ?on_sim ~metrics ?faults proto (w : Spec.workload) =
-  (* Workloads that have not grown fault support yet must not silently
-     ignore a plan: a "robustness" result that secretly ran fault-free
-     would be worse than no result. *)
-  let unsupported kind =
-    invalid_arg
-      (Printf.sprintf
-         "Exp.Runner: spec has a fault plan but the %s workload does not \
-          support fault injection"
-         kind)
-  in
+let payload_of ?tracer ?on_sim ~metrics ?faults ~buffer proto
+    (w : Spec.workload) =
   match w with
   | Spec.Longlived cfg ->
       Outcome.Longlived
-        (Workloads.Longlived.run ?tracer ~metrics ?faults ?on_sim proto cfg)
+        (Workloads.Longlived.run ?tracer ~metrics ?faults ~buffer ?on_sim
+           proto cfg)
   | Spec.Incast { config; sack } ->
-      Outcome.Incast (Workloads.Incast.run_with_sack ?faults ~sack proto config)
+      Outcome.Incast
+        (Workloads.Incast.run_with_sack ?faults ~buffer ~sack proto config)
   | Spec.Completion cfg ->
-      Outcome.Completion (Workloads.Completion.run ?faults proto cfg)
+      Outcome.Completion (Workloads.Completion.run ?faults ~buffer proto cfg)
   | Spec.Dynamic cfg ->
-      if Option.is_some faults then unsupported "dynamic";
-      Outcome.Dynamic (Workloads.Dynamic.run proto cfg)
+      Outcome.Dynamic (Workloads.Dynamic.run ?faults ~buffer proto cfg)
   | Spec.Convergence cfg ->
-      if Option.is_some faults then unsupported "convergence";
-      Outcome.Convergence (Workloads.Convergence.run proto cfg)
+      Outcome.Convergence (Workloads.Convergence.run ?faults ~buffer proto cfg)
   | Spec.Deadline { config; d2tcp } ->
-      if Option.is_some faults then unsupported "deadline";
       let kind =
         if d2tcp then
           Workloads.Deadline.Deadline_aware
@@ -78,7 +90,7 @@ let payload_of ?tracer ?on_sim ~metrics ?faults proto (w : Spec.workload) =
       Outcome.Deadline
         (Workloads.Deadline.run
            ~marking:(fun () -> proto.Dctcp.Protocol.marking ())
-           ~echo:proto.Dctcp.Protocol.echo kind config)
+           ~echo:proto.Dctcp.Protocol.echo ?faults ~buffer kind config)
 
 let run_one ?tracer ?on_sim ?(analyze = false) (spec : Spec.t) =
   let metrics = Obs.Metrics.create () in
@@ -104,8 +116,8 @@ let run_one ?tracer ?on_sim ?(analyze = false) (spec : Spec.t) =
     Obs.Profile.time (fun () ->
         match
           let proto = Spec.protocol_of spec.protocol in
-          payload_of ?tracer ?on_sim ~metrics ?faults:spec.faults proto
-            spec.workload
+          payload_of ?tracer ?on_sim ~metrics ?faults:spec.faults
+            ~buffer:spec.buffer proto spec.workload
         with
         | payload -> Outcome.Done payload
         | exception exn ->

@@ -21,8 +21,12 @@ val analysis_config : Spec.t -> Obs.Analyze.config option
 (** The streaming-analysis configuration a spec implies: the workload's
     sampling period (default 20 us when [trace_sampling] is unset), the
     protocol's marking band — (K1, K2) for DT-DCTCP, K widened by one
-    segment either side for single-threshold protocols, none for Reno —
-    and the flow count / RTT for the synchronization index. [None] for
+    segment either side for single-threshold protocols, none for the
+    loss-based transports. Scaled protocols resolve their fractions
+    against the steady-state effective limit: the configured capacity
+    under [Static], the Dynamic-Threshold fixed point
+    [alpha B / (1 + alpha f)] under a shared pool — and the flow count /
+    RTT for the synchronization index. [None] for
     workloads the analyzer does not cover yet (currently everything but
     longlived). [dtsim analyze] writes this same config into the trace
     header, which is what keeps online and offline analysis identical. *)

@@ -11,6 +11,9 @@ type protocol =
   | Dt_dctcp of { g : float; k1_bytes : int; k2_bytes : int }
   | Reno
   | Ecn_reno of { k_bytes : int }
+  | Newreno
+  | Dctcp_scaled of { g : float; k_frac : float }
+  | Dt_dctcp_scaled of { g : float; k1_frac : float; k2_frac : float }
 
 type workload =
   | Longlived of L.config
@@ -25,16 +28,21 @@ type t = {
   protocol : protocol;
   workload : workload;
   faults : Fault.Plan.t option;
+  buffer : Net.Buffer_mgr.config;
 }
 
-let make ?faults ~name ~protocol ~workload () =
-  { name; protocol; workload; faults }
+let make ?faults ?(buffer = Net.Buffer_mgr.Static) ~name ~protocol ~workload
+    () =
+  { name; protocol; workload; faults; buffer }
 
 let protocol_name = function
   | Dctcp _ -> "dctcp"
   | Dt_dctcp _ -> "dt-dctcp"
   | Reno -> "reno"
   | Ecn_reno _ -> "ecn-reno"
+  | Newreno -> "newreno"
+  | Dctcp_scaled _ -> "dctcp-scaled"
+  | Dt_dctcp_scaled _ -> "dt-dctcp-scaled"
 
 let workload_name = function
   | Longlived _ -> "longlived"
@@ -50,6 +58,10 @@ let protocol_of = function
       Dctcp.Protocol.dt_dctcp ~g ~k1_bytes ~k2_bytes ()
   | Reno -> Dctcp.Protocol.reno ()
   | Ecn_reno { k_bytes } -> Dctcp.Protocol.ecn_reno ~k_bytes
+  | Newreno -> Dctcp.Protocol.newreno ()
+  | Dctcp_scaled { g; k_frac } -> Dctcp.Protocol.dctcp_scaled ~g ~k_frac ()
+  | Dt_dctcp_scaled { g; k1_frac; k2_frac } ->
+      Dctcp.Protocol.dt_dctcp_scaled ~g ~k1_frac ~k2_frac ()
 
 let seed t =
   match t.workload with
@@ -199,6 +211,17 @@ let protocol_to_json p =
         ]
   | Reno -> Json.Obj [ kind ]
   | Ecn_reno { k_bytes } -> Json.Obj [ kind; ("k_bytes", Json.Int k_bytes) ]
+  | Newreno -> Json.Obj [ kind ]
+  | Dctcp_scaled { g; k_frac } ->
+      Json.Obj [ kind; ("g", Json.Float g); ("k_frac", Json.Float k_frac) ]
+  | Dt_dctcp_scaled { g; k1_frac; k2_frac } ->
+      Json.Obj
+        [
+          kind;
+          ("g", Json.Float g);
+          ("k1_frac", Json.Float k1_frac);
+          ("k2_frac", Json.Float k2_frac);
+        ]
 
 let workload_to_json w =
   let kind = ("kind", Json.String (workload_name w)) in
@@ -213,10 +236,18 @@ let workload_to_json w =
   in
   Json.Obj (kind :: fields)
 
+let buffer_to_json = function
+  | Net.Buffer_mgr.Static -> None
+  | Net.Buffer_mgr.Dynamic_threshold { pool_bytes; alpha } ->
+      Some
+        (Json.Obj
+           [ ("pool_bytes", Json.Int pool_bytes); ("alpha", Json.Float alpha) ])
+
 let to_json t =
-  (* The "faults" key is omitted (not null) when absent, so a spec
-     without faults serializes byte-identically to one from before fault
-     injection existed — pre-existing manifests stay bit-stable. *)
+  (* The "faults" and "buffer" keys are omitted (not null) when at their
+     defaults, so a spec without faults and with Static buffering
+     serializes byte-identically to one from before these features
+     existed — pre-existing manifests stay bit-stable. *)
   let base =
     [
       ("name", Json.String t.name);
@@ -224,9 +255,14 @@ let to_json t =
       ("workload", workload_to_json t.workload);
     ]
   in
-  match t.faults with
+  let base =
+    match t.faults with
+    | None -> base
+    | Some plan -> base @ [ ("faults", Fault.Plan.to_json plan) ]
+  in
+  match buffer_to_json t.buffer with
   | None -> Json.Obj base
-  | Some plan -> Json.Obj (base @ [ ("faults", Fault.Plan.to_json plan) ])
+  | Some bj -> Json.Obj (base @ [ ("buffer", bj) ])
 
 let to_string t = Json.to_string (to_json t)
 
@@ -298,6 +334,16 @@ let protocol_of_json j =
   | "ecn-reno" ->
       let* k_bytes = int_field "k_bytes" j in
       Ok (Ecn_reno { k_bytes })
+  | "newreno" -> Ok Newreno
+  | "dctcp-scaled" ->
+      let* g = float_field "g" j in
+      let* k_frac = float_field "k_frac" j in
+      Ok (Dctcp_scaled { g; k_frac })
+  | "dt-dctcp-scaled" ->
+      let* g = float_field "g" j in
+      let* k1_frac = float_field "k1_frac" j in
+      let* k2_frac = float_field "k2_frac" j in
+      Ok (Dt_dctcp_scaled { g; k1_frac; k2_frac })
   | other -> Error (Printf.sprintf "Spec.of_json: unknown protocol %S" other)
 
 let longlived_of_json j =
@@ -499,6 +545,15 @@ let workload_of_json j =
   | "deadline" -> deadline_of_json j
   | other -> Error (Printf.sprintf "Spec.of_json: unknown workload %S" other)
 
+let buffer_of_json j =
+  let* pool_bytes = int_field "pool_bytes" j in
+  let* alpha = float_field "alpha" j in
+  if pool_bytes <= 0 then
+    Error "Spec.of_json: buffer pool_bytes must be positive"
+  else if not (alpha >= 1. /. 1024.) then
+    Error "Spec.of_json: buffer alpha must be >= 1/1024"
+  else Ok (Net.Buffer_mgr.Dynamic_threshold { pool_bytes; alpha })
+
 let of_json j =
   let* name = string_field "name" j in
   let* pj = field "protocol" j in
@@ -512,7 +567,12 @@ let of_json j =
         let* plan = Fault.Plan.of_json fj in
         Ok (Some plan)
   in
-  Ok { name; protocol; workload; faults }
+  let* buffer =
+    match Json.member "buffer" j with
+    | None -> Ok Net.Buffer_mgr.Static
+    | Some bj -> buffer_of_json bj
+  in
+  Ok { name; protocol; workload; faults; buffer }
 
 let of_string s =
   let* j = Json.parse s in

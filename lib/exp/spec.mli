@@ -13,6 +13,15 @@ type protocol =
   | Dt_dctcp of { g : float; k1_bytes : int; k2_bytes : int }
   | Reno
   | Ecn_reno of { k_bytes : int }
+  | Newreno
+      (** Loss-based NewReno ({!Dctcp.Protocol.newreno}): no marking,
+          halves at most once per loss episode. *)
+  | Dctcp_scaled of { g : float; k_frac : float }
+      (** DCTCP with [K = k_frac x effective buffer limit] — thresholds
+          ride the shared pool's moving capacity. *)
+  | Dt_dctcp_scaled of { g : float; k1_frac : float; k2_frac : float }
+      (** DT-DCTCP with the hysteresis band at fractions of the
+          effective limit. *)
 
 type workload =
   | Longlived of Workloads.Longlived.config
@@ -31,19 +40,29 @@ type t = {
           means no injector is ever constructed — the run (and the
           spec's JSON, which omits the key) is bit-identical to a
           pre-fault-injection build. *)
+  buffer : Net.Buffer_mgr.config;
+      (** The bottleneck switch's memory model. [Static] (the default)
+          keeps every queue's private fixed capacity and serializes to
+          nothing — the JSON omits the key, so pre-existing specs and
+          manifests stay bit-stable. [Dynamic_threshold] replaces the
+          workload config's [buffer_bytes] at the bottleneck switch
+          with one shared pool. *)
 }
 
 val make :
   ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
   name:string ->
   protocol:protocol ->
   workload:workload ->
   unit ->
   t
+(** [buffer] defaults to {!Net.Buffer_mgr.Static}. *)
 
 val protocol_name : protocol -> string
 (** Stable identifier, also the JSON [kind] tag: ["dctcp"],
-    ["dt-dctcp"], ["reno"], ["ecn-reno"]. *)
+    ["dt-dctcp"], ["reno"], ["ecn-reno"], ["newreno"], ["dctcp-scaled"],
+    ["dt-dctcp-scaled"]. *)
 
 val workload_name : workload -> string
 (** JSON [kind] tag: ["longlived"], ["incast"], ... *)
@@ -67,8 +86,9 @@ val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 (** Strict inverse of {!to_json}: every config field is required, so a
     spec written by an older build fails loudly instead of silently
-    filling defaults. The one exception is ["faults"], whose absence
-    means {!t.faults}[ = None] — older specs predate the field. *)
+    filling defaults. The exceptions are ["faults"] (absence means
+    {!t.faults}[ = None]) and ["buffer"] (absence means [Static]) —
+    older specs predate both fields. *)
 
 val to_string : t -> string
 

@@ -2,9 +2,13 @@ type t = {
   name : string;
   on_enqueue : bytes:int -> packets:int -> bool;
   on_dequeue : bytes:int -> packets:int -> unit;
+  on_limit : limit_bytes:int -> unit;
 }
 
-let make ~name ~on_enqueue ~on_dequeue = { name; on_enqueue; on_dequeue }
+let no_limit ~limit_bytes:_ = ()
+
+let make ~name ?(on_limit = no_limit) ~on_enqueue ~on_dequeue () =
+  { name; on_enqueue; on_dequeue; on_limit }
 
 let suppress ~active ~on_suppress inner =
   let on_enqueue ~bytes ~packets =
@@ -19,12 +23,18 @@ let suppress ~active ~on_suppress inner =
     end
     else mark
   in
-  { name = inner.name ^ "+suppress"; on_enqueue; on_dequeue = inner.on_dequeue }
+  {
+    name = inner.name ^ "+suppress";
+    on_enqueue;
+    on_dequeue = inner.on_dequeue;
+    on_limit = inner.on_limit;
+  }
 
 let none () =
   make ~name:"none"
     ~on_enqueue:(fun ~bytes:_ ~packets:_ -> false)
     ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
+    ()
 
 let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
   if max_th_bytes <= min_th_bytes then
@@ -65,4 +75,4 @@ let red ?rng ~min_th_bytes ~max_th_bytes ~max_p ~weight ~avg_pkt_size () =
     end
   in
   let on_dequeue ~bytes:_ ~packets:_ = () in
-  make ~name:"red" ~on_enqueue ~on_dequeue
+  make ~name:"red" ~on_enqueue ~on_dequeue ()

@@ -19,13 +19,25 @@ type t = {
           allocates nothing. *)
   on_dequeue : bytes:int -> packets:int -> unit;
       (** Called after a packet leaves; occupancy excludes it. *)
+  on_limit : limit_bytes:int -> unit;
+      (** Called by {!Queue_disc} whenever the buffer manager's
+          effective capacity for the queue changes: once at queue
+          creation, then before every enqueue/dequeue consultation while
+          the queue sits on a shared {!Buffer_mgr} pool (a Static
+          buffer's limit never moves, so the hook stays silent there).
+          Lets limit-relative policies re-derive their thresholds from a
+          moving K. *)
 }
 
 val make :
   name:string ->
+  ?on_limit:(limit_bytes:int -> unit) ->
   on_enqueue:(bytes:int -> packets:int -> bool) ->
   on_dequeue:(bytes:int -> packets:int -> unit) ->
+  unit ->
   t
+(** [on_limit] defaults to a no-op: occupancy-threshold policies with
+    absolute byte thresholds ignore capacity movement. *)
 
 val none : unit -> t
 (** Never marks (plain drop-tail). *)

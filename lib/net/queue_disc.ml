@@ -15,7 +15,7 @@ let int_pkts2 = 3
 type t = {
   sim : Sim.t;
   name : string;
-  capacity_bytes : int;
+  buffer : Buffer_mgr.port;
   marking : Marking.t;
   tracer : Trace_ev.t;
   fifo : Packet.t Engine.Ring.t;
@@ -32,16 +32,14 @@ type t = {
   mutable max_bytes : int;
 }
 
-let create sim ~capacity_bytes ?(marking = Marking.none ())
+let create sim ~buffer ?(marking = Marking.none ())
     ?(tracer = Trace_ev.null) ?metrics ?(name = "queue") () =
-  if capacity_bytes <= 0 then
-    invalid_arg "Queue_disc.create: capacity must be positive";
   let now = Sim.now sim in
   let t =
     {
       sim;
       name;
-      capacity_bytes;
+      buffer;
       marking;
       tracer;
       fifo = Engine.Ring.create ~capacity:64 ();
@@ -64,7 +62,13 @@ let create sim ~capacity_bytes ?(marking = Marking.none ())
       Obs.Metrics.probe m (pre ^ "drops") (fun () -> float_of_int t.drops);
       Obs.Metrics.probe m (pre ^ "marks") (fun () -> float_of_int t.marked);
       Obs.Metrics.probe m (pre ^ "enqueues") (fun () ->
-          float_of_int t.enqueued));
+          float_of_int t.enqueued);
+      Buffer_mgr.register_metrics buffer m);
+  (* Announce the capacity behind the marking policy once at creation;
+     limit-relative policies derive their initial thresholds from it. A
+     Static buffer's limit never moves again, so this is the only call
+     those queues ever make. *)
+  marking.Marking.on_limit ~limit_bytes:(Buffer_mgr.effective_limit buffer);
   t
 
 let name t = t.name
@@ -87,8 +91,20 @@ let accumulate t =
   t.last_change <- now
 
 let enqueue t pkt =
-  if t.occ_bytes + pkt.Packet.size > t.capacity_bytes then begin
+  if not (Buffer_mgr.admit t.buffer pkt.Packet.size) then begin
     t.drops <- t.drops + 1;
+    if
+      Buffer_mgr.shared t.buffer
+      && Trace_ev.enabled t.tracer Trace_ev.C_pool_reject
+    then
+      emit t
+        (Trace_ev.Pool_reject
+           {
+             flow = pkt.Packet.flow;
+             occ_bytes = t.occ_bytes;
+             pool_used = Buffer_mgr.pool_used t.buffer;
+             limit_bytes = Buffer_mgr.effective_limit t.buffer;
+           });
     if Trace_ev.enabled t.tracer Trace_ev.C_drop then
       emit t
         (Trace_ev.Drop { flow = pkt.Packet.flow; occ_bytes = t.occ_bytes });
@@ -102,6 +118,19 @@ let enqueue t pkt =
     t.occ_pkts <- t.occ_pkts + 1;
     t.enqueued <- t.enqueued + 1;
     if t.occ_bytes > t.max_bytes then t.max_bytes <- t.occ_bytes;
+    (* On a shared pool the capacity behind the policy moved with this
+       admission (and with every other port's); refresh before the
+       policy is consulted so hysteresis sees the K its zone machine
+       should be judged against. Static buffers skip this: their limit
+       was announced once at creation. *)
+    if Buffer_mgr.shared t.buffer then begin
+      t.marking.Marking.on_limit
+        ~limit_bytes:(Buffer_mgr.effective_limit t.buffer);
+      if Trace_ev.enabled t.tracer Trace_ev.C_pool_high_water then begin
+        let hw = Buffer_mgr.poll_high_water t.buffer in
+        if hw >= 0 then emit t (Trace_ev.Pool_high_water { pool_used = hw })
+      end
+    end;
     if t.marking.Marking.on_enqueue ~bytes:t.occ_bytes ~packets:t.occ_pkts
     then begin
       if Packet.is_ect pkt then begin
@@ -134,6 +163,10 @@ let dequeue_exn t =
   accumulate t;
   t.occ_bytes <- t.occ_bytes - pkt.Packet.size;
   t.occ_pkts <- t.occ_pkts - 1;
+  Buffer_mgr.release t.buffer pkt.Packet.size;
+  if Buffer_mgr.shared t.buffer then
+    t.marking.Marking.on_limit
+      ~limit_bytes:(Buffer_mgr.effective_limit t.buffer);
   t.marking.Marking.on_dequeue ~bytes:t.occ_bytes ~packets:t.occ_pkts;
   if Trace_ev.enabled t.tracer Trace_ev.C_dequeue then
     emit t
@@ -153,7 +186,9 @@ let is_empty t = Engine.Ring.is_empty t.fifo
 
 let occupancy_bytes t = t.occ_bytes
 let occupancy_packets t = t.occ_pkts
-let capacity_bytes t = t.capacity_bytes
+let capacity_bytes t = Buffer_mgr.capacity t.buffer
+let effective_limit t = Buffer_mgr.effective_limit t.buffer
+let buffer t = t.buffer
 let drops t = t.drops
 let enqueued t = t.enqueued
 let marked t = t.marked

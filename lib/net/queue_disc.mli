@@ -8,18 +8,26 @@ type t
 
 val create :
   Engine.Sim.t ->
-  capacity_bytes:int ->
+  buffer:Buffer_mgr.port ->
   ?marking:Marking.t ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
   ?name:string ->
   unit ->
   t
-(** [tracer] (default {!Obs.Trace.null}) receives [Enqueue] / [Dequeue] /
-    [Drop] / [Mark] events with this queue's [name] as the component.
-    When [metrics] is given, probes [queue.<name>.drops], [.marks] and
-    [.enqueues] are registered against the live counters.
-    @raise Invalid_argument if [capacity_bytes <= 0]. *)
+(** [buffer] is the admission handle the queue borrows capacity from —
+    [Buffer_mgr.solo ~capacity_bytes] reproduces the historical private
+    fixed-capacity behavior bit-for-bit; a port attached to a shared
+    pool admits against the Dynamic Threshold limit instead. [tracer]
+    (default {!Obs.Trace.null}) receives [Enqueue] / [Dequeue] / [Drop]
+    / [Mark] events with this queue's [name] as the component; shared
+    ports additionally emit [Pool_reject] and [Pool_high_water]. When
+    [metrics] is given, probes [queue.<name>.drops], [.marks] and
+    [.enqueues] are registered against the live counters, plus the
+    pool's [buffer.*] probes for shared ports (once per pool). The
+    marking policy's [on_limit] hook is invoked once at creation with
+    the current effective limit, and on every occupancy change while
+    the queue sits on a shared pool. *)
 
 val name : t -> string
 
@@ -39,7 +47,17 @@ val is_empty : t -> bool
 
 val occupancy_bytes : t -> int
 val occupancy_packets : t -> int
+
 val capacity_bytes : t -> int
+(** The largest occupancy the buffer can ever grant: the fixed capacity
+    for solo ports, the pool size for shared ports. *)
+
+val effective_limit : t -> int
+(** The admission limit right now ({!Buffer_mgr.effective_limit}); equals
+    {!capacity_bytes} for solo ports, moves with the pool otherwise. *)
+
+val buffer : t -> Buffer_mgr.port
+(** The admission handle this queue draws from. *)
 
 val drops : t -> int
 (** Packets tail-dropped since creation. *)

@@ -5,12 +5,32 @@ type t = {
   mutable nports : int;
   routes : (int, int) Hashtbl.t;
   mutable no_route : int;
+  pool : Buffer_mgr.pool option;
 }
 
-let create sim ~id =
-  { sim; id; ports = [||]; nports = 0; routes = Hashtbl.create 16; no_route = 0 }
+let create sim ~id ?(buffer = Buffer_mgr.Static) () =
+  let pool =
+    match buffer with
+    | Buffer_mgr.Static -> None
+    | Buffer_mgr.Dynamic_threshold { pool_bytes; alpha } ->
+        Some (Buffer_mgr.create_pool ~pool_bytes ~alpha)
+  in
+  {
+    sim;
+    id;
+    ports = [||];
+    nports = 0;
+    routes = Hashtbl.create 16;
+    no_route = 0;
+    pool;
+  }
 
 let id t = t.id
+
+let port_buffer t ~capacity_bytes =
+  match t.pool with
+  | None -> Buffer_mgr.solo ~capacity_bytes
+  | Some pool -> Buffer_mgr.attach pool
 
 let add_port t port =
   if t.nports = Array.length t.ports then begin

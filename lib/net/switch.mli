@@ -6,9 +6,19 @@
 
 type t
 
-val create : Engine.Sim.t -> id:int -> t
+val create : Engine.Sim.t -> id:int -> ?buffer:Buffer_mgr.config -> unit -> t
+(** [buffer] (default {!Buffer_mgr.Static}) selects the switch's memory
+    model: [Static] gives every port its private fixed-capacity buffer
+    (the historical behavior); [Dynamic_threshold] creates one shared
+    pool that all buffers handed out by {!port_buffer} draw from. *)
 
 val id : t -> int
+
+val port_buffer : t -> capacity_bytes:int -> Buffer_mgr.port
+(** The admission handle for one of this switch's output queues: a
+    private [capacity_bytes] buffer on a [Static] switch, a slice of the
+    shared pool (where [capacity_bytes] is ignored — admission is
+    governed by the pool's Dynamic Threshold) otherwise. *)
 
 val add_port : t -> Port.t -> int
 (** Registers an output port, returning its index. *)

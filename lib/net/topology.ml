@@ -7,8 +7,10 @@ let connect_host_to_switch sim host switch ~rate_bps ~delay
     ?(host_buffer = default_access_buffer)
     ?(switch_buffer = default_access_buffer)
     ?(switch_marking = Marking.none ()) ?switch_tracer ?switch_metrics () =
+  (* Host NICs always own a private buffer; only switch-side queues can
+     sit on a shared pool (the switch decides via [port_buffer]). *)
   let host_q =
-    Queue_disc.create sim ~capacity_bytes:host_buffer
+    Queue_disc.create sim ~buffer:(Buffer_mgr.solo ~capacity_bytes:host_buffer)
       ~name:(Printf.sprintf "host%d-nic" (Host.id host))
       ()
   in
@@ -18,7 +20,8 @@ let connect_host_to_switch sim host switch ~rate_bps ~delay
   in
   Host.attach_nic host nic;
   let sw_q =
-    Queue_disc.create sim ~capacity_bytes:switch_buffer
+    Queue_disc.create sim
+      ~buffer:(Switch.port_buffer switch ~capacity_bytes:switch_buffer)
       ~marking:switch_marking ?tracer:switch_tracer ?metrics:switch_metrics
       ~name:(Printf.sprintf "sw%d->host%d" (Switch.id switch) (Host.id host))
       ()
@@ -36,8 +39,9 @@ let connect_switches sim a b ~rate_bps ~delay
     ?(marking_ab = Marking.none ()) ?(marking_ba = Marking.none ())
     ?tracer_ab ?tracer_ba ?metrics_ab ?metrics_ba () =
   let q_ab =
-    Queue_disc.create sim ~capacity_bytes:buffer_ab ~marking:marking_ab
-      ?tracer:tracer_ab ?metrics:metrics_ab
+    Queue_disc.create sim
+      ~buffer:(Switch.port_buffer a ~capacity_bytes:buffer_ab)
+      ~marking:marking_ab ?tracer:tracer_ab ?metrics:metrics_ab
       ~name:(Printf.sprintf "sw%d->sw%d" (Switch.id a) (Switch.id b))
       ()
   in
@@ -47,8 +51,9 @@ let connect_switches sim a b ~rate_bps ~delay
   in
   let ia = Switch.add_port a port_ab in
   let q_ba =
-    Queue_disc.create sim ~capacity_bytes:buffer_ba ~marking:marking_ba
-      ?tracer:tracer_ba ?metrics:metrics_ba
+    Queue_disc.create sim
+      ~buffer:(Switch.port_buffer b ~capacity_bytes:buffer_ba)
+      ~marking:marking_ba ?tracer:tracer_ba ?metrics:metrics_ba
       ~name:(Printf.sprintf "sw%d->sw%d" (Switch.id b) (Switch.id a))
       ()
   in
@@ -67,7 +72,7 @@ type dumbbell = {
 }
 
 let dumbbell sim ~n_senders ~bottleneck_rate_bps ?access_rate_bps ~rtt
-    ~buffer_bytes ~marking ?tracer ?metrics () =
+    ~buffer_bytes ?(buffer = Buffer_mgr.Static) ~marking ?tracer ?metrics () =
   if n_senders <= 0 then invalid_arg "Topology.dumbbell: need senders";
   let access_rate_bps =
     match access_rate_bps with Some r -> r | None -> bottleneck_rate_bps
@@ -75,7 +80,7 @@ let dumbbell sim ~n_senders ~bottleneck_rate_bps ?access_rate_bps ~rtt
   (* Four propagation traversals per round trip: sender->switch,
      switch->receiver and back. *)
   let leg = Int64.div rtt 4L in
-  let switch = Switch.create sim ~id:0 in
+  let switch = Switch.create sim ~id:0 ~buffer () in
   let senders =
     Array.init n_senders (fun i ->
         let host = Host.create sim ~id:i in
@@ -102,7 +107,7 @@ type parking_lot = {
 }
 
 let parking_lot sim ~hops ~rate_bps ?access_rate_bps ?link_delay
-    ~buffer_bytes ~marking () =
+    ~buffer_bytes ?(buffer = Buffer_mgr.Static) ~marking () =
   if hops <= 0 then invalid_arg "Topology.parking_lot: need hops";
   let access_rate_bps =
     match access_rate_bps with Some r -> r | None -> 4. *. rate_bps
@@ -110,7 +115,10 @@ let parking_lot sim ~hops ~rate_bps ?access_rate_bps ?link_delay
   let delay =
     match link_delay with Some d -> d | None -> Time.span_of_us 12.5
   in
-  let chain = Array.init (hops + 1) (fun i -> Switch.create sim ~id:i) in
+  (* One pool per switch: each chain element models its own ASIC. *)
+  let chain =
+    Array.init (hops + 1) (fun i -> Switch.create sim ~id:i ~buffer ())
+  in
   (* Hosts: ids 0 = long_src, 1 = long_dst, then cross pairs. The location
      of every host (which switch it hangs off) drives the chain routing. *)
   let long_src = Host.create sim ~id:0 in
@@ -173,7 +181,7 @@ type star = {
 
 let star_testbed sim ?(n_leaves = 3) ?(workers_per_leaf = 3) ~rate_bps
     ?host_delay ?trunk_delay ~bottleneck_buffer
-    ?(leaf_buffer = 512 * 1024) ~marking () =
+    ?(leaf_buffer = 512 * 1024) ?(buffer = Buffer_mgr.Static) ~marking () =
   if n_leaves <= 0 || workers_per_leaf <= 0 then
     invalid_arg "Topology.star_testbed: need leaves and workers";
   let host_delay =
@@ -182,9 +190,11 @@ let star_testbed sim ?(n_leaves = 3) ?(workers_per_leaf = 3) ~rate_bps
   let trunk_delay =
     match trunk_delay with Some d -> d | None -> Time.span_of_us 25.
   in
-  let root = Switch.create sim ~id:0 in
+  (* The buffer config applies to the root (the shared-memory ASIC under
+     study — it owns the bottleneck port); leaves stay Static. *)
+  let root = Switch.create sim ~id:0 ~buffer () in
   let leaves =
-    Array.init n_leaves (fun i -> Switch.create sim ~id:(i + 1))
+    Array.init n_leaves (fun i -> Switch.create sim ~id:(i + 1) ())
   in
   let n_workers = n_leaves * workers_per_leaf in
   let workers =

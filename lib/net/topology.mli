@@ -74,6 +74,7 @@ val dumbbell :
   ?access_rate_bps:float ->
   rtt:Engine.Time.span ->
   buffer_bytes:int ->
+  ?buffer:Buffer_mgr.config ->
   marking:Marking.t ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
@@ -83,7 +84,10 @@ val dumbbell :
     two-way propagation delay (split equally across the four link
     traversals); serialization adds on top. [access_rate_bps] defaults to
     the bottleneck rate. [tracer] / [metrics] instrument the bottleneck
-    queue only. *)
+    queue only. [buffer] (default [Static]) is the switch's memory
+    model: under [Dynamic_threshold] every switch port — the bottleneck
+    and the reverse ACK-path queues — draws from one shared pool and
+    [buffer_bytes] is ignored. *)
 
 (** {2 Parking lot (multi-bottleneck chain)} *)
 
@@ -105,6 +109,7 @@ val parking_lot :
   ?access_rate_bps:float ->
   ?link_delay:Engine.Time.span ->
   buffer_bytes:int ->
+  ?buffer:Buffer_mgr.config ->
   marking:(unit -> Marking.t) ->
   unit ->
   parking_lot
@@ -112,7 +117,9 @@ val parking_lot :
     all [hops] trunk links while each hop also carries a one-hop cross
     flow. Access links run at [access_rate_bps] (default 4x the trunk
     rate) so the trunks are the only bottlenecks. [link_delay] (default
-    12.5 us) applies per link traversal. *)
+    12.5 us) applies per link traversal. [buffer] (default [Static])
+    applies per chain switch — each element models its own shared-memory
+    ASIC. *)
 
 (** {2 Star testbed (paper Section VI-B, Figure 13)} *)
 
@@ -133,6 +140,7 @@ val star_testbed :
   ?trunk_delay:Engine.Time.span ->
   bottleneck_buffer:int ->
   ?leaf_buffer:int ->
+  ?buffer:Buffer_mgr.config ->
   marking:Marking.t ->
   unit ->
   star
@@ -141,4 +149,5 @@ val star_testbed :
     switch that also hosts the aggregator. All links run at [rate_bps]
     (1 Gbps in the paper). Only the root-to-aggregator port carries the
     marking policy and the small [bottleneck_buffer] (128 KB in the
-    paper); leaf buffers default to 512 KB drop-tail. *)
+    paper); leaf buffers default to 512 KB drop-tail. [buffer] (default
+    [Static]) is the root switch's memory model; leaves stay Static. *)

@@ -21,6 +21,13 @@ type event =
   | Pkt_lost of { flow : int; size : int }
   | Mark_suppressed of { occ_bytes : int; occ_pkts : int }
   | Rate_changed of { rate_bps : float }
+  | Pool_reject of {
+      flow : int;
+      occ_bytes : int;
+      pool_used : int;
+      limit_bytes : int;
+    }
+  | Pool_high_water of { pool_used : int }
 
 type record = { time : Time.t; component : string; event : event }
 
@@ -40,6 +47,8 @@ type cls =
   | C_pkt_lost
   | C_mark_suppressed
   | C_rate_changed
+  | C_pool_reject
+  | C_pool_high_water
 
 let all_classes =
   [
@@ -58,6 +67,8 @@ let all_classes =
     C_pkt_lost;
     C_mark_suppressed;
     C_rate_changed;
+    C_pool_reject;
+    C_pool_high_water;
   ]
 
 let cls_index = function
@@ -76,6 +87,8 @@ let cls_index = function
   | C_pkt_lost -> 12
   | C_mark_suppressed -> 13
   | C_rate_changed -> 14
+  | C_pool_reject -> 15
+  | C_pool_high_water -> 16
 
 let cls_of_event = function
   | Enqueue _ -> C_enqueue
@@ -93,6 +106,8 @@ let cls_of_event = function
   | Pkt_lost _ -> C_pkt_lost
   | Mark_suppressed _ -> C_mark_suppressed
   | Rate_changed _ -> C_rate_changed
+  | Pool_reject _ -> C_pool_reject
+  | Pool_high_water _ -> C_pool_high_water
 
 let cls_name = function
   | C_enqueue -> "enqueue"
@@ -110,6 +125,8 @@ let cls_name = function
   | C_pkt_lost -> "pkt_lost"
   | C_mark_suppressed -> "mark_suppressed"
   | C_rate_changed -> "rate_changed"
+  | C_pool_reject -> "pool_reject"
+  | C_pool_high_water -> "pool_high_water"
 
 let cls_of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -128,6 +145,8 @@ let cls_of_name s =
   | "pkt_lost" -> Some C_pkt_lost
   | "mark_suppressed" -> Some C_mark_suppressed
   | "rate_changed" -> Some C_rate_changed
+  | "pool_reject" -> Some C_pool_reject
+  | "pool_high_water" -> Some C_pool_high_water
   | _ -> None
 
 (* --- serialization --- *)
@@ -177,6 +196,14 @@ let record_to_json r =
     | Mark_suppressed { occ_bytes; occ_pkts } ->
         [ ("occ_bytes", Json.Int occ_bytes); ("occ_pkts", Json.Int occ_pkts) ]
     | Rate_changed { rate_bps } -> [ ("rate_bps", Json.Float rate_bps) ]
+    | Pool_reject { flow; occ_bytes; pool_used; limit_bytes } ->
+        [
+          ("flow", Json.Int flow);
+          ("occ_bytes", Json.Int occ_bytes);
+          ("pool_used", Json.Int pool_used);
+          ("limit_bytes", Json.Int limit_bytes);
+        ]
+    | Pool_high_water { pool_used } -> [ ("pool_used", Json.Int pool_used) ]
   in
   Json.Obj
     (("t_ns", Json.Int (Int64.to_int (Time.to_ns r.time)))
@@ -283,6 +310,15 @@ let record_of_json j =
     | "rate_changed" ->
         let* rate_bps = num "rate_bps" in
         Ok (Rate_changed { rate_bps })
+    | "pool_reject" ->
+        let* flow = int "flow" in
+        let* occ_bytes = int "occ_bytes" in
+        let* pool_used = int "pool_used" in
+        let* limit_bytes = int "limit_bytes" in
+        Ok (Pool_reject { flow; occ_bytes; pool_used; limit_bytes })
+    | "pool_high_water" ->
+        let* pool_used = int "pool_used" in
+        Ok (Pool_high_water { pool_used })
     | other -> Error (Printf.sprintf "trace record: unknown event %S" other)
   in
   Ok { time = Time.of_ns (Int64.of_int t_ns); component; event }
@@ -326,6 +362,13 @@ let record_to_csv r =
         (None, Some occ_bytes, Some occ_pkts, "")
     | Rate_changed { rate_bps } ->
         (None, None, None, Printf.sprintf "rate_bps=%g" rate_bps)
+    | Pool_reject { flow; occ_bytes; pool_used; limit_bytes } ->
+        ( Some flow,
+          Some occ_bytes,
+          None,
+          Printf.sprintf "pool_used=%d;limit_bytes=%d" pool_used limit_bytes )
+    | Pool_high_water { pool_used } ->
+        (None, None, None, Printf.sprintf "pool_used=%d" pool_used)
   in
   let opt = function Some v -> string_of_int v | None -> "" in
   Printf.sprintf "%Ld,%s,%s,%s,%s,%s,%s"

@@ -47,6 +47,18 @@ type event =
           suppressed it ("non-ECN switch" degradation). *)
   | Rate_changed of { rate_bps : float }
       (** Fault injection changed the link rate mid-run. *)
+  | Pool_reject of {
+      flow : int;
+      occ_bytes : int;
+      pool_used : int;
+      limit_bytes : int;
+    }
+      (** A shared {!Net.Buffer_mgr} pool refused the packet: the port sat
+          at [occ_bytes] against an effective limit of [limit_bytes] with
+          [pool_used] bytes committed pool-wide. Emitted alongside the
+          plain [Drop] so occupancy-only consumers keep working. *)
+  | Pool_high_water of { pool_used : int }
+      (** The shared pool reached a new occupancy peak. *)
 
 type record = { time : Engine.Time.t; component : string; event : event }
 
@@ -69,6 +81,8 @@ type cls =
   | C_pkt_lost
   | C_mark_suppressed
   | C_rate_changed
+  | C_pool_reject
+  | C_pool_high_water
 
 val all_classes : cls list
 val cls_of_event : event -> cls

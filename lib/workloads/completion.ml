@@ -37,7 +37,7 @@ type result = {
   incomplete : int;
 }
 
-let run ?faults proto config =
+let run ?faults ?buffer proto config =
   Workload.require_positive ~scenario:"Completion" ~what:"flows"
     config.n_flows;
   Workload.require_positive ~scenario:"Completion" ~what:"repeats"
@@ -68,7 +68,7 @@ let run ?faults proto config =
   let incomplete = ref 0 in
   for r = 0 to config.repeats - 1 do
     let res =
-      Incast.run ?faults proto
+      Incast.run ?faults ?buffer proto
         {
           incast_config with
           Incast.seed = Workload.repeat_seed ~base:config.seed ~stride:104729 r;

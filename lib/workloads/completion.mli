@@ -32,5 +32,11 @@ type result = {
   incomplete : int;
 }
 
-val run : ?faults:Fault.Plan.t -> Dctcp.Protocol.t -> config -> result
-(** [faults] is forwarded to the underlying {!Incast.run} repeats. *)
+val run :
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
+  Dctcp.Protocol.t ->
+  config ->
+  result
+(** [faults] and [buffer] are forwarded to the underlying {!Incast.run}
+    repeats. *)

@@ -40,4 +40,14 @@ type result = {
   utilization_steady : float;
 }
 
-val run : Dctcp.Protocol.t -> config -> result
+val run :
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
+  Dctcp.Protocol.t ->
+  config ->
+  result
+(** When [faults] is given, a {!Fault.Injector} (seeded from
+    [config.seed]) is attached to the bottleneck port and wrapped around
+    the marking policy; when absent no injector is constructed. [buffer]
+    (default {!Net.Buffer_mgr.Static}) is the bottleneck switch's memory
+    model. *)

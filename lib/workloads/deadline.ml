@@ -49,13 +49,31 @@ type result = {
 
 type flow_outcome = { met : bool; completion_s : float; finished : bool }
 
-let one_repeat ~marking ~echo kind config ~seed =
+let one_repeat ~marking ~echo ?faults ~buffer kind config ~seed =
   let sim = Sim.create ~seed () in
+  (* One injector per repeat, seeded from the repeat seed (the Incast
+     discipline); no plan means no injector and a bit-identical run. *)
+  let injector =
+    Option.map
+      (fun plan ->
+        Fault.Injector.create sim ~plan ~seed ~component:"star_bottleneck" ())
+      faults
+  in
+  let marking =
+    let m = marking () in
+    match injector with
+    | None -> m
+    | Some inj -> Fault.Injector.wrap_marking inj m
+  in
   let star =
     Net.Topology.star_testbed sim ~rate_bps:config.rate_bps
       ~bottleneck_buffer:config.buffer_bytes
-      ~leaf_buffer:config.leaf_buffer_bytes ~marking:(marking ()) ()
+      ~leaf_buffer:config.leaf_buffer_bytes ~buffer ~marking ()
   in
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      Fault.Injector.attach inj ~port:star.Net.Topology.star_bottleneck);
   let workers = star.Net.Topology.workers in
   let segments =
     (config.bytes_per_flow + config.segment_bytes - 1) / config.segment_bytes
@@ -122,7 +140,7 @@ let one_repeat ~marking ~echo kind config ~seed =
   in
   (outcomes, timeouts)
 
-let run ~marking ?echo kind config =
+let run ~marking ?echo ?faults ?(buffer = Net.Buffer_mgr.Static) kind config =
   Workload.require_positive ~scenario:"Deadline" ~what:"flows" config.n_flows;
   Workload.require_positive ~scenario:"Deadline" ~what:"repeats"
     config.repeats;
@@ -130,7 +148,7 @@ let run ~marking ?echo kind config =
   let timeouts = ref 0 in
   for r = 0 to config.repeats - 1 do
     let outcomes, t =
-      one_repeat ~marking ~echo kind config
+      one_repeat ~marking ~echo ?faults ~buffer kind config
         ~seed:(Workload.repeat_seed ~base:config.seed ~stride:6151 r)
     in
     all := outcomes :: !all;

@@ -43,6 +43,13 @@ type result = {
 val run :
   marking:(unit -> Net.Marking.t) ->
   ?echo:Tcp.Receiver.echo_policy ->
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
   sender_kind ->
   config ->
   result
+(** When [faults] is given, each repeat attaches a {!Fault.Injector}
+    (seeded from that repeat's seed) to the star's root-to-aggregator
+    bottleneck — the {!Incast.run} discipline; when absent no injector
+    is constructed. [buffer] (default {!Net.Buffer_mgr.Static}) is the
+    root switch's memory model. *)

@@ -46,7 +46,8 @@ type result = {
   std_queue_pkts : float;
 }
 
-let run (proto : Dctcp.Protocol.t) config =
+let run ?faults ?(buffer = Net.Buffer_mgr.Static) (proto : Dctcp.Protocol.t)
+    config =
   Workload.require_positive ~scenario:"Dynamic" ~what:"background flows"
     config.background_flows;
   Workload.require_positive ~scenario:"Dynamic" ~what:"senders"
@@ -54,13 +55,29 @@ let run (proto : Dctcp.Protocol.t) config =
   if config.arrival_rate <= 0. then invalid_arg "Dynamic.run: need arrivals";
   let sim = Sim.create ~seed:config.seed () in
   let n_hosts = config.background_flows + config.short_senders in
+  (* Same injector discipline as Longlived: no plan, no injector, and the
+     run is event-for-event the pre-fault one. *)
+  let injector =
+    Option.map
+      (fun plan ->
+        Fault.Injector.create sim ~plan ~seed:config.seed
+          ~component:"bottleneck" ())
+      faults
+  in
+  let marking =
+    let m = proto.Dctcp.Protocol.marking () in
+    match injector with
+    | None -> m
+    | Some inj -> Fault.Injector.wrap_marking inj m
+  in
   let net =
     Net.Topology.dumbbell sim ~n_senders:n_hosts
       ~bottleneck_rate_bps:config.bottleneck_rate_bps ~rtt:config.rtt
-      ~buffer_bytes:config.buffer_bytes
-      ~marking:(proto.Dctcp.Protocol.marking ())
-      ()
+      ~buffer_bytes:config.buffer_bytes ~buffer ~marking ()
   in
+  (match injector with
+  | None -> ()
+  | Some inj -> Fault.Injector.attach inj ~port:net.Net.Topology.bottleneck);
   let tcp_config =
     {
       Tcp.Sender.default_config with

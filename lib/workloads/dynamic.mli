@@ -42,4 +42,14 @@ type result = {
   std_queue_pkts : float;
 }
 
-val run : Dctcp.Protocol.t -> config -> result
+val run :
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
+  Dctcp.Protocol.t ->
+  config ->
+  result
+(** When [faults] is given, a {!Fault.Injector} (seeded from
+    [config.seed]) is attached to the bottleneck port and wrapped around
+    the marking policy — the same discipline as {!Longlived.run}; when
+    absent no injector is constructed. [buffer] (default
+    {!Net.Buffer_mgr.Static}) is the bottleneck switch's memory model. *)

@@ -48,8 +48,8 @@ type run_outcome = {
   finished : bool;
 }
 
-let one_repeat ?(sack = false) ?faults (proto : Dctcp.Protocol.t) config
-    ~seed =
+let one_repeat ?(sack = false) ?faults ~buffer (proto : Dctcp.Protocol.t)
+    config ~seed =
   let sim = Sim.create ~seed () in
   (* One injector per repeat, derived from the repeat seed, so each
      repeat sees an independent but reproducible fault realization. *)
@@ -68,7 +68,7 @@ let one_repeat ?(sack = false) ?faults (proto : Dctcp.Protocol.t) config
   let star =
     Net.Topology.star_testbed sim ~rate_bps:config.rate_bps
       ~bottleneck_buffer:config.buffer_bytes
-      ~leaf_buffer:config.leaf_buffer_bytes ~marking ()
+      ~leaf_buffer:config.leaf_buffer_bytes ~buffer ~marking ()
   in
   (match injector with
   | None -> ()
@@ -127,12 +127,13 @@ let goodput_of_completion config completion_s =
   else
     float_of_int (config.n_flows * config.bytes_per_flow * 8) /. completion_s
 
-let run_with_sack ?faults ~sack proto config =
+let run_with_sack ?faults ?(buffer = Net.Buffer_mgr.Static) ~sack proto
+    config =
   Workload.require_positive ~scenario:"Incast" ~what:"flows" config.n_flows;
   Workload.require_positive ~scenario:"Incast" ~what:"repeats" config.repeats;
   let outcomes =
     Array.init config.repeats (fun r ->
-        one_repeat ~sack ?faults proto config
+        one_repeat ~sack ?faults ~buffer proto config
           ~seed:(Workload.repeat_seed ~base:config.seed ~stride:7919 r))
   in
   let completions = Array.map (fun o -> o.completion_s) outcomes in
@@ -155,4 +156,5 @@ let run_with_sack ?faults ~sack proto config =
         0 outcomes;
   }
 
-let run ?faults proto config = run_with_sack ?faults ~sack:false proto config
+let run ?faults ?buffer proto config =
+  run_with_sack ?faults ?buffer ~sack:false proto config

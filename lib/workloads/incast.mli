@@ -40,13 +40,24 @@ type result = {
   incomplete : int;  (** Repeats that hit [time_cap]. *)
 }
 
-val run : ?faults:Fault.Plan.t -> Dctcp.Protocol.t -> config -> result
+val run :
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
+  Dctcp.Protocol.t ->
+  config ->
+  result
 (** When [faults] is given, each repeat attaches a {!Fault.Injector}
     (seeded from that repeat's seed) to the star's root-to-aggregator
-    bottleneck; when absent no injector is constructed. *)
+    bottleneck; when absent no injector is constructed. [buffer] (default
+    {!Net.Buffer_mgr.Static}) is the root switch's memory model. *)
 
 val run_with_sack :
-  ?faults:Fault.Plan.t -> sack:bool -> Dctcp.Protocol.t -> config -> result
+  ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
+  sack:bool ->
+  Dctcp.Protocol.t ->
+  config ->
+  result
 (** Like {!run} with selective-acknowledgment loss recovery toggled (the
     default {!run} uses go-back-N, matching the paper-era stacks). *)
 

@@ -47,8 +47,9 @@ type result = {
   queue_series : (float * float) array option;
 }
 
-let run ?(tracer = Obs.Trace.null) ?metrics ?faults ?on_sim
-    (proto : Dctcp.Protocol.t) config =
+let run ?(tracer = Obs.Trace.null) ?metrics ?faults
+    ?(buffer = Net.Buffer_mgr.Static) ?on_sim (proto : Dctcp.Protocol.t)
+    config =
   Workload.require_positive ~scenario:"Longlived" ~what:"flows" config.n_flows;
   let sim = Sim.create ~seed:config.seed () in
   (match on_sim with None -> () | Some f -> f sim);
@@ -85,7 +86,7 @@ let run ?(tracer = Obs.Trace.null) ?metrics ?faults ?on_sim
   let net =
     Net.Topology.dumbbell sim ~n_senders:config.n_flows
       ~bottleneck_rate_bps:config.bottleneck_rate_bps ~rtt:config.rtt
-      ~buffer_bytes:config.buffer_bytes ~marking ~tracer ?metrics ()
+      ~buffer_bytes:config.buffer_bytes ~buffer ~marking ~tracer ?metrics ()
   in
   (match injector with
   | None -> ()

@@ -48,6 +48,7 @@ type result = {
 
 val run :
   ?tracer:Obs.Trace.t -> ?metrics:Obs.Metrics.t -> ?faults:Fault.Plan.t ->
+  ?buffer:Net.Buffer_mgr.config ->
   ?on_sim:(Engine.Sim.t -> unit) ->
   Dctcp.Protocol.t -> config -> result
 (** [on_sim] is called with the freshly created simulator before any
@@ -63,4 +64,7 @@ val run :
     When [faults] is given, a {!Fault.Injector} (seeded from
     [config.seed]) is attached to the bottleneck port and wrapped around
     the marking policy; when absent no injector is constructed and the
-    run is bit-identical to one without fault support. *)
+    run is bit-identical to one without fault support.
+    [buffer] (default {!Net.Buffer_mgr.Static}) selects the bottleneck
+    switch's memory model; under [Dynamic_threshold] the shared pool
+    replaces [config.buffer_bytes]. *)

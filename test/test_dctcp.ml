@@ -194,6 +194,70 @@ let prop_dt_zone_bounds =
           | _ -> false)
         walk (drive p walk))
 
+(* --- scaled (limit-relative) thresholds --- *)
+
+let test_scaled_single_tracks_limit () =
+  let p = M.single_threshold_scaled ~k_frac:0.5 in
+  p.Marking.on_limit ~limit_bytes:6000;
+  (* K = 3000 *)
+  checkb "marks above K" true (p.Marking.on_enqueue ~bytes:3100 ~packets:2);
+  checkb "not at K" false (p.Marking.on_enqueue ~bytes:3000 ~packets:2);
+  (* The buffer manager squeezes the port: K follows the limit down. *)
+  p.Marking.on_limit ~limit_bytes:2000;
+  checkb "K moved with the limit" true
+    (p.Marking.on_enqueue ~bytes:1100 ~packets:1);
+  checkb "below the moved K" false
+    (p.Marking.on_enqueue ~bytes:1000 ~packets:1)
+
+let test_scaled_equals_absolute_on_static_limit () =
+  (* With one on_limit call (the Static-buffer case) the scaled policy
+     is the absolute policy at frac x capacity, on any walk. *)
+  let walk = steps_of_walk [ 1500; 3000; 4500; 6000; 3000; 1500; 4500 ] in
+  let scaled = M.single_threshold_scaled ~k_frac:0.25 in
+  scaled.Marking.on_limit ~limit_bytes:12_000;
+  let absolute = M.single_threshold ~k_bytes:3000 in
+  checkb "single: scaled = absolute" true
+    (drive scaled walk = drive absolute walk);
+  let dscaled = M.double_threshold_scaled ~k1_frac:0.25 ~k2_frac:0.5 () in
+  dscaled.Marking.on_limit ~limit_bytes:12_000;
+  let dabsolute = M.double_threshold ~k1_bytes:3000 ~k2_bytes:6000 () in
+  checkb "double: scaled = absolute" true
+    (drive dscaled walk = drive dabsolute walk)
+
+let test_scaled_double_band_moves () =
+  let p = M.double_threshold_scaled ~k1_frac:0.25 ~k2_frac:0.5 () in
+  p.Marking.on_limit ~limit_bytes:12_000;
+  (* band (3000, 6000], directional: on when entered rising *)
+  let up = drive p (steps_of_walk [ 1500; 4500 ]) |> List.filter_map Fun.id in
+  Alcotest.check (Alcotest.list Alcotest.bool) "on in band (rising)"
+    [ false; true ] up;
+  (* The limit doubles: the same occupancy is now below K1 = 6000, and
+     the very next consultation sees the moved band. *)
+  p.Marking.on_limit ~limit_bytes:24_000;
+  let after = drive p [ (`Enq, 4500) ] |> List.filter_map Fun.id in
+  Alcotest.check (Alcotest.list Alcotest.bool) "off below the moved band"
+    [ false ] after
+
+let test_scaled_validation () =
+  checkb "frac above 1 raises" true
+    (match M.single_threshold_scaled ~k_frac:1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "negative frac raises" true
+    (match M.double_threshold_scaled ~k1_frac:(-0.1) ~k2_frac:0.5 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_scaled_quantisation () =
+  (* Fractions are floor-quantised to 1/1024ths: k_frac = 0.3 becomes
+     307/1024, so at limit 1024 the byte threshold is exactly 307. *)
+  let p = M.single_threshold_scaled ~k_frac:0.3 in
+  p.Marking.on_limit ~limit_bytes:1024;
+  checkb "marks just above the quantised K" true
+    (p.Marking.on_enqueue ~bytes:308 ~packets:1);
+  checkb "not at the quantised K" false
+    (p.Marking.on_enqueue ~bytes:307 ~packets:1)
+
 (* --- Dctcp_cc --- *)
 
 type fake = { mutable cwnd : float; mutable ssthresh : float }
@@ -534,6 +598,63 @@ let test_protocol_pkts_constructors () =
   checkb "dt marks above k1 rising" true
     (m2.Marking.on_enqueue ~bytes:46500 ~packets:31)
 
+(* --- Reno_cc: the loss-based competitor --- *)
+
+let mk_newreno api = Dctcp.Reno_cc.newreno api
+
+let test_newreno_ignores_ece () =
+  let f, api = fake_api () in
+  let cc = mk_newreno api in
+  Alcotest.(check string) "name" "newreno" cc.Tcp.Cc.name;
+  checkb "no alpha" true (cc.Tcp.Cc.alpha () = None);
+  (* Slow start, every ACK carrying ECE: a loss-based sender must keep
+     growing as if the marks were not there. *)
+  cc.Tcp.Cc.on_ack ~newly_acked:2 ~ece:true ~snd_una:2 ~snd_nxt:12;
+  checkf "ECE ignored, window grew" 12. f.cwnd
+
+let test_newreno_halves_once_per_episode () =
+  let f, api = fake_api () in
+  let cc = mk_newreno api in
+  f.cwnd <- 16.;
+  f.ssthresh <- 8.;
+  cc.Tcp.Cc.on_ack ~newly_acked:0 ~ece:false ~snd_una:100 ~snd_nxt:200;
+  cc.Tcp.Cc.on_fast_retransmit ();
+  checkf "first retransmit halves" 8. f.cwnd;
+  (* Another fast retransmit while snd_una is still below the recovery
+     point (200): same loss episode, window untouched. *)
+  cc.Tcp.Cc.on_ack ~newly_acked:0 ~ece:false ~snd_una:150 ~snd_nxt:210;
+  cc.Tcp.Cc.on_fast_retransmit ();
+  checkf "same episode: no second halving" 8. f.cwnd;
+  (* snd_una passes the recovery point: the next loss is a new episode. *)
+  cc.Tcp.Cc.on_ack ~newly_acked:0 ~ece:false ~snd_una:210 ~snd_nxt:260;
+  cc.Tcp.Cc.on_fast_retransmit ();
+  checkf "new episode halves again" 4. f.cwnd
+
+let test_newreno_timeout_collapses () =
+  let f, api = fake_api () in
+  let cc = mk_newreno api in
+  f.cwnd <- 16.;
+  cc.Tcp.Cc.on_ack ~newly_acked:0 ~ece:false ~snd_una:100 ~snd_nxt:200;
+  cc.Tcp.Cc.on_timeout ();
+  checkf "collapse to 1" 1. f.cwnd;
+  checkf "ssthresh = cwnd/2" 8. f.ssthresh;
+  (* The timeout opened an episode too: a straggling fast retransmit
+     below its recovery point must not halve the recovering window. *)
+  cc.Tcp.Cc.on_ack ~newly_acked:0 ~ece:false ~snd_una:150 ~snd_nxt:210;
+  cc.Tcp.Cc.on_fast_retransmit ();
+  checkf "no halving inside the timeout episode" 1. f.cwnd
+
+let test_newreno_growth () =
+  let f, api = fake_api () in
+  let cc = mk_newreno api in
+  (* slow start: +1 segment per newly acked segment *)
+  cc.Tcp.Cc.on_ack ~newly_acked:3 ~ece:false ~snd_una:3 ~snd_nxt:13;
+  checkf "slow start growth" 13. f.cwnd;
+  (* congestion avoidance: +acked/cwnd *)
+  f.ssthresh <- 10.;
+  cc.Tcp.Cc.on_ack ~newly_acked:13 ~ece:false ~snd_una:16 ~snd_nxt:29;
+  checkf "linear growth" 14. f.cwnd
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -559,6 +680,27 @@ let suites =
         Alcotest.test_case "bytes_of_packets" `Quick test_bytes_of_packets;
         qtest prop_dt_degenerates_to_single;
         qtest prop_dt_zone_bounds;
+      ] );
+    ( "dctcp.scaled_thresholds",
+      [
+        Alcotest.test_case "single tracks the limit" `Quick
+          test_scaled_single_tracks_limit;
+        Alcotest.test_case "static limit = absolute policy" `Quick
+          test_scaled_equals_absolute_on_static_limit;
+        Alcotest.test_case "band moves with the limit" `Quick
+          test_scaled_double_band_moves;
+        Alcotest.test_case "validation" `Quick test_scaled_validation;
+        Alcotest.test_case "1/1024 quantisation" `Quick
+          test_scaled_quantisation;
+      ] );
+    ( "dctcp.newreno",
+      [
+        Alcotest.test_case "ECE ignored" `Quick test_newreno_ignores_ece;
+        Alcotest.test_case "halves once per episode" `Quick
+          test_newreno_halves_once_per_episode;
+        Alcotest.test_case "timeout collapses" `Quick
+          test_newreno_timeout_collapses;
+        Alcotest.test_case "growth phases" `Quick test_newreno_growth;
       ] );
     ( "dctcp.cc",
       [

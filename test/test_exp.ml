@@ -32,6 +32,18 @@ let protocol_gen =
       Gen.map
         (fun k -> Spec.Ecn_reno { k_bytes = k })
         (Gen.int_range 1500 200_000);
+      Gen.return Spec.Newreno;
+      Gen.map2
+        (fun g k -> Spec.Dctcp_scaled { g; k_frac = k })
+        (Gen.float_range 0.001 1.0)
+        (Gen.float_range 0.01 1.0);
+      Gen.map3
+        (fun g k1 dk ->
+          Spec.Dt_dctcp_scaled
+            { g; k1_frac = k1; k2_frac = Float.min 1. (k1 +. dk) })
+        (Gen.float_range 0.001 1.0)
+        (Gen.float_range 0.01 0.9)
+        (Gen.float_range 0. 0.1);
     ]
 
 (* Full-width seeds: the decimal-string encoding must survive values far
@@ -209,13 +221,28 @@ let faults_gen =
     (Gen.pair (Gen.float_range 0. 0.99) span_gen)
     (Gen.pair window_list_gen suppression_gen)
 
+(* Shared-pool configs: alpha restricted to exact multiples of 1/1024 so
+   the round-trip property (floats compare by bit pattern) and the
+   manager's x1024 quantisation agree on the value being tested. *)
+let buffer_gen =
+  Gen.oneof
+    [
+      Gen.return Net.Buffer_mgr.Static;
+      Gen.map2
+        (fun pool_bytes a ->
+          Net.Buffer_mgr.Dynamic_threshold
+            { pool_bytes; alpha = float_of_int a /. 1024. })
+        (Gen.int_range 1_500 10_000_000)
+        (Gen.int_range 1 8192);
+    ]
+
 let spec_gen =
   Gen.map3
-    (fun name protocol (workload, faults) ->
-      { Spec.name; protocol; workload; faults })
+    (fun name protocol (workload, (faults, buffer)) ->
+      { Spec.name; protocol; workload; faults; buffer })
     (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 16))
     protocol_gen
-    (Gen.pair workload_gen (Gen.opt faults_gen))
+    (Gen.pair workload_gen (Gen.pair (Gen.opt faults_gen) buffer_gen))
 
 let spec_arb = QCheck.make ~print:Spec.to_string spec_gen
 
@@ -244,6 +271,7 @@ let smoke_longlived ~name ~seed =
           seed;
         };
     faults = None;
+    buffer = Net.Buffer_mgr.Static;
   }
 
 let smoke_incast ~name ~seed =
@@ -264,6 +292,7 @@ let smoke_incast ~name ~seed =
           sack = false;
         };
     faults = None;
+    buffer = Net.Buffer_mgr.Static;
   }
 
 let test_extreme_seeds () =
@@ -304,6 +333,40 @@ let test_of_json_strict () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "spec without seed field accepted")
 
+(* A Static buffer must be invisible in the serialized spec — that is
+   what keeps every pre-buffer-manager manifest parseable and every
+   baseline family's spec JSON byte-identical to what it was before the
+   shared pool existed. *)
+let test_buffer_json_default () =
+  let s = smoke_longlived ~name:"buffer/static" ~seed:1L in
+  (match Spec.to_json s with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "buffer key omitted when Static" false
+        (List.mem_assoc "buffer" fields)
+  | _ -> Alcotest.fail "spec json is not an object");
+  (match Spec.of_string (Spec.to_string s) with
+  | Ok s' ->
+      Alcotest.(check bool) "absent buffer parses as Static" true
+        (Net.Buffer_mgr.config_equal s'.Spec.buffer Net.Buffer_mgr.Static)
+  | Error e -> Alcotest.fail e);
+  let dt =
+    {
+      s with
+      Spec.buffer =
+        Net.Buffer_mgr.Dynamic_threshold { pool_bytes = 125_000; alpha = 0.5 };
+    }
+  in
+  (match Spec.to_json dt with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "buffer key present for a shared pool" true
+        (List.mem_assoc "buffer" fields)
+  | _ -> Alcotest.fail "spec json is not an object");
+  match Spec.of_string (Spec.to_string dt) with
+  | Ok dt' ->
+      Alcotest.(check bool) "Dynamic_threshold round-trips" true
+        (Spec.equal dt dt')
+  | Error e -> Alcotest.fail e
+
 (* --- registry catalogue ---------------------------------------------- *)
 
 let test_registry_catalogue () =
@@ -338,6 +401,25 @@ let test_registry_catalogue () =
   match Registry.find "no-such-entry" with
   | None -> ()
   | Some _ -> Alcotest.fail "find invented an entry"
+
+(* The buffer-manager refactor must not move any pre-existing baseline:
+   every registry family except the new fig_buffer sweep stays on the
+   Static (private-capacity) path, and a spec read back from an old
+   manifest (no buffer key) runs bit-identically to the explicit-Static
+   spec. *)
+let test_baseline_families_stay_static () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      if not (String.equal e.name "fig_buffer") then
+        List.iter
+          (fun (s : Spec.t) ->
+            if
+              not
+                (Net.Buffer_mgr.config_equal s.Spec.buffer
+                   Net.Buffer_mgr.Static)
+            then Alcotest.fail (e.name ^ "/" ^ s.Spec.name ^ " is not Static"))
+          (e.specs ()))
+    (Registry.all ())
 
 (* --- runner ----------------------------------------------------------- *)
 
@@ -389,6 +471,7 @@ let test_failure_isolation () =
         Spec.Longlived
           { Workloads.Longlived.default_config with n_flows = 0 };
       faults = None;
+      buffer = Net.Buffer_mgr.Static;
     }
   in
   let good_a = smoke_longlived ~name:"iso/good-a" ~seed:11L in
@@ -406,6 +489,19 @@ let test_failure_isolation () =
     (outcome_bitwise_eq outcomes.(0) (Runner.run_one good_a));
   Alcotest.(check bool) "good-b unperturbed" true
     (outcome_bitwise_eq outcomes.(2) (Runner.run_one good_b))
+
+let test_static_run_matches_prebuffer_spec () =
+  (* A spec deserialized from its pre-buffer-manager JSON form (no
+     buffer key) must run bit-identically to the explicit-Static one:
+     the refactor's "old behavior preserved" claim, end to end. *)
+  let s = smoke_longlived ~name:"regress/static" ~seed:23L in
+  let from_old_json =
+    match Spec.of_string (Spec.to_string s) with
+    | Ok s' -> s'
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "outcomes bit-identical" true
+    (outcome_bitwise_eq (Runner.run_one s) (Runner.run_one from_old_json))
 
 let test_manifest_reconstruction () =
   let spec = smoke_longlived ~name:"manifest/reconstruct" ~seed:42L in
@@ -501,16 +597,22 @@ let suites =
         Alcotest.test_case "extreme seeds survive JSON" `Quick
           test_extreme_seeds;
         Alcotest.test_case "of_json is strict" `Quick test_of_json_strict;
+        Alcotest.test_case "buffer key omitted when Static" `Quick
+          test_buffer_json_default;
       ] );
     ( "exp.registry",
       [
         Alcotest.test_case "catalogue integrity" `Quick
           test_registry_catalogue;
+        Alcotest.test_case "baseline families stay Static" `Quick
+          test_baseline_families_stay_static;
       ] );
     ( "exp.runner",
       [
         qtest prop_parallel_identity;
         Alcotest.test_case "failure isolation" `Quick test_failure_isolation;
+        Alcotest.test_case "Static run = pre-buffer spec run" `Quick
+          test_static_run_matches_prebuffer_spec;
         Alcotest.test_case "manifest reconstructs the spec" `Quick
           test_manifest_reconstruction;
         Alcotest.test_case "online analysis = offline replay" `Quick

@@ -210,6 +210,7 @@ let always_mark () =
   Net.Marking.make ~name:"always"
     ~on_enqueue:(fun ~bytes:_ ~packets:_ -> true)
     ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
+    ()
 
 let test_suppress_all_discards_marks () =
   let sim = Sim.create () in
@@ -381,32 +382,71 @@ let test_faulted_sweep_bit_identical () =
   checkb "same-seed repeat bit-identical" true
     (Array.for_all2 outcome_bitwise_eq serial again)
 
-let test_faults_rejected_on_unsupported_workloads () =
-  let spec =
-    {
-      Spec.name = "fault/unsupported";
-      protocol = Registry.sim_dctcp;
-      workload =
+(* Formerly these three workloads rejected fault plans with a typed
+   error; every workload now threads a plan through to an injector, so a
+   faulted spec must run — and must actually differ from the fault-free
+   run of the same seed (the injector is live, not silently dropped). *)
+let test_faults_supported_on_all_workloads () =
+  let cases =
+    [
+      ( "convergence",
         Spec.Convergence
           {
             Workloads.Convergence.default_config with
             n_flows = 2;
-            join_interval = Time.span_of_ms 10.;
-            hold = Time.span_of_ms 10.;
-          };
-      faults = Some { Plan.none with loss_rate = 0.01 };
-    }
+            join_interval = Time.span_of_ms 5.;
+            hold = Time.span_of_ms 5.;
+          } );
+      ( "dynamic",
+        Spec.Dynamic
+          {
+            Workloads.Dynamic.default_config with
+            background_flows = 2;
+            short_senders = 4;
+            arrival_rate = 2000.;
+            duration = Time.span_of_ms 5.;
+            warmup = Time.span_of_ms 2.;
+            drain = Time.span_of_ms 5.;
+          } );
+      ( "deadline",
+        Spec.Deadline
+          {
+            config =
+              {
+                Workloads.Deadline.default_config with
+                n_flows = 4;
+                repeats = 2;
+                time_cap = Time.span_of_sec 2.;
+              };
+            d2tcp = false;
+          } );
+    ]
   in
-  match (Runner.run_one spec).Runner.result with
-  | Outcome.Failed { error; _ } ->
-      let has_sub s sub =
-        let n = String.length s and m = String.length sub in
-        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-        go 0
+  List.iter
+    (fun (name, workload) ->
+      let spec faults =
+        {
+          Spec.name = "fault/supported/" ^ name;
+          protocol = Registry.sim_dctcp;
+          workload;
+          faults;
+          buffer = Net.Buffer_mgr.Static;
+        }
       in
-      checkb "error names the workload" true (has_sub error "convergence")
-  | Outcome.Done _ ->
-      Alcotest.fail "faulted convergence spec should fail loudly"
+      let faulted = spec (Some { Plan.none with loss_rate = 0.05 }) in
+      let clean = spec None in
+      (match (Runner.run_one faulted).Runner.result with
+      | Outcome.Done _ -> ()
+      | Outcome.Failed { error; _ } ->
+          Alcotest.failf "faulted %s spec failed: %s" name error);
+      let payload o =
+        Outcome.to_json (Runner.run_one o).Runner.result
+      in
+      checkb
+        (name ^ " injector observably changes the run")
+        false
+        (Json.equal (payload faulted) (payload clean)))
+    cases
 
 let suites =
   [
@@ -443,7 +483,7 @@ let suites =
       [
         Alcotest.test_case "faulted sweep -j4 = -j1 = repeat" `Quick
           test_faulted_sweep_bit_identical;
-        Alcotest.test_case "faults rejected on unsupported workloads" `Quick
-          test_faults_rejected_on_unsupported_workloads;
+        Alcotest.test_case "faults supported on all workloads" `Quick
+          test_faults_supported_on_all_workloads;
       ] );
   ]

@@ -105,7 +105,7 @@ let test_marking_red_validation () =
 
 let test_queue_fifo_order () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:10_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
   let a = mk_pkt ~size:100 () and b = mk_pkt ~size:100 () in
   checkb "enq a" true (Q.enqueue q a = `Enqueued);
   checkb "enq b" true (Q.enqueue q b = `Enqueued);
@@ -115,7 +115,7 @@ let test_queue_fifo_order () =
 
 let test_queue_occupancy () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:10_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
   ignore (Q.enqueue q (mk_pkt ~size:600 ()));
   ignore (Q.enqueue q (mk_pkt ~size:400 ()));
   checki "bytes" 1000 (Q.occupancy_bytes q);
@@ -126,7 +126,7 @@ let test_queue_occupancy () =
 
 let test_queue_tail_drop () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1000) () in
   checkb "fits" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Enqueued);
   checkb "drops" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Dropped);
   checki "drop count" 1 (Q.drops q);
@@ -139,8 +139,9 @@ let test_queue_marks_via_policy () =
     Marking.make ~name:"always"
       ~on_enqueue:(fun ~bytes:_ ~packets:_ -> true)
       ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
+      ()
   in
-  let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) ~marking:policy () in
   let ect = mk_pkt ~ecn:Packet.Ect () in
   let nect = mk_pkt ~ecn:Packet.Not_ect () in
   ignore (Q.enqueue q ect);
@@ -159,8 +160,9 @@ let test_queue_policy_sees_occupancy () =
         false)
       ~on_dequeue:(fun ~bytes ~packets ->
         seen := `Deq (bytes, packets) :: !seen)
+      ()
   in
-  let q = Q.create sim ~capacity_bytes:10_000 ~marking:policy () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) ~marking:policy () in
   ignore (Q.enqueue q (mk_pkt ~size:100 ()));
   ignore (Q.enqueue q (mk_pkt ~size:200 ()));
   ignore (Q.dequeue q);
@@ -177,7 +179,7 @@ let test_queue_policy_sees_occupancy () =
 
 let test_queue_time_weighted_stats () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   (* occupancy 1500 over [0,10us), 3000 over [10,20us), drain at 20us;
      measure at 30us: mean = (1500*10 + 3000*10 + 0*10)/30 = 1500 *)
   ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
@@ -199,7 +201,7 @@ let test_queue_time_weighted_stats () =
 
 let test_queue_reset_stats () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
   Sim.run ~until:(Time.of_us 10.) sim;
   Q.reset_stats q;
@@ -210,7 +212,7 @@ let test_queue_reset_stats () =
 
 let test_queue_observer () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:2000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:2000) () in
   let events = ref 0 in
   Q.set_observer q (fun () -> incr events);
   ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
@@ -222,7 +224,7 @@ let test_queue_observer () =
 let test_queue_validation () =
   let sim = Sim.create () in
   checkb "bad capacity raises" true
-    (match Q.create sim ~capacity_bytes:0 () with
+    (match Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:0) () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -230,7 +232,7 @@ let test_queue_validation () =
 
 let test_port_serialization_timing () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let arrivals = ref [] in
   let port =
     Net.Port.create sim ~rate_bps:1e9 ~delay:(Time.span_of_us 10.) ~queue:q
@@ -249,7 +251,7 @@ let test_port_serialization_timing () =
 
 let test_port_back_to_back () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let arrivals = ref [] in
   let port =
     Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun _ ->
@@ -266,7 +268,7 @@ let test_port_back_to_back () =
 
 let test_port_tx_time () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1000) () in
   let port =
     Net.Port.create sim ~rate_bps:10e9 ~delay:0L ~queue:q ~deliver:ignore
   in
@@ -275,7 +277,7 @@ let test_port_tx_time () =
 
 let test_port_reset_counters () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:10_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
   let port = Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:ignore in
   Net.Port.send port (mk_pkt ~size:1000 ());
   Sim.run sim;
@@ -285,7 +287,7 @@ let test_port_reset_counters () =
 
 let test_port_drops_dont_transmit () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1000) () in
   let count = ref 0 in
   let port =
     Net.Port.create sim ~rate_bps:1e6 ~delay:0L ~queue:q ~deliver:(fun _ ->
@@ -334,12 +336,12 @@ let test_host_nic_errors () =
 (* --- Switch --- *)
 
 let mk_port sim deliver =
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver
 
 let test_switch_routing () =
   let sim = Sim.create () in
-  let sw = Net.Switch.create sim ~id:0 in
+  let sw = Net.Switch.create sim ~id:0 () in
   let to_a = ref 0 and to_b = ref 0 in
   let pa = mk_port sim (fun _ -> incr to_a) in
   let pb = mk_port sim (fun _ -> incr to_b) in
@@ -357,13 +359,13 @@ let test_switch_routing () =
 
 let test_switch_no_route () =
   let sim = Sim.create () in
-  let sw = Net.Switch.create sim ~id:0 in
+  let sw = Net.Switch.create sim ~id:0 () in
   Net.Switch.receive sw (mk_pkt ~dst:42 ());
   checki "counted" 1 (Net.Switch.no_route_drops sw)
 
 let test_switch_bad_port () =
   let sim = Sim.create () in
-  let sw = Net.Switch.create sim ~id:0 in
+  let sw = Net.Switch.create sim ~id:0 () in
   checkb "bad route raises" true
     (match Net.Switch.set_route sw ~dst:1 ~port:0 with
     | exception Invalid_argument _ -> true
@@ -439,7 +441,8 @@ let test_dumbbell_bottleneck_marks () =
       ~marking:
         (Marking.make ~name:"always"
            ~on_enqueue:(fun ~bytes:_ ~packets:_ -> true)
-           ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ()))
+           ~on_dequeue:(fun ~bytes:_ ~packets:_ -> ())
+           ())
       ()
   in
   let ce = ref false in
@@ -565,7 +568,7 @@ let test_parking_lot_validation () =
 
 let test_trace_every_change () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
   ignore
     (Sim.schedule_at sim (Time.of_us 1.) (fun () ->
@@ -581,7 +584,7 @@ let test_trace_every_change () =
 
 let test_trace_sampled () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let tr =
     Net.Trace.on_queue sim q
       ~mode:(Net.Trace.Sampled (Time.span_of_us 10.))
@@ -594,7 +597,7 @@ let test_trace_sampled () =
 
 let test_trace_sampled_requires_stop () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   checkb "raises" true
     (match
        Net.Trace.on_queue sim q ~mode:(Net.Trace.Sampled 1000L) ()
@@ -604,7 +607,7 @@ let test_trace_sampled_requires_stop () =
 
 let test_trace_detach () =
   let sim = Sim.create () in
-  let q = Q.create sim ~capacity_bytes:1_000_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
   Net.Trace.detach tr;
   ignore (Q.enqueue q (mk_pkt ()));
@@ -617,7 +620,7 @@ let test_trace_detach () =
    statistics computed from an exhaustive occupancy trace. *)
 let test_queue_stats_match_trace () =
   let sim = Sim.create ~seed:77L () in
-  let q = Q.create sim ~capacity_bytes:20_000 () in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:20_000) () in
   let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
   let rng = Engine.Rng.create ~seed:3L in  (* dtlint: allow R10 *)
   for i = 1 to 400 do
@@ -676,6 +679,165 @@ let test_bottleneck_conservation () =
     Array.fold_left (fun a f -> a + Tcp.Flow.segments_delivered f) 0 flows
   in
   checki "all segments delivered" (3 * 400) delivered
+
+(* --- Buffer_mgr: private buffers and the shared Dynamic-Threshold
+   pool --- *)
+
+module B = Net.Buffer_mgr
+
+let test_buffer_solo_boundary () =
+  let p = B.solo ~capacity_bytes:3000 in
+  checkb "not shared" false (B.shared p);
+  checki "limit is the capacity" 3000 (B.effective_limit p);
+  checkb "admits up to capacity" true (B.admit p 1500);
+  checkb "fills exactly" true (B.admit p 1500);
+  checkb "rejects past capacity" false (B.admit p 1);
+  checki "occupancy" 3000 (B.occupancy p);
+  B.release p 1500;
+  checkb "admits after release" true (B.admit p 1500);
+  checkb "zero capacity raises" true
+    (match B.solo ~capacity_bytes:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_buffer_dt_limit_moves () =
+  let pool = B.create_pool ~pool_bytes:10_000 ~alpha:1.0 in
+  let a = B.attach pool and b = B.attach pool in
+  checkb "shared" true (B.shared a);
+  checki "empty pool: limit = alpha x B" 10_000 (B.effective_limit a);
+  checkb "a admits" true (B.admit a 4_000);
+  (* The other port's limit moved even though it never enqueued. *)
+  checki "limit = alpha x free" 6_000 (B.effective_limit b);
+  checkb "b admits the rest" true (B.admit b 6_000);
+  checki "full pool: limit 0" 0 (B.effective_limit a);
+  checkb "full pool rejects" false (B.admit a 1);
+  B.release b 6_000;
+  checki "limit recovers on release" 6_000 (B.effective_limit a);
+  checki "pool used tracks both ports" 4_000 (B.pool_used b)
+
+let test_buffer_dt_alpha_above_one () =
+  let pool = B.create_pool ~pool_bytes:10_000 ~alpha:4.0 in
+  let p = B.attach pool in
+  (* alpha x free = 40_000 over an empty pool: the announced limit is
+     clamped to the memory that exists. *)
+  checki "limit clamped to pool size" 10_000 (B.effective_limit p);
+  checkb "big admit" true (B.admit p 9_000);
+  (* A second, empty port now sees limit = 4 x 1000 = 4000 — more than
+     the 1000 bytes of memory that actually remain. The second
+     admission conjunct must keep the pool from overfilling. *)
+  let q = B.attach pool in
+  checki "limit exceeds free memory" 4_000 (B.effective_limit q);
+  checkb "beyond free memory rejected" false (B.admit q 1_500);
+  checkb "within free memory admitted" true (B.admit q 1_000);
+  checki "pool exactly full" 10_000 (B.pool_used p);
+  checki "reject was counted" 1 (B.pool_rejects p);
+  checkb "alpha below 1/1024 raises" true
+    (match B.create_pool ~pool_bytes:1000 ~alpha:0.0001 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_buffer_dt_high_water_poll () =
+  let pool = B.create_pool ~pool_bytes:10_000 ~alpha:1.0 in
+  let p = B.attach pool in
+  checki "nothing to announce" (-1) (B.poll_high_water p);
+  ignore (B.admit p 1_500);
+  checki "new peak announced" 1_500 (B.poll_high_water p);
+  checki "announced once" (-1) (B.poll_high_water p);
+  B.release p 1_500;
+  ignore (B.admit p 1_000);
+  checki "below the old peak: silent" (-1) (B.poll_high_water p);
+  ignore (B.admit p 1_500);
+  checki "fresh peak announced" 2_500 (B.poll_high_water p);
+  checki "high water is sticky" 2_500 (B.pool_high_water p);
+  checki "solo ports never announce" (-1)
+    (B.poll_high_water (B.solo ~capacity_bytes:1000))
+
+(* Conservation: however admissions and releases interleave across the
+   ports of one pool, the per-port occupancies always sum to the pool's
+   used counter and the pool never exceeds its size. *)
+let prop_buffer_pool_conservation =
+  QCheck.Test.make ~count:300
+    ~name:"shared pool conserves bytes across ports"
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size
+           Gen.(int_range 1 300)
+           (triple bool (int_bound 3) (int_range 1 3_000))))
+    (fun (n_ports, ops) ->
+      let size = 20_000 in
+      let pool = B.create_pool ~pool_bytes:size ~alpha:2.0 in
+      let ports = Array.init n_ports (fun _ -> B.attach pool) in
+      (* FIFO of admitted sizes per port, so releases mirror dequeues. *)
+      let queued = Array.make n_ports [] in
+      List.for_all
+        (fun (is_admit, pi, sz) ->
+          let i = pi mod n_ports in
+          let p = ports.(i) in
+          (if is_admit then begin
+             if B.admit p sz then queued.(i) <- queued.(i) @ [ sz ]
+           end
+           else
+             match queued.(i) with
+             | [] -> ()
+             | sz :: rest ->
+                 B.release p sz;
+                 queued.(i) <- rest);
+          let sum =
+            Array.fold_left (fun acc q -> acc + B.occupancy q) 0 ports
+          in
+          sum = B.pool_used p
+          && B.pool_used p <= size
+          && B.pool_high_water p >= B.pool_used p
+          && Array.for_all (fun q -> B.occupancy q >= 0) ports)
+        ops)
+
+(* Equivalence with the naive float model: for any alpha that is an
+   exact multiple of 1/1024 (which is what create_pool quantises to),
+   the integer hot path must make exactly the admission decisions of
+   the textbook formulation [T = min (B, floor (alpha x free))]. *)
+let prop_buffer_dt_matches_float_model =
+  QCheck.Test.make ~count:300
+    ~name:"DT integer admission equals the float model (alpha = i/1024)"
+    QCheck.(
+      pair (int_range 1 8192)
+        (list_of_size
+           Gen.(int_range 1 200)
+           (pair bool (int_range 1 3_000))))
+    (fun (ax, ops) ->
+      let size = 50_000 in
+      let alpha = float_of_int ax /. 1024. in
+      let pool = B.create_pool ~pool_bytes:size ~alpha in
+      let p = B.attach pool in
+      let occ = ref 0 in
+      let fifo = Queue.create () in
+      List.for_all
+        (fun (is_admit, sz) ->
+          let model_limit =
+            Stdlib.min size
+              (int_of_float (alpha *. float_of_int (size - !occ)))
+          in
+          let limits_agree = model_limit = B.effective_limit p in
+          if is_admit then begin
+            let model_admits =
+              !occ + sz <= model_limit && !occ + sz <= size
+            in
+            let got = B.admit p sz in
+            if got then begin
+              occ := !occ + sz;
+              Queue.push sz fifo
+            end;
+            limits_agree && Bool.equal model_admits got
+          end
+          else if Queue.is_empty fifo then limits_agree
+          else begin
+            let sz = Queue.pop fifo in
+            B.release p sz;
+            occ := !occ - sz;
+            limits_agree
+          end)
+        ops)
+
+let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
   [
@@ -767,5 +929,18 @@ let suites =
           test_queue_stats_match_trace;
         Alcotest.test_case "bottleneck packet conservation" `Quick
           test_bottleneck_conservation;
+      ] );
+    ( "net.buffer_mgr",
+      [
+        Alcotest.test_case "solo boundary semantics" `Quick
+          test_buffer_solo_boundary;
+        Alcotest.test_case "DT limit moves with pool fill" `Quick
+          test_buffer_dt_limit_moves;
+        Alcotest.test_case "alpha > 1 never overfills" `Quick
+          test_buffer_dt_alpha_above_one;
+        Alcotest.test_case "high-water poll announces once" `Quick
+          test_buffer_dt_high_water_poll;
+        qtest prop_buffer_pool_conservation;
+        qtest prop_buffer_dt_matches_float_model;
       ] );
   ]

@@ -335,7 +335,7 @@ let test_receiver_ooo_buffering () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:1 in
   (* A NIC so the receiver can emit ACKs; deliver them nowhere. *)
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:ignore);
   let r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 () in
@@ -359,7 +359,7 @@ let test_receiver_echo_per_packet () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:1 in
   let acks = ref [] in
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
          match p.Net.Packet.payload with
@@ -385,7 +385,7 @@ let test_receiver_echo_dctcp_delayed () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:1 in
   let acks = ref [] in
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
          match p.Net.Packet.payload with
@@ -433,7 +433,7 @@ let test_receiver_sack_blocks () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:1 in
   let last_sack = ref [] in
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
          match p.Net.Packet.payload with
@@ -469,7 +469,7 @@ let test_receiver_sack_block_limit () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:1 in
   let last_sack = ref [] in
-  let q = Net.Queue_disc.create sim ~capacity_bytes:1_000_000 () in
+  let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
          match p.Net.Packet.payload with

@@ -9,12 +9,20 @@ module Cm = Workloads.Completion
 
 (* Every concrete workload conforms to Workloads.Workload.S — the
    uniformity Exp.Spec relies on to describe scenarios declaratively.
-   Longlived carries optional tracer/metrics/faults arguments, the fan-in
-   workloads optional faults, and Deadline takes the protocol bundle
-   piecewise, so they conform through the same thin adapters Exp.Runner
-   applies. *)
-module _ : Workloads.Workload.S = Workloads.Dynamic
-module _ : Workloads.Workload.S = Workloads.Convergence
+   Every workload now carries optional faults/buffer arguments (Longlived
+   also tracer/metrics) and Deadline takes the protocol bundle piecewise,
+   so they conform through the same thin adapters Exp.Runner applies. *)
+module _ : Workloads.Workload.S = struct
+  include Workloads.Dynamic
+
+  let run proto config = run proto config
+end
+
+module _ : Workloads.Workload.S = struct
+  include Workloads.Convergence
+
+  let run proto config = run proto config
+end
 
 module _ : Workloads.Workload.S = struct
   include Workloads.Longlived
