@@ -27,15 +27,21 @@ let sim_event_churn () =
 let queue_churn () =
   let sim = Engine.Sim.create () in
   let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
+  let st = Net.Packet.store_of sim in
   for _ = 0 to 127 do
     ignore
       (Net.Queue_disc.enqueue q
-         (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500
+         (Net.Packet.make st ~src:0 ~dst:1 ~flow:0 ~size:1500
             ~ecn:Net.Packet.Ect Net.Packet.No_payload))
   done;
-  while Net.Queue_disc.dequeue q <> None do
-    ()
-  done
+  let rec drain () =
+    match Net.Queue_disc.dequeue q with
+    | None -> ()
+    | Some pkt ->
+        Net.Packet.free st pkt;
+        drain ()
+  in
+  drain ()
 
 let small_transfer () =
   let sim = Engine.Sim.create () in
@@ -168,13 +174,26 @@ let tracing_overhead () =
    BENCH_perf.json so every PR can be compared against the last recorded
    baseline on the same machine. --- *)
 
-let macro_ns = [ 4; 32; 128 ]
+let macro_ns = [ 4; 32; 128; 512 ]
 
-let macro_scenario ~n =
+let macro_scenario ?profiler ~n () =
   let sim = Engine.Sim.create ~seed:11L () in
+  (match profiler with
+  | None -> ()
+  | Some p -> Obs.Selfprof.attach p sim);
+  (* The high-fan-in point needs incast handling the tracked N <= 128
+     points must not get (so their workloads stay comparable across
+     baselines): with the fixed 250-packet buffer, 512 simultaneous
+     initial windows overflow the port outright and every flow parks in
+     RTO within the quick horizon — ~4k events that benchmark the timer
+     wheel, not the packet hot path. Scaling the buffer with fan-in and
+     pacing connection starts across one RTT keeps the point a live
+     steady-state dumbbell. *)
+  let incast = n > 128 in
+  let buffer_pkts = if incast then 4 * n else 250 in
   let d =
     Net.Topology.dumbbell sim ~n_senders:n ~bottleneck_rate_bps:10e9
-      ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(250 * 1500)
+      ~rtt:(Engine.Time.span_of_us 100.) ~buffer_bytes:(buffer_pkts * 1500)
       ~marking:
         (Dctcp.Marking_policies.double_threshold ~k1_bytes:(30 * 1500)
            ~k2_bytes:(50 * 1500) ())
@@ -187,15 +206,65 @@ let macro_scenario ~n =
           ~cc:(Dctcp.Dctcp_cc.cc ()) ())
       d.Net.Topology.senders
   in
-  Array.iter Tcp.Flow.start flows;
+  if incast then
+    Array.iteri
+      (fun i f ->
+        Tcp.Flow.start_at f
+          (Engine.Time.of_ns (Int64.of_int (i * 100_000 / n))))
+      flows
+  else Array.iter Tcp.Flow.start flows;
   let until =
     Engine.Time.of_ns (Bench_common.scale_span (Engine.Time.span_of_ms 200.))
   in
   Obs.Profile.run_sim ~until sim
 
+(* Per-event-class cost breakdown on the N=32 operating point: exact
+   event counts plus sampled mean wall-clock per class, from the engine
+   self-profiler. Shows where an events/s regression lives (timer churn
+   vs link transmit vs delivery) rather than just that one exists. *)
+let macro_class_breakdown () =
+  let prof = Obs.Selfprof.create () in
+  let r = macro_scenario ~profiler:prof ~n:32 () in
+  let t =
+    Stats.Table.create ~title:"per-event-class breakdown (N=32, 1/32 timed)"
+      ~columns:
+        [
+          Stats.Table.column ~align:Stats.Table.Left "class";
+          Stats.Table.column "count";
+          Stats.Table.column "share";
+          Stats.Table.column "mean us";
+        ]
+  in
+  Array.iter
+    (fun cls ->
+      let count = Obs.Selfprof.count prof cls in
+      if count > 0 then
+        Stats.Table.add_row t
+          [
+            Engine.Event_class.name cls;
+            string_of_int count;
+            Printf.sprintf "%.1f%%"
+              (100. *. float_of_int count
+              /. float_of_int (Obs.Selfprof.total prof));
+            Printf.sprintf "%.3f" (Obs.Selfprof.mean_us prof cls);
+          ])
+    Engine.Event_class.all;
+  Stats.Table.print t;
+  Printf.printf "  profiled %d events, timed %d (profiled run: %.0f events/s)\n"
+    (Obs.Selfprof.total prof)
+    (Obs.Selfprof.sampled_total prof)
+    r.Obs.Profile.events_per_s;
+  (* The per-class breakdown rides along as a perf artifact for CI (not
+     a manifest: wall-clock means are not deterministic). *)
+  let oc = open_out "BENCH_perf_classes.json" in
+  output_string oc (Obs.Json.to_string (Obs.Selfprof.to_json prof));
+  output_char oc '\n';
+  close_out oc;
+  print_endline "[artifact BENCH_perf_classes.json]"
+
 let macro_events_per_s () =
   Bench_common.section_header "Performance: macro events/s (DT-DCTCP dumbbell)";
-  let runs = List.map (fun n -> (n, macro_scenario ~n)) macro_ns in
+  let runs = List.map (fun n -> (n, macro_scenario ~n ())) macro_ns in
   let t =
     Stats.Table.create ~title:"events/s by flow count"
       ~columns:
@@ -241,6 +310,7 @@ let macro_events_per_s () =
 
 let run () =
   macro_events_per_s ();
+  macro_class_breakdown ();
   tracing_overhead ();
   Bench_common.section_header "Performance: simulator micro-benchmarks";
   let ols =

@@ -1,23 +1,71 @@
-(* Monomorphic event queue: an implicit 4-ary min-heap over pooled event
-   records, keyed on (time, seq). This is the simulator's hot path, so the
-   design removes every per-event indirection and allocation the generic
-   [Heap] had to pay:
+(* Monomorphic event queue: a hierarchical bucketed timing wheel
+   (Varghese–Lauck style) over pooled event records, keyed on (time, seq).
+   This is the simulator's hot path; the wheel replaces the PR 4 implicit
+   4-ary min-heap because the event mix is timer-dominated — RTO rearms,
+   pacing ticks, link serialization completions — which is exactly the
+   workload wheels make near-O(1):
 
-   - comparisons are inlined int compares on [key_ns]/[seq] (no [cmp]
-     closure call per sift step);
-   - the heap is 4-ary, halving its depth: sift loops touch fewer levels
-     and the four children share cache lines;
-   - event records come from a free-list pool, so schedule/cancel-heavy
-     runs (rearmed RTO timers) allocate nothing in steady state;
+   - schedule is a level computation (one xor, a short compare chain) and
+     a list append: no O(log n) sift;
+   - cancel unlinks the slot from its bucket's intrusive doubly-linked
+     list and recycles it immediately: no dead weight carried to the next
+     compaction sweep, no sweep at all for wheel-resident events;
+   - pop finds the next occupied 1 ns tick through per-level occupancy
+     bitmasks (find-first-set, not a scan) and cascades higher-level
+     buckets down only when the virtual clock actually crosses into
+     them — each event is touched at most [levels] times over its life;
+   - event records come from a free-list pool, so steady schedule/fire
+     and schedule/cancel churn allocates nothing;
    - ids handed to callers are immediate ints carrying a generation
      stamp, so a stale [cancel] (after the record was recycled) is
-     detected and ignored instead of corrupting an unrelated event. *)
+     detected and ignored instead of corrupting an unrelated event.
+
+   {b Pop order is bit-identical to the heap it replaced}: strict
+   (key_ns, seq) — earlier instants first, schedule order within an
+   instant. Within a 1 ns level-0 bucket every resident shares the same
+   key, so the bucket list is kept in ascending [seq] order (direct adds
+   append — seq is monotone — and cascaded arrivals insert from the
+   tail); popping the head is therefore the global minimum. The qcheck
+   suite proves the equivalence against both a naive model and the
+   retained generic {!Heap}.
+
+   Two small (key, seq) binary min-heaps back the wheel up at its edges:
+
+   - {e overdue}: events scheduled at or before an instant the wheel has
+     already passed (never produced by {!Sim}, which forbids scheduling
+     in the past, but the queue keeps the total order honest under
+     arbitrary call sequences);
+   - {e overflow}: events beyond the wheel horizon (2^30 ns ≈ 1.07 s
+     past the current position). When the wheel drains below them the
+     clock jumps to the earliest overflow block and that block's events
+     cascade into the wheel — in heap order, so same-instant residents
+     arrive seq-sorted.
+
+   Heap-resident events cancel lazily (marked dead, skipped at the root,
+   swept when the dead outnumber half the heap); wheel-resident events —
+   the hot case — cancel in O(1). *)
+
+(* Wheel geometry: [levels] levels of [1 lsl slot_bits] buckets. Level 0
+   buckets are one tick (1 ns) wide; level l buckets span 2^(5l) ns. The
+   wheel as a whole covers keys sharing the current position's bits at or
+   above [horizon_bits]; everything further out is overflow. *)
+let slot_bits = 5
+let slots = 1 lsl slot_bits (* 32 *)
+let slot_mask = slots - 1
+let levels = 6
+let horizon_bits = slot_bits * levels (* 30 *)
+
+(* Location codes for [where]: a bucket index [level * slots + slot], or
+   one of these. *)
+let loc_none = -1
+let loc_overdue = -2
+let loc_overflow = -3
 
 type event = {
   mutable key_ns : int;
       (* Scheduled instant in integer nanoseconds; the primary sort key.
-         An [int] (not [int64]) so sift comparisons are single unboxed
-         compares — fine for any simulated instant below 2^62 ns. *)
+         An [int] (not [int64]) so compares are single unboxed compares —
+         fine for any simulated instant below 2^62 ns. *)
   mutable seq : int;  (* FIFO tie-break: schedule order within an instant. *)
   mutable time : Time.t;
       (* The same instant, boxed once at schedule time, so firing can
@@ -29,6 +77,9 @@ type event = {
   mutable live : bool;  (* Scheduled and not cancelled, not yet fired. *)
   mutable gen : int;  (* Bumped on every release; validates ids. *)
   mutable next_free : int;  (* Free-list link (pool index), -1 = end. *)
+  mutable where : int;  (* Bucket index, or a [loc_*] code. *)
+  mutable next_ev : int;  (* Intrusive bucket-list links (pool indices). *)
+  mutable prev_ev : int;
   idx : int;  (* This record's pool slot; never changes. *)
 }
 
@@ -49,73 +100,89 @@ let gen_mask = (1 lsl gen_bits) - 1
 let () =
   if Sys.int_size < 63 then
     failwith "Event_queue: requires 63-bit native ints (32-bit unsupported)"
+
 let id_of ev = (ev.idx lsl gen_bits) lor (ev.gen land gen_mask)
 let none = -1
 
+(* A (key, seq) binary min-heap of pool indices: the overdue / overflow
+   backstops. Cancelled entries stay until the root sweep or a compaction
+   reaches them (the wheel's own buckets never hold dead events). *)
+type mini = {
+  mutable arr : int array;
+  mutable n : int;
+  mutable dead : int;
+}
+
 type t = {
-  mutable heap : event array;  (* implicit 4-ary min-heap in [0, size) *)
-  mutable size : int;
   mutable pool : event array;  (* pool slot -> record, in [0, pool_len) *)
   mutable pool_len : int;
   mutable free_head : int;  (* head of the free list, -1 = empty *)
   mutable next_seq : int;
   mutable live_count : int;
-  mutable dead_count : int;  (* cancelled events still in the heap *)
+  mutable pos : int;
+      (* The wheel's virtual position (ns): the key of the last event
+         popped out of the wheel, monotone. Bucket membership is always
+         relative to [pos]. *)
+  head : int array;  (* bucket -> first pool index, -1 = empty *)
+  tail : int array;  (* bucket -> last pool index, -1 = empty *)
+  masks : int array;  (* level -> occupancy bitmask over its 32 slots *)
+  overdue : mini;
+  overflow : mini;
   mutable popped_time : Time.t;
   mutable popped_action : unit -> unit;
   mutable popped_cls : int;
-  dummy : event;  (* placeholder for empty heap/pool slots *)
 }
-
-(* Below this occupancy a compaction sweep is not worth the O(n) pass
-   (same threshold the simulator used with the generic heap, so heap
-   occupancy trajectories — and the high-water metric — are unchanged). *)
-let compact_min_occupancy = 64
 
 let create ?(capacity = 1024) () =
   let capacity = Stdlib.max capacity 1 in
-  let dummy =
-    {
-      key_ns = 0;
-      seq = -1;
-      time = Time.zero;
-      action = noop;
-      cls = 0;
-      live = false;
-      gen = 0;
-      next_free = -1;
-      idx = -1;
-    }
-  in
   {
-    heap = Array.make capacity dummy;
-    size = 0;
-    pool = Array.make capacity dummy;
+    pool = [||];
     pool_len = 0;
     free_head = -1;
     next_seq = 0;
     live_count = 0;
-    dead_count = 0;
+    pos = 0;
+    head = Array.make (levels * slots) (-1);
+    tail = Array.make (levels * slots) (-1);
+    masks = Array.make levels 0;
+    overdue = { arr = Array.make 8 (-1); n = 0; dead = 0 };
+    overflow = { arr = Array.make capacity (-1); n = 0; dead = 0 };
     popped_time = Time.zero;
     popped_action = noop;
     popped_cls = 0;
-    dummy;
   }
 
-let length t = t.size
 let live t = t.live_count
 let pool_size t = t.pool_len
 
-(* Events are ordered by strict (key_ns, seq); seq is unique so there are
-   no ties and pop order is fully deterministic whatever the heap's
-   internal layout. The comparison is written out inline in the sift
-   loops below: without flambda a [lt a b] helper costs a call per sift
-   step, and this is the hottest loop in the simulator. *)
+(* Occupancy actually held: live events plus cancelled heap residents not
+   yet swept (wheel cancels recycle immediately and never linger). *)
+let length t = t.live_count + t.overdue.dead + t.overflow.dead
+
+let overdue_len t = t.overdue.n
+let overflow_len t = t.overflow.n
 
 (* --- pool ---------------------------------------------------------- *)
 
+let new_event idx =
+  {
+    key_ns = 0;
+    seq = 0;
+    time = Time.zero;
+    action = noop;
+    cls = 0;
+    live = false;
+    gen = 0;
+    next_free = -1;
+    where = loc_none;
+    next_ev = -1;
+    prev_ev = -1;
+    idx;
+  }
+
 let grow_pool t =
-  let data = Array.make (2 * Array.length t.pool) t.dummy in
+  let cap = Stdlib.max 8 (2 * Array.length t.pool) in
+  let data = Array.make cap (new_event (-1)) in
   Array.blit t.pool 0 data 0 t.pool_len;
   t.pool <- data
 
@@ -128,112 +195,239 @@ let alloc t =
   end
   else begin
     if t.pool_len = Array.length t.pool then grow_pool t;
-    let ev =
-      {
-        key_ns = 0;
-        seq = 0;
-        time = Time.zero;
-        action = noop;
-        cls = 0;
-        live = false;
-        gen = 0;
-        next_free = -1;
-        idx = t.pool_len;
-      }
-    in
+    let ev = new_event t.pool_len in
     t.pool.(t.pool_len) <- ev;
     t.pool_len <- t.pool_len + 1;
     ev
   end
 
-(* A record is released exactly once, when it leaves the heap (fired,
-   or swept/popped after cancellation). The generation bump invalidates
-   outstanding ids; dropping the action/time references keeps the pool
-   from pinning closures the caller is done with. *)
+(* A record is released exactly once, when it leaves the structure
+   (fired, cancelled out of the wheel, or swept out of a backstop heap).
+   The generation bump invalidates outstanding ids; dropping the
+   action/time references keeps the pool from pinning closures the
+   caller is done with. *)
 let release t ev =
   ev.gen <- ev.gen + 1;
   ev.live <- false;
   ev.action <- noop;
   ev.time <- Time.zero;
+  ev.where <- loc_none;
+  ev.next_ev <- -1;
+  ev.prev_ev <- -1;
   ev.next_free <- t.free_head;
   t.free_head <- ev.idx
 
-(* --- implicit 4-ary heap ------------------------------------------- *)
+(* --- find-first-set ------------------------------------------------- *)
 
-(* Children of [i] live at [4i+1 .. 4i+4]; parent of [i] at [(i-1)/4].
-   Sifts move a hole instead of swapping: one array write per level. *)
+(* De Bruijn multiply: index of the lowest set bit of a 32-bit mask in a
+   handful of arithmetic ops, no loop. The [land 0xFFFFFFFF] is load-
+   bearing — the classic constant relies on 32-bit truncation. *)
+let debruijn = 0x077CB531
 
-let sift_up t i ev =
-  let heap = t.heap in
-  let key = ev.key_ns and seq = ev.seq in
-  let i = ref i in
+let ctz_table =
+  let tbl = Array.make 32 0 in
+  for i = 0 to 31 do
+    tbl.((((1 lsl i) * debruijn) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  tbl
+
+let ctz m = ctz_table.((((m land (-m)) * debruijn) land 0xFFFFFFFF) lsr 27)
+
+(* Smallest level whose bucket span covers [x] = key lxor pos. Written as
+   a compare chain: branch-predictable, no loop, no table. *)
+let level_of_xor x =
+  if x < 0x20 then 0
+  else if x < 0x400 then 1
+  else if x < 0x8000 then 2
+  else if x < 0x100000 then 3
+  else if x < 0x2000000 then 4
+  else 5
+
+(* --- wheel buckets -------------------------------------------------- *)
+
+(* Append [ev] keeping the bucket's ascending-seq invariant. Direct adds
+   carry the highest seq ever issued, so the tail check succeeds
+   immediately; only cascaded arrivals (older events re-filed under a
+   new position) ever walk backwards, and only past same-instant
+   residents scheduled after them. *)
+let bucket_insert t ev b =
+  let pool = t.pool in
+  ev.where <- b;
+  let tl = t.tail.(b) in
+  if tl < 0 then begin
+    ev.prev_ev <- -1;
+    ev.next_ev <- -1;
+    t.head.(b) <- ev.idx;
+    t.tail.(b) <- ev.idx;
+    t.masks.(b lsr slot_bits) <-
+      t.masks.(b lsr slot_bits) lor (1 lsl (b land slot_mask))
+  end
+  else if pool.(tl).seq < ev.seq then begin
+    ev.prev_ev <- tl;
+    ev.next_ev <- -1;
+    pool.(tl).next_ev <- ev.idx;
+    t.tail.(b) <- ev.idx
+  end
+  else begin
+    (* Cascaded arrival older than some residents: walk back to its spot. *)
+    let p = ref pool.(tl).prev_ev in
+    while !p >= 0 && pool.(!p).seq > ev.seq do
+      p := pool.(!p).prev_ev
+    done;
+    let prev = !p in
+    let next = if prev < 0 then t.head.(b) else pool.(prev).next_ev in
+    ev.prev_ev <- prev;
+    ev.next_ev <- next;
+    pool.(next).prev_ev <- ev.idx;
+    if prev < 0 then t.head.(b) <- ev.idx else pool.(prev).next_ev <- ev.idx
+  end
+
+let bucket_unlink t ev =
+  let b = ev.where in
+  let pool = t.pool in
+  if ev.prev_ev >= 0 then pool.(ev.prev_ev).next_ev <- ev.next_ev
+  else t.head.(b) <- ev.next_ev;
+  if ev.next_ev >= 0 then pool.(ev.next_ev).prev_ev <- ev.prev_ev
+  else t.tail.(b) <- ev.prev_ev;
+  if t.head.(b) < 0 then
+    t.masks.(b lsr slot_bits) <-
+      t.masks.(b lsr slot_bits) land lnot (1 lsl (b land slot_mask))
+
+(* File a live event whose key shares the current position's top block.
+   The level is the highest 5-bit block where key and pos differ; the
+   slot is the key's bits at that level. Keys at [pos] itself land in
+   level 0, slot [pos land 31]. *)
+let wheel_insert t ev =
+  let l = level_of_xor (ev.key_ns lxor t.pos) in
+  let s = (ev.key_ns lsr (l * slot_bits)) land slot_mask in
+  bucket_insert t ev ((l lsl slot_bits) lor s)
+
+(* --- backstop heaps ------------------------------------------------- *)
+
+let mini_less pool a b =
+  let ea = pool.(a) and eb = pool.(b) in
+  ea.key_ns < eb.key_ns || (ea.key_ns = eb.key_ns && ea.seq < eb.seq)
+
+let mini_push t (m : mini) ev =
+  if m.n = Array.length m.arr then begin
+    let arr = Array.make (2 * m.n) (-1) in
+    Array.blit m.arr 0 arr 0 m.n;
+    m.arr <- arr
+  end;
+  let pool = t.pool in
+  let arr = m.arr in
+  let i = ref m.n in
+  m.n <- m.n + 1;
   let continue = ref true in
   while !continue && !i > 0 do
-    let p = (!i - 1) lsr 2 in
-    let pe = heap.(p) in
-    if key < pe.key_ns || (key = pe.key_ns && seq < pe.seq) then begin
-      heap.(!i) <- pe;
+    let p = (!i - 1) lsr 1 in
+    if mini_less pool ev.idx arr.(p) then begin
+      arr.(!i) <- arr.(p);
       i := p
     end
     else continue := false
   done;
-  heap.(!i) <- ev
+  arr.(!i) <- ev.idx
 
-let sift_down t i ev =
-  let heap = t.heap in
-  let n = t.size in
-  let key = ev.key_ns and seq = ev.seq in
-  let i = ref i in
-  let continue = ref true in
-  while !continue do
-    let c1 = (!i lsl 2) + 1 in
-    if c1 >= n then continue := false
-    else begin
-      let last = if c1 + 3 < n then c1 + 3 else n - 1 in
-      (* Index and key of the smallest of the (up to four) children. *)
-      let m = ref c1 in
-      let me = heap.(c1) in
-      let mk = ref me.key_ns and ms = ref me.seq in
-      for c = c1 + 1 to last do
-        let ce = heap.(c) in
-        if ce.key_ns < !mk || (ce.key_ns = !mk && ce.seq < !ms) then begin
-          m := c;
-          mk := ce.key_ns;
-          ms := ce.seq
+let mini_drop_root pool (m : mini) =
+  m.n <- m.n - 1;
+  let last = m.arr.(m.n) in
+  m.arr.(m.n) <- -1;
+  if m.n > 0 then begin
+    let arr = m.arr in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c1 = (2 * !i) + 1 in
+      if c1 >= m.n then continue := false
+      else begin
+        let c =
+          if c1 + 1 < m.n && mini_less pool arr.(c1 + 1) arr.(c1) then c1 + 1
+          else c1
+        in
+        if mini_less pool arr.(c) last then begin
+          arr.(!i) <- arr.(c);
+          i := c
         end
-      done;
-      if !mk < key || (!mk = key && !ms < seq) then begin
-        heap.(!i) <- heap.(!m);
-        i := !m
+        else continue := false
       end
-      else continue := false
+    done;
+    arr.(!i) <- last
+  end
+
+(* Root pool index after recycling any dead entries sitting on top, or
+   -1 when the heap has no live entry reachable without a full sweep
+   (dead entries below live ones are left for the compaction policy). *)
+let rec mini_min t (m : mini) =
+  if m.n = 0 then -1
+  else begin
+    let r = m.arr.(0) in
+    if t.pool.(r).live then r
+    else begin
+      mini_drop_root t.pool m;
+      m.dead <- m.dead - 1;
+      release t t.pool.(r);
+      mini_min t m
     end
+  end
+
+(* Drop every dead entry, then bottom-up heapify in O(n). *)
+let mini_compact t (m : mini) =
+  let pool = t.pool in
+  let j = ref 0 in
+  for i = 0 to m.n - 1 do
+    let e = m.arr.(i) in
+    if pool.(e).live then begin
+      m.arr.(!j) <- e;
+      incr j
+    end
+    else release t pool.(e)
   done;
-  heap.(!i) <- ev
+  for i = !j to m.n - 1 do
+    m.arr.(i) <- -1
+  done;
+  m.n <- !j;
+  m.dead <- 0;
+  for i = ((m.n - 2) asr 1) downto 0 do
+    let v = m.arr.(i) in
+    let k = ref i in
+    let continue = ref true in
+    while !continue do
+      let c1 = (2 * !k) + 1 in
+      if c1 >= m.n then continue := false
+      else begin
+        let c =
+          if c1 + 1 < m.n && mini_less pool m.arr.(c1 + 1) m.arr.(c1) then
+            c1 + 1
+          else c1
+        in
+        if mini_less pool m.arr.(c) v then begin
+          m.arr.(!k) <- m.arr.(c);
+          k := c
+        end
+        else continue := false
+      end
+    done;
+    m.arr.(!k) <- v
+  done
 
-let grow_heap t =
-  let data = Array.make (2 * Array.length t.heap) t.dummy in
-  Array.blit t.heap 0 data 0 t.size;
-  t.heap <- data
+(* --- scheduling ----------------------------------------------------- *)
 
-let heap_push t ev =
-  if t.size = Array.length t.heap then grow_heap t;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1) ev
-
-(* Removes the root and restores the invariant; the caller still holds
-   the root record. *)
-let heap_drop_root t =
-  t.size <- t.size - 1;
-  let last = t.heap.(t.size) in
-  t.heap.(t.size) <- t.dummy;
-  if t.size > 0 then sift_down t 0 last
-
-(* --- queue operations ---------------------------------------------- *)
+let file t ev =
+  let key = ev.key_ns in
+  if key < t.pos then begin
+    ev.where <- loc_overdue;
+    mini_push t t.overdue ev
+  end
+  else if key lsr horizon_bits = t.pos lsr horizon_bits then wheel_insert t ev
+  else begin
+    ev.where <- loc_overflow;
+    mini_push t t.overflow ev
+  end
 
 let add_cls t ~time ~cls action =
   let ev = alloc t in
-  ev.key_ns <- Int64.to_int (Time.to_ns time);
+  ev.key_ns <- Time.to_int_ns time;
   ev.seq <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
   ev.time <- time;
@@ -241,54 +435,12 @@ let add_cls t ~time ~cls action =
   ev.cls <- cls;
   ev.live <- true;
   t.live_count <- t.live_count + 1;
-  heap_push t ev;
+  file t ev;
   id_of ev
 
 (* [~cls] is a required label (not optional): an optional int argument
    would box [Some cls] on every call, and this is the hot path. *)
 let add t ~time action = add_cls t ~time ~cls:0 action
-
-(* Key of the next event [pop] would fire, or [max_int] when no live
-   event remains. Cancelled records met at the root are recycled en
-   route — exactly the ones the next [pop] would skip anyway — so the
-   deadline loop in [Sim.run] never fires a live event past its stop
-   time just because a dead root happened to sit in front of it. *)
-let rec live_min_key_ns t =
-  if t.size = 0 then max_int
-  else begin
-    let root = t.heap.(0) in
-    if root.live then root.key_ns
-    else begin
-      heap_drop_root t;
-      t.dead_count <- t.dead_count - 1;
-      release t root;
-      live_min_key_ns t
-    end
-  end
-
-(* Compaction: drop every cancelled record, then bottom-up heapify in
-   O(n). Pop order is unaffected (the (key, seq) order is total). *)
-let compact t =
-  let j = ref 0 in
-  for i = 0 to t.size - 1 do
-    let ev = t.heap.(i) in
-    if ev.live then begin
-      t.heap.(!j) <- ev;
-      incr j
-    end
-    else release t ev
-  done;
-  for i = !j to t.size - 1 do
-    t.heap.(i) <- t.dummy
-  done;
-  t.size <- !j;
-  t.dead_count <- 0;
-  (* [asr], not [lsr]: when compaction leaves <= 1 survivor the bound
-     is negative and must stay negative (skipping the loop), not wrap
-     to a huge index. *)
-  for i = ((t.size - 2) asr 2) downto 0 do
-    sift_down t i t.heap.(i)
-  done
 
 let cancel t id =
   let idx = id lsr gen_bits in
@@ -296,39 +448,163 @@ let cancel t id =
   else begin
     let ev = t.pool.(idx) in
     if ev.live && ev.gen land gen_mask = id land gen_mask then begin
-      ev.live <- false;
       t.live_count <- t.live_count - 1;
-      t.dead_count <- t.dead_count + 1;
-      (* Cancelled events stay in the heap until popped; sweep lazily
-         once they outnumber the live ones so cancel-heavy runs do not
-         carry the dead weight. *)
-      if t.dead_count > t.live_count && t.size >= compact_min_occupancy
-      then compact t;
+      if ev.where >= 0 then begin
+        (* Wheel resident: unlink and recycle immediately — the O(1)
+           cancel is the point of the wheel for rearm-heavy timers. *)
+        bucket_unlink t ev;
+        release t ev
+      end
+      else begin
+        (* Heap resident: mark dead, sweep lazily once corpses dominate. *)
+        ev.live <- false;
+        let m = if ev.where = loc_overdue then t.overdue else t.overflow in
+        m.dead <- m.dead + 1;
+        if m.n >= 64 && 2 * m.dead > m.n then mini_compact t m
+      end;
       true
     end
     else false
   end
 
-let rec pop t =
-  if t.size = 0 then false
-  else begin
-    let root = t.heap.(0) in
-    heap_drop_root t;
-    if root.live then begin
-      t.live_count <- t.live_count - 1;
-      t.popped_time <- root.time;
-      t.popped_action <- root.action;
-      t.popped_cls <- root.cls;
-      release t root;
-      true
+(* --- the wheel's virtual clock -------------------------------------- *)
+
+(* Pull the contents of bucket [b] (level >= 1) back through [file]: with
+   [pos] just advanced into the bucket's span, every resident re-files at
+   a strictly lower level. List order is preserved; same-instant events
+   restore seq order via [bucket_insert]'s tail walk. *)
+let cascade t b =
+  let pool = t.pool in
+  let cur = ref t.head.(b) in
+  t.head.(b) <- -1;
+  t.tail.(b) <- -1;
+  t.masks.(b lsr slot_bits) <-
+    t.masks.(b lsr slot_bits) land lnot (1 lsl (b land slot_mask));
+  while !cur >= 0 do
+    let ev = pool.(!cur) in
+    cur := ev.next_ev;
+    wheel_insert t ev
+  done
+
+(* Pool index of the wheel's earliest event — the head of the first
+   occupied level-0 bucket at or after [pos] — or -1 when the wheel is
+   empty. Advances [pos] to the event's tick, cascading any higher-level
+   bucket the position crosses into; skipped slots are provably empty, so
+   the advance never loses an event. Each iteration either returns or
+   strictly descends a level, bounding the loop at [levels] steps. *)
+let wheel_min t =
+  let result = ref (-2) in
+  while !result = -2 do
+    let m0 = t.masks.(0) land (-1 lsl (t.pos land slot_mask)) in
+    if m0 <> 0 then begin
+      let s = ctz m0 in
+      t.pos <- (t.pos land lnot slot_mask) lor s;
+      result := t.head.(s)
     end
     else begin
-      (* Cancelled en route: recycle and keep looking. *)
-      t.dead_count <- t.dead_count - 1;
-      release t root;
-      pop t
+      (* Level 0 exhausted: find the lowest level with a bucket strictly
+         ahead of the position's slot there. Within one parent block,
+         higher slot = later span, so masking below (slot + 1) is exact —
+         no wraparound case exists. *)
+      let l = ref 1 in
+      let found = ref (-1) in
+      while !found < 0 && !l < levels do
+        let sl = (t.pos lsr (!l * slot_bits)) land slot_mask in
+        let m = t.masks.(!l) land (-1 lsl (sl + 1)) in
+        if m <> 0 then found := (!l lsl slot_bits) lor ctz m else incr l
+      done;
+      if !found < 0 then result := -1
+      else begin
+        let l = !found lsr slot_bits and s = !found land slot_mask in
+        (* Enter the bucket's span: keep the bits above it, set its slot,
+           zero everything below. *)
+        let above = slot_bits * (l + 1) in
+        t.pos <- ((t.pos lsr above) lsl above) lor (s lsl (slot_bits * l));
+        cascade t !found
+      end
     end
+  done;
+  !result
+
+(* Jump the wheel to the earliest overflow block and file that whole
+   block's events. Heap pops deliver them in (key, seq) order, so
+   same-instant residents arrive seq-sorted. Only called when the wheel
+   is empty, so the position jump cannot skip a wheel event. *)
+let drain_overflow t root =
+  let pool = t.pool in
+  t.pos <- pool.(root).key_ns;
+  let block = t.pos lsr horizon_bits in
+  let continue = ref true in
+  while !continue do
+    let r = mini_min t t.overflow in
+    if r >= 0 && pool.(r).key_ns lsr horizon_bits = block then begin
+      mini_drop_root pool t.overflow;
+      wheel_insert t pool.(r)
+    end
+    else continue := false
+  done
+
+(* --- pop ------------------------------------------------------------ *)
+
+(* The three sources, cheapest first. The wheel beats the overflow heap
+   by construction (overflow keys live beyond the wheel's whole span);
+   only the overdue heap can undercut a wheel event. *)
+
+let pop t =
+  let w = wheel_min t in
+  let w =
+    if w >= 0 then w
+    else begin
+      let o = mini_min t t.overflow in
+      if o < 0 then -1
+      else begin
+        let od = mini_min t t.overdue in
+        if od >= 0 && mini_less t.pool od o then -1
+        else begin
+          drain_overflow t o;
+          wheel_min t
+        end
+      end
+    end
+  in
+  let best =
+    let od = mini_min t t.overdue in
+    if od < 0 then w
+    else if w < 0 || mini_less t.pool od w then begin
+      mini_drop_root t.pool t.overdue;
+      od
+    end
+    else w
+  in
+  if best < 0 then false
+  else begin
+    let ev = t.pool.(best) in
+    if ev.where >= 0 then bucket_unlink t ev;
+    t.live_count <- t.live_count - 1;
+    t.popped_time <- ev.time;
+    t.popped_action <- ev.action;
+    t.popped_cls <- ev.cls;
+    release t ev;
+    true
   end
+
+(* Key of the next event [pop] would fire, or [max_int] when no live
+   event remains. Dead heap roots met on the way are recycled — exactly
+   the entries the next [pop] would skip — so the result is the true
+   live minimum and the run-until loop never fires a live event past its
+   deadline because a corpse sat in front of it. *)
+let live_min_key_ns t =
+  let w = wheel_min t in
+  let k = if w >= 0 then t.pool.(w).key_ns else max_int in
+  let k =
+    if w >= 0 then k
+    else begin
+      let o = mini_min t t.overflow in
+      if o >= 0 then t.pool.(o).key_ns else max_int
+    end
+  in
+  let od = mini_min t t.overdue in
+  if od >= 0 && t.pool.(od).key_ns < k then t.pool.(od).key_ns else k
 
 let popped_time t = t.popped_time
 let popped_action t = t.popped_action

@@ -1,21 +1,33 @@
 (** Monomorphic event queue — the simulator's hot path.
 
-    An implicit 4-ary min-heap over pooled event records, keyed on the
-    (time, seq) pair: earlier instants first, schedule order (FIFO)
-    within an instant. Unlike the generic {!Heap}, comparisons are
-    inlined int compares (no comparator closure), and event records are
-    recycled through a free list, so a steady schedule→fire or
-    schedule→cancel cycle allocates nothing.
+    A hierarchical bucketed timing wheel (Varghese–Lauck style) over
+    pooled event records, keyed on the (time, seq) pair: earlier
+    instants first, schedule order (FIFO) within an instant. Six levels
+    of 32 power-of-two time buckets keyed off the wheel's virtual
+    position cover a 2^30 ns (≈1.07 s) horizon; each bucket is an
+    intrusive doubly-linked list over the pooled slots, each level keeps
+    an occupancy bitmask so finding the next tick is a find-first-set,
+    not a scan. Two small (key, seq) binary heaps back the wheel up at
+    its edges: {e overdue} (events dated at or before an instant the
+    wheel already passed — {!Sim} never produces these, but arbitrary
+    call sequences may) and {e overflow} (events beyond the horizon,
+    drained into the wheel a block at a time as the clock advances).
+    Schedule and cancel are O(1) for wheel-resident events; pop is
+    near-O(1) — each event cascades down at most [levels] times over
+    its whole life. Pop order is bit-identical to the 4-ary heap this
+    replaced (the generic {!Heap} is retained as the qcheck oracle).
 
     {b Pooling invariants.} An event record is owned by the queue from
-    {!add} until it leaves the heap — by firing ({!pop}), or after
-    {!cancel} when the lazy sweep or a later pop reaches it. At that
-    point it is recycled: its generation is bumped (invalidating
-    outstanding {!id}s) and its action/time references are dropped (so
-    the pool never pins a dead closure). Callers interact only through
-    {!id} values, which are immediate ints; a stale id — one whose event
-    already fired or was cancelled — is detected by the generation check
-    and {!cancel} returns [false] instead of touching a recycled record.
+    {!add} until it leaves the structure — by firing ({!pop}), by
+    {!cancel} when wheel-resident (unlinked and recycled immediately),
+    or, for heap-resident events, when the lazy sweep or a later pop
+    reaches the dead record. At that point it is recycled: its
+    generation is bumped (invalidating outstanding {!id}s) and its
+    action/time references are dropped (so the pool never pins a dead
+    closure). Callers interact only through {!id} values, which are
+    immediate ints; a stale id — one whose event already fired or was
+    cancelled — is detected by the generation check and {!cancel}
+    returns [false] instead of touching a recycled record.
 
     Times must stay below 2^62 ns (≈146 years of simulated time): keys
     are stored as unboxed [int] nanoseconds. *)
@@ -30,12 +42,14 @@ val none : id
     as an initial value for fields that later hold real ids. *)
 
 val create : ?capacity:int -> unit -> t
-(** Empty queue. [capacity] (default 1024) pre-sizes the heap and pool
-    arrays; both grow on demand. *)
+(** Empty queue. [capacity] (default 1024) pre-sizes the overflow heap
+    and pool arrays; both grow on demand. *)
 
 val length : t -> int
-(** Current heap occupancy: live events plus cancelled events not yet
-    swept. This is the memory the queue actually holds. *)
+(** Occupancy the queue actually holds in memory: live events plus
+    cancelled heap-resident events not yet swept. Wheel-resident
+    cancels recycle immediately and never linger, so on the {!Sim}
+    fast path (no past or beyond-horizon events) this equals {!live}. *)
 
 val live : t -> int
 (** Scheduled, not-yet-fired, not-cancelled events. *)
@@ -45,10 +59,22 @@ val pool_size : t -> int
     steady schedule→pop cycle keeps this constant — the observable
     effect of pooling, asserted by the allocation regression tests. *)
 
+val overdue_len : t -> int
+(** Entries (live + unswept dead) in the overdue backstop heap — events
+    scheduled at or before an instant the wheel has already passed.
+    Always 0 under {!Sim}, which forbids scheduling in the past.
+    Exposed so tests can assert which structure a trace exercised. *)
+
+val overflow_len : t -> int
+(** Entries (live + unswept dead) in the far-future overflow heap —
+    events beyond the wheel's 2^30 ns horizon, waiting to drain. *)
+
 val add : t -> time:Time.t -> (unit -> unit) -> id
 (** Schedules an action. Events added at equal [time] fire in [add]
-    order. O(log₄ n); allocates only when the pool has no free record.
-    The event carries class tag 0 ({!Event_class.Other}). *)
+    order. O(1) for events within the wheel horizon (the common case);
+    O(log n) into a backstop heap otherwise. Allocates only when the
+    pool has no free record. The event carries class tag 0
+    ({!Event_class.Other}). *)
 
 val add_cls : t -> time:Time.t -> cls:int -> (unit -> unit) -> id
 (** {!add} with an explicit {!Event_class} index tag for the
@@ -57,16 +83,21 @@ val add_cls : t -> time:Time.t -> cls:int -> (unit -> unit) -> id
     pop order. *)
 
 val cancel : t -> id -> bool
-(** Marks the event dead; returns [false] (and does nothing) if the id
-    is stale — already fired, already cancelled, or recycled. Dead
-    events are swept lazily: once they outnumber the live ones (and the
-    heap holds at least 64 entries) the heap is compacted in O(n). *)
+(** Cancels the event; returns [false] (and does nothing) if the id is
+    stale — already fired, already cancelled, or recycled. A
+    wheel-resident event (the hot case: every pending timer within
+    ~1 s) is unlinked from its bucket and recycled immediately, O(1).
+    Heap-resident events (overdue / far-future) are marked dead and
+    swept lazily: once corpses exceed half that heap (and it holds at
+    least 64 entries) it is compacted in O(n). *)
 
 val pop : t -> bool
-(** Removes the minimum live event, recycling any cancelled records met
-    on the way. Returns [false] when no live event remains. On [true]
-    the fired event's fields are readable via {!popped_time} /
-    {!popped_action} until the next [pop]. *)
+(** Removes the minimum live event, advancing the wheel's virtual
+    position (cascading higher-level buckets as it crosses into them)
+    and recycling any cancelled heap roots met on the way. Returns
+    [false] when no live event remains. On [true] the fired event's
+    fields are readable via {!popped_time} / {!popped_action} until the
+    next [pop]. *)
 
 val popped_time : t -> Time.t
 val popped_action : t -> unit -> unit
@@ -76,8 +107,8 @@ val popped_cls : t -> int
 
 val live_min_key_ns : t -> int
 (** Nanosecond key of the next event {!pop} would fire, or [max_int]
-    when no live event remains. Cancelled records met at the root are
-    recycled on the way — the same ones the next [pop] would skip — so
-    the result is the true live minimum, never the key of a stale
-    cancelled root. Lets the run-until loop compare against a deadline
-    without boxing and without overshooting it. *)
+    when no live event remains. Advances the wheel to that event's tick
+    (the work {!pop} would do anyway) and recycles cancelled heap roots
+    met on the way, so the result is the true live minimum, never the
+    key of a stale cancelled root. Lets the run-until loop compare
+    against a deadline without boxing and without overshooting it. *)

@@ -1,5 +1,7 @@
 type event_id = Event_queue.id
 
+type ext = ..
+
 type t = {
   q : Event_queue.t;
   mutable now : Time.t;
@@ -13,6 +15,12 @@ type t = {
   mutable profiling : bool;
   mutable prof_before : int -> unit;
   mutable prof_after : int -> unit;
+  (* Per-simulation extension slots: upper layers attach state scoped to
+     this simulation (e.g. the packet store) without a module-level
+     global (dtlint R12) and without threading new parameters through
+     every component constructor. Looked up at component creation, not
+     per event, so a list walk is fine. *)
+  mutable exts : ext list;
 }
 
 let noop () = ()
@@ -31,7 +39,17 @@ let create ?(seed = 1L) () =
     profiling = false;
     prof_before = noop_cls;
     prof_after = noop_cls;
+    exts = [];
   }
+
+let add_ext t e = t.exts <- e :: t.exts
+
+let rec find_ext_walk f = function
+  | [] -> None
+  | e :: rest -> (
+      match f e with Some _ as r -> r | None -> find_ext_walk f rest)
+
+let find_ext t f = find_ext_walk f t.exts
 
 let now t = t.now
 let rng t = t.rng
@@ -46,9 +64,12 @@ let schedule_at_cls t time ~cls action =
       (Printf.sprintf "Sim.schedule_at: %s is before now (%s)"
          (Time.to_string time) (Time.to_string t.now));
   let id = Event_queue.add_cls t.q ~time ~cls action in
-  (* High water tracks true heap occupancy (live plus not-yet-swept
-     cancelled entries): that is the memory the engine actually holds. *)
-  let occ = Event_queue.length t.q in
+  (* High water tracks live events only. Counting unswept cancelled
+     entries (as before PR 9) made the manifest metric depend on the
+     queue's internal sweep schedule rather than on scheduling load;
+     with the wheel's immediate-reclaim cancel the two coincide anyway
+     on every run the engine can produce. *)
+  let occ = Event_queue.live t.q in
   if occ > t.hwm then t.hwm <- occ;
   id
 
@@ -94,7 +115,7 @@ let run ?until t =
          event [step] will actually fire is at or before [stop] — a
          live event past the deadline never fires just because a dead
          root sat in front of it. *)
-      let stop_ns = Int64.to_int (Time.to_ns stop) in
+      let stop_ns = Time.to_int_ns stop in
       while Event_queue.live_min_key_ns t.q <= stop_ns do
         ignore (step t)
       done;

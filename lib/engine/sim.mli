@@ -11,6 +11,23 @@ type event_id = Event_queue.id
     int carrying a pool-slot/generation pair), so scheduling never
     allocates a handle. *)
 
+type ext = ..
+(** Per-simulation extension slots. An upper layer that needs state
+    scoped to one simulation (e.g. {!Net.Packet}'s pooled packet store)
+    extends this type, attaches one instance with {!add_ext}, and finds
+    it back with {!find_ext} — no module-level mutable global (unsafe
+    under parallel sweeps), no new parameter on every component
+    constructor. *)
+
+val add_ext : t -> ext -> unit
+(** Attaches an extension. The caller is responsible for attaching one
+    instance of its own constructor per simulation (check {!find_ext}
+    first). *)
+
+val find_ext : t -> (ext -> 'a option) -> 'a option
+(** [find_ext sim f] returns the first attached extension [f] accepts.
+    A list walk — intended for component creation, not per-event use. *)
+
 val no_event : event_id
 (** A handle matching no event; cancelling it is a no-op. Initial value
     for fields that later hold real handles (see {!Timer}). *)
@@ -75,14 +92,16 @@ val pending : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
 
 val heap_size : t -> int
-(** Current heap occupancy: [pending] plus cancelled events not yet
-    swept by lazy compaction. Exposed for the compaction tests and as a
-    memory gauge. *)
+(** Current queue occupancy: [pending] plus cancelled backstop-heap
+    events not yet swept (wheel-resident cancels recycle immediately).
+    Exposed for the reclaim tests and as a memory gauge. *)
 
 val heap_high_water : t -> int
-(** Maximum heap occupancy seen so far (live plus not-yet-swept cancelled
-    entries) — the engine's real memory-pressure signal for the
-    observability layer. *)
+(** Maximum number of simultaneously live (scheduled, not fired, not
+    cancelled) events seen so far — the engine's memory-pressure signal
+    for the observability layer. Counts live events only; unswept
+    cancelled entries are an implementation detail of the backstop
+    heaps and no longer inflate this metric. *)
 
 val event_pool_size : t -> int
 (** Number of event records the engine has ever allocated (the event

@@ -5,8 +5,11 @@
     the simulator deterministic; floating-point seconds are only used at the
     API boundary. *)
 
-type t = private int64
-(** An instant, in nanoseconds since simulation start. Total order. *)
+type t = private int
+(** An instant, in nanoseconds since simulation start. Total order.
+    Immediate (63-bit nanoseconds reach past year 2260): the scheduler
+    touches an instant on every schedule and every pop, and a boxed
+    representation would cost an allocation per event. *)
 
 type span = int64
 (** A duration in nanoseconds. Durations are plain [int64] so arithmetic
@@ -20,6 +23,15 @@ val of_ns : int64 -> t
     @raise Invalid_argument if [n] is negative. *)
 
 val to_ns : t -> int64
+
+val of_int_ns : int -> t
+(** {!of_ns} on an already-immediate nanosecond count — allocation-free,
+    for hot paths that carry instants as native ints (the event wheel's
+    keys, pooled packet timestamps).
+    @raise Invalid_argument if negative. *)
+
+val to_int_ns : t -> int
+(** {!to_ns} without the box; the identity, at this representation. *)
 
 val of_sec : float -> t
 (** [of_sec s] rounds [s] seconds to the nearest nanosecond.

@@ -95,13 +95,18 @@ let attach t ~port =
       ignore (Sim.schedule_after_cls t.sim until ~cls:cls_fault (set base_rate)))
     t.plan.Plan.rate_changes;
   let loss = t.plan.Plan.loss_rate and jitter = t.plan.Plan.jitter_max in
+  (* Resolved once here, not per delivery inside the hook. *)
+  let st = Net.Packet.store_of t.sim in
   if loss > 0. || Int64.compare jitter 0L > 0 then
     Net.Port.set_fault_hook port (fun pkt ->
         if loss > 0. && Rng.float t.rng < loss then begin
           t.pkts_lost <- t.pkts_lost + 1;
           emit t
             (Trace.Pkt_lost
-               { flow = pkt.Net.Packet.flow; size = pkt.Net.Packet.size });
+               {
+                 flow = Net.Packet.flow st pkt;
+                 size = Net.Packet.size st pkt;
+               });
           Net.Port.Lose
         end
         else if Int64.compare jitter 0L > 0 then begin

@@ -1,12 +1,37 @@
 type t = {
   sim : Engine.Sim.t;
+  st : Packet.store;
   id : int;
   mutable nic : Port.t option;
-  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  (* Dense flow-id -> handler table; flow ids are small and dense in
+     every topology the builders produce, so demultiplexing a delivered
+     packet is one array load instead of a [Hashtbl.find]. Unbound slots
+     hold [unbound] (compared by [==]) rather than an option, which
+     would box every bound handler lookup. *)
+  mutable handlers : (Packet.t -> unit) array;
+  unbound : Packet.t -> unit;
   mutable unclaimed : int;
 }
 
-let create sim ~id = { sim; id; nic = None; handlers = Hashtbl.create 16; unclaimed = 0 }
+let create sim ~id =
+  let st = Packet.store_of sim in
+  let rec t =
+    {
+      sim;
+      st;
+      id;
+      nic = None;
+      handlers = [||];
+      unbound;
+      unclaimed = 0;
+    }
+  and unbound pkt =
+    (* No transport claimed this flow: the host consumes the packet. *)
+    Packet.free t.st pkt;
+    t.unclaimed <- t.unclaimed + 1
+  in
+  t.handlers <- Array.make 16 unbound;
+  t
 
 let id t = t.id
 let sim t = t.sim
@@ -24,16 +49,28 @@ let nic t =
 let send t pkt = Port.send (nic t) pkt
 
 let receive t pkt =
-  (* [find], not [find_opt]: this runs per delivered packet and the
-     option would be a per-packet allocation. *)
-  match Hashtbl.find t.handlers pkt.Packet.flow with
-  | handler -> handler pkt
-  | exception Not_found -> t.unclaimed <- t.unclaimed + 1
+  let flow = Packet.flow t.st pkt in
+  if flow >= 0 && flow < Array.length t.handlers then t.handlers.(flow) pkt
+  else t.unbound pkt
 
 let bind_flow t ~flow handler =
-  if Hashtbl.mem t.handlers flow then
+  if flow < 0 then invalid_arg "Host.bind_flow: negative flow id";
+  let cap = Array.length t.handlers in
+  if flow >= cap then begin
+    let ncap =
+      let rec fit c = if flow < c then c else fit (2 * c) in
+      fit (2 * cap)
+    in
+    let handlers = Array.make ncap t.unbound in
+    Array.blit t.handlers 0 handlers 0 cap;
+    t.handlers <- handlers
+  end;
+  if t.handlers.(flow) != t.unbound then
     invalid_arg "Host.bind_flow: flow already bound";
-  Hashtbl.replace t.handlers flow handler
+  t.handlers.(flow) <- handler
 
-let unbind_flow t ~flow = Hashtbl.remove t.handlers flow
+let unbind_flow t ~flow =
+  if flow >= 0 && flow < Array.length t.handlers then
+    t.handlers.(flow) <- t.unbound
+
 let unclaimed t = t.unclaimed

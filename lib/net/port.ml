@@ -17,6 +17,7 @@ let cls_link_rx = Engine.Event_class.(index Link_rx)
 
 type t = {
   sim : Sim.t;
+  st : Packet.store;
   mutable rate_bps : float;
   delay : Time.span;
   queue : Queue_disc.t;
@@ -29,9 +30,8 @@ type t = {
   mutable fault_hook : (Packet.t -> disposition) option;
   mutable bytes_sent : int;
   mutable packets_sent : int;
-  in_flight : Packet.t Engine.Ring.t;
-  idle : Packet.t;  (* this port's idle placeholder; never transmitted *)
-  mutable tx_pkt : Packet.t;  (* packet currently serializing *)
+  in_flight : Engine.Int_ring.t;
+  mutable tx_pkt : Packet.t;  (* currently serializing; [Packet.none] if idle *)
   mutable tx_done : unit -> unit;  (* fires when [tx_pkt] finishes *)
   mutable deliver_head : unit -> unit;  (* delivers front of [in_flight] *)
   (* Memo of the last serialization time by packet size: traffic on a port
@@ -40,22 +40,6 @@ type t = {
   mutable memo_size : int;
   mutable memo_tx : Time.span;
 }
-
-(* Placeholder for [tx_pkt] while the port is idle. Allocated per port:
-   packets carry a mutable [ecn] field, and a single shared placeholder
-   would be module-level mutable state visible to every domain of a
-   parallel sweep (dtlint R12). One extra allocation per port, at
-   creation time. *)
-let fresh_idle_pkt () =
-  {
-    Packet.id = -1;
-    src = -1;
-    dst = -1;
-    flow = -1;
-    size = 1;
-    ecn = Packet.Not_ect;
-    payload = Packet.No_payload;
-  }
 
 let tx_time t ~bytes =
   Time.span_of_sec (float_of_int (bytes * 8) /. t.rate_bps)
@@ -77,7 +61,7 @@ let start_tx t =
     t.tx_pkt <- pkt;
     ignore
       (Sim.schedule_after_cls t.sim
-         (tx_span t ~bytes:pkt.Packet.size)
+         (tx_span t ~bytes:(Packet.size t.st pkt))
          ~cls:cls_link_tx t.tx_done)
   end
 
@@ -85,10 +69,10 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
   if rate_bps <= 0. then invalid_arg "Port.create: rate must be positive";
   if Int64.compare delay 0L < 0 then
     invalid_arg "Port.create: negative delay";
-  let idle = fresh_idle_pkt () in
   let t =
     {
       sim;
+      st = Packet.store_of sim;
       rate_bps;
       delay;
       queue;
@@ -98,9 +82,8 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
       fault_hook = None;
       bytes_sent = 0;
       packets_sent = 0;
-      in_flight = Engine.Ring.create ~capacity:16 ();
-      idle;
-      tx_pkt = idle;
+      in_flight = Engine.Int_ring.create ~capacity:16 ();
+      tx_pkt = Packet.none;
       tx_done = ignore;
       deliver_head = ignore;
       memo_size = -1;
@@ -109,13 +92,15 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
   in
   t.deliver_head <-
     (fun () ->
-      let pkt = Engine.Ring.pop t.in_flight in
+      let pkt = Engine.Int_ring.pop t.in_flight in
       match t.fault_hook with
       | None -> t.deliver pkt
       | Some hook -> (
           match hook pkt with
           | Deliver -> t.deliver pkt
-          | Lose -> ()
+          | Lose ->
+              (* The wire consumed the packet: recycle its handle. *)
+              Packet.free t.st pkt
           | Delay span ->
               (* Jittered deliveries leave the FIFO ring discipline: the
                  packet is already popped, so the extra closure (fault
@@ -127,10 +112,10 @@ let create sim ~rate_bps ~delay ~queue ~deliver =
   t.tx_done <-
     (fun () ->
       let pkt = t.tx_pkt in
-      t.tx_pkt <- t.idle;
-      t.bytes_sent <- t.bytes_sent + pkt.Packet.size;
+      t.tx_pkt <- Packet.none;
+      t.bytes_sent <- t.bytes_sent + Packet.size t.st pkt;
       t.packets_sent <- t.packets_sent + 1;
-      Engine.Ring.push t.in_flight pkt;
+      Engine.Int_ring.push t.in_flight pkt;
       ignore (Sim.schedule_after_cls t.sim t.delay ~cls:cls_link_rx t.deliver_head);
       if t.up then start_tx t else t.busy <- false);
   t

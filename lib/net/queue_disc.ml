@@ -18,7 +18,8 @@ type t = {
   buffer : Buffer_mgr.port;
   marking : Marking.t;
   tracer : Trace_ev.t;
-  fifo : Packet.t Engine.Ring.t;
+  st : Packet.store;
+  fifo : Engine.Int_ring.t;
   mutable occ_bytes : int;
   mutable occ_pkts : int;
   mutable drops : int;
@@ -42,7 +43,8 @@ let create sim ~buffer ?(marking = Marking.none ())
       buffer;
       marking;
       tracer;
-      fifo = Engine.Ring.create ~capacity:64 ();
+      st = Packet.store_of sim;
+      fifo = Engine.Int_ring.create ~capacity:64 ();
       occ_bytes = 0;
       occ_pkts = 0;
       drops = 0;
@@ -79,7 +81,12 @@ let emit t event =
 
 let accumulate t =
   let now = Sim.now t.sim in
-  let dt = Time.span_to_sec (Time.diff now t.last_change) in
+  (* Instants are immediate ints: subtracting them directly skips the
+     boxed span [Time.diff] would build, and the int -> float conversion
+     rounds identically to the int64 one (both are exact below 2^53). *)
+  let dt =
+    float_of_int (Time.to_int_ns now - Time.to_int_ns t.last_change) /. 1e9
+  in
   if dt > 0. then begin
     let b = float_of_int t.occ_bytes and p = float_of_int t.occ_pkts in
     let acc = t.acc in
@@ -91,7 +98,8 @@ let accumulate t =
   t.last_change <- now
 
 let enqueue t pkt =
-  if not (Buffer_mgr.admit t.buffer pkt.Packet.size) then begin
+  let size = Packet.size t.st pkt in
+  if not (Buffer_mgr.admit t.buffer size) then begin
     t.drops <- t.drops + 1;
     if
       Buffer_mgr.shared t.buffer
@@ -100,21 +108,26 @@ let enqueue t pkt =
       emit t
         (Trace_ev.Pool_reject
            {
-             flow = pkt.Packet.flow;
+             flow = Packet.flow t.st pkt;
              occ_bytes = t.occ_bytes;
              pool_used = Buffer_mgr.pool_used t.buffer;
              limit_bytes = Buffer_mgr.effective_limit t.buffer;
            });
     if Trace_ev.enabled t.tracer Trace_ev.C_drop then
       emit t
-        (Trace_ev.Drop { flow = pkt.Packet.flow; occ_bytes = t.occ_bytes });
+        (Trace_ev.Drop
+           { flow = Packet.flow t.st pkt; occ_bytes = t.occ_bytes });
+    (* The queue consumed the packet by dropping it: its handle is
+       recycled here, after the traces above read their fields. *)
+    Packet.free t.st pkt;
     t.observer ();
     `Dropped
   end
   else begin
     accumulate t;
-    Engine.Ring.push t.fifo pkt;
-    t.occ_bytes <- t.occ_bytes + pkt.Packet.size;
+    Packet.set_enq_ns t.st pkt (Time.to_int_ns (Sim.now t.sim));
+    Engine.Int_ring.push t.fifo pkt;
+    t.occ_bytes <- t.occ_bytes + size;
     t.occ_pkts <- t.occ_pkts + 1;
     t.enqueued <- t.enqueued + 1;
     if t.occ_bytes > t.max_bytes then t.max_bytes <- t.occ_bytes;
@@ -133,14 +146,14 @@ let enqueue t pkt =
     end;
     if t.marking.Marking.on_enqueue ~bytes:t.occ_bytes ~packets:t.occ_pkts
     then begin
-      if Packet.is_ect pkt then begin
-        Packet.mark_ce pkt;
+      if Packet.is_ect t.st pkt then begin
+        Packet.mark_ce t.st pkt;
         t.marked <- t.marked + 1;
         if Trace_ev.enabled t.tracer Trace_ev.C_mark then
           emit t
             (Trace_ev.Mark
                {
-                 flow = pkt.Packet.flow;
+                 flow = Packet.flow t.st pkt;
                  occ_bytes = t.occ_bytes;
                  occ_pkts = t.occ_pkts;
                })
@@ -150,7 +163,7 @@ let enqueue t pkt =
       emit t
         (Trace_ev.Enqueue
            {
-             flow = pkt.Packet.flow;
+             flow = Packet.flow t.st pkt;
              occ_bytes = t.occ_bytes;
              occ_pkts = t.occ_pkts;
            });
@@ -159,11 +172,12 @@ let enqueue t pkt =
   end
 
 let dequeue_exn t =
-  let pkt = Engine.Ring.pop t.fifo in
+  let pkt = Engine.Int_ring.pop t.fifo in
+  let size = Packet.size t.st pkt in
   accumulate t;
-  t.occ_bytes <- t.occ_bytes - pkt.Packet.size;
+  t.occ_bytes <- t.occ_bytes - size;
   t.occ_pkts <- t.occ_pkts - 1;
-  Buffer_mgr.release t.buffer pkt.Packet.size;
+  Buffer_mgr.release t.buffer size;
   if Buffer_mgr.shared t.buffer then
     t.marking.Marking.on_limit
       ~limit_bytes:(Buffer_mgr.effective_limit t.buffer);
@@ -172,7 +186,7 @@ let dequeue_exn t =
     emit t
       (Trace_ev.Dequeue
          {
-           flow = pkt.Packet.flow;
+           flow = Packet.flow t.st pkt;
            occ_bytes = t.occ_bytes;
            occ_pkts = t.occ_pkts;
          });
@@ -180,9 +194,9 @@ let dequeue_exn t =
   pkt
 
 let dequeue t =
-  if Engine.Ring.is_empty t.fifo then None else Some (dequeue_exn t)
+  if Engine.Int_ring.is_empty t.fifo then None else Some (dequeue_exn t)
 
-let is_empty t = Engine.Ring.is_empty t.fifo
+let is_empty t = Engine.Int_ring.is_empty t.fifo
 
 let occupancy_bytes t = t.occ_bytes
 let occupancy_packets t = t.occ_pkts

@@ -1,9 +1,14 @@
 type t = {
   sim : Engine.Sim.t;
+  st : Packet.store;
   id : int;
   mutable ports : Port.t array;
   mutable nports : int;
-  routes : (int, int) Hashtbl.t;
+  (* Dense destination -> egress-port table, indexed by host id; -1
+     marks no route. Host ids are small and dense in every topology the
+     builders produce, so this replaces a per-forwarded-packet
+     [Hashtbl.find] (hashing plus bucket chase) with one array load. *)
+  mutable routes : int array;
   mutable no_route : int;
   pool : Buffer_mgr.pool option;
 }
@@ -17,10 +22,11 @@ let create sim ~id ?(buffer = Buffer_mgr.Static) () =
   in
   {
     sim;
+    st = Packet.store_of sim;
     id;
     ports = [||];
     nports = 0;
-    routes = Hashtbl.create 16;
+    routes = Array.make 16 (-1);
     no_route = 0;
     pool;
   }
@@ -52,13 +58,27 @@ let port_count t = t.nports
 let set_route t ~dst ~port =
   if port < 0 || port >= t.nports then
     invalid_arg "Switch.set_route: bad port index";
-  Hashtbl.replace t.routes dst port
+  if dst < 0 then invalid_arg "Switch.set_route: negative destination";
+  let cap = Array.length t.routes in
+  if dst >= cap then begin
+    let ncap =
+      let rec fit c = if dst < c then c else fit (2 * c) in
+      fit (2 * cap)
+    in
+    let routes = Array.make ncap (-1) in
+    Array.blit t.routes 0 routes 0 cap;
+    t.routes <- routes
+  end;
+  t.routes.(dst) <- port
 
 let receive t pkt =
-  (* [find], not [find_opt]: this runs per forwarded packet and the
-     option would be a per-packet allocation. *)
-  match Hashtbl.find t.routes pkt.Packet.dst with
-  | i -> Port.send t.ports.(i) pkt
-  | exception Not_found -> t.no_route <- t.no_route + 1
+  let dst = Packet.dst t.st pkt in
+  let i = if dst < Array.length t.routes then t.routes.(dst) else -1 in
+  if i >= 0 then Port.send t.ports.(i) pkt
+  else begin
+    (* The switch consumed the packet by dropping it. *)
+    Packet.free t.st pkt;
+    t.no_route <- t.no_route + 1
+  end
 
 let no_route_drops t = t.no_route

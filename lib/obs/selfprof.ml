@@ -68,6 +68,13 @@ let detach sim = Engine.Sim.clear_profiler sim
 
 let total t = t.total
 let count t cls = t.counts.(Event_class.index cls)
+let sampled t cls = t.sampled.(Event_class.index cls)
+
+let mean_us t cls =
+  let i = Event_class.index cls in
+  if t.sampled.(i) = 0 then 0.
+  else t.time_s.(i) /. float_of_int t.sampled.(i) *. 1e6
+
 let sampled_total t = Array.fold_left ( + ) 0 t.sampled
 
 let hist_to_json h =

@@ -38,6 +38,14 @@ val total : t -> int
 
 val count : t -> Engine.Event_class.t -> int
 
+val sampled : t -> Engine.Event_class.t -> int
+(** Events of this class that were wall-clock timed. *)
+
+val mean_us : t -> Engine.Event_class.t -> float
+(** Mean wall-clock microseconds over this class's timed sample; [0.]
+    when nothing of the class was sampled. Wall-clock, so not
+    deterministic — report material, never manifest material. *)
+
 val sampled_total : t -> int
 (** Events that were wall-clock timed. *)
 

@@ -4,6 +4,7 @@ type echo_policy = Per_packet | Dctcp_delayed of int
 
 type t = {
   sim : Sim.t;
+  st : Net.Packet.store;
   host : Net.Host.t;
   flow : int;
   peer : int;
@@ -42,7 +43,7 @@ let sack_blocks t =
 
 let send_ack t ~ece =
   let pkt =
-    Net.Packet.make t.sim ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
+    Net.Packet.make t.st ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
       ~size:t.ack_bytes ~ecn:Net.Packet.Not_ect
       (Segment.ack ~ack:t.rcv_nxt ~ece ~sack:(sack_blocks t) ())
   in
@@ -105,6 +106,7 @@ let create sim ~host ~flow ~peer ?(echo = Per_packet) ?(sack = false)
   let t =
     {
       sim;
+      st = Net.Packet.store_of sim;
       host;
       flow;
       peer;
@@ -121,9 +123,12 @@ let create sim ~host ~flow ~peer ?(echo = Per_packet) ?(sack = false)
     }
   in
   Net.Host.bind_flow host ~flow (fun pkt ->
-      match pkt.Net.Packet.payload with
-      | Segment.Data { seq } ->
-          handle_data t ~seq ~ce:(Net.Packet.is_ce pkt)
+      let payload = Net.Packet.payload t.st pkt in
+      let ce = Net.Packet.is_ce t.st pkt in
+      (* Terminal consumer: extract fields, recycle, then process. *)
+      Net.Packet.free t.st pkt;
+      match payload with
+      | Segment.Data { seq } -> handle_data t ~seq ~ce
       | _ -> ());
   t
 

@@ -33,6 +33,7 @@ let default_config =
 
 type t = {
   sim : Sim.t;
+  st : Net.Packet.store;
   host : Net.Host.t;
   peer : int;
   flow : int;
@@ -104,7 +105,7 @@ let send_segment t ~seq ~retransmission =
     if t.config.ecn_capable then Net.Packet.Ect else Net.Packet.Not_ect
   in
   let pkt =
-    Net.Packet.make t.sim ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
+    Net.Packet.make t.st ~src:(Net.Host.id t.host) ~dst:t.peer ~flow:t.flow
       ~size:t.config.segment_bytes ~ecn (Segment.data ~seq)
   in
   if retransmission then begin
@@ -287,6 +288,7 @@ let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
   let t =
     {
       sim;
+      st = Net.Packet.store_of sim;
       host;
       peer;
       flow;
@@ -334,7 +336,11 @@ let create sim ~host ~peer ~flow ~cc ?(tracer = Obs.Trace.null)
   in
   t.cc <- cc api;
   Net.Host.bind_flow host ~flow (fun pkt ->
-      match pkt.Net.Packet.payload with
+      let payload = Net.Packet.payload t.st pkt in
+      (* The sender is this flow's terminal consumer of ACKs: extract
+         the fields, recycle the handle, then run the ACK machinery. *)
+      Net.Packet.free t.st pkt;
+      match payload with
       | Segment.Ack { ack; ece; sack } -> handle_ack t ~ack ~ece ~sack
       | _ -> ());
   t

@@ -366,7 +366,13 @@ let lint_units ?(rules = rules) ?(report_paths = [])
   if List.mem Rules.R14 rules then begin
     let whole_module_roots src =
       match after_lib (segments src) with
-      | Some [ "engine"; ("event_queue.ml" | "heap.ml" | "ring.ml") ] -> true
+      | Some
+          [
+            "engine";
+            ("event_queue.ml" | "heap.ml" | "ring.ml" | "int_ring.ml");
+          ] ->
+          true
+      | Some [ "net"; "packet.ml" ] -> true
       | _ -> false
     in
     let named_roots =
@@ -375,7 +381,7 @@ let lint_units ?(rules = rules) ?(report_paths = [])
         "Engine.Sim.schedule_after"; "Engine.Sim.cancel"; "Engine.Sim.now";
         "Net.Port.send"; "Net.Queue_disc.enqueue"; "Net.Queue_disc.dequeue";
         "Net.Queue_disc.dequeue_exn"; "Net.Queue_disc.is_empty";
-        "Net.Switch.receive";
+        "Net.Switch.receive"; "Net.Host.receive";
       ]
     in
     let in_engine_or_net src =

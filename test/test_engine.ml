@@ -267,8 +267,8 @@ let test_sim_cancel () =
   checki "nothing processed" 0 (Sim.events_processed sim)
 
 let test_sim_lazy_compaction () =
-  (* Cancel-heavy schedule: the heap must sweep dead entries once they
-     outnumber the live ones instead of carrying them until popped. *)
+  (* Cancel-heavy schedule: cancelled events must be reclaimed (the
+     wheel unlinks them immediately) instead of carried until popped. *)
   let sim = Sim.create () in
   let n = 1000 in
   let fired = ref [] in
@@ -286,7 +286,7 @@ let test_sim_lazy_compaction () =
   checki "live survivors" (n / 10) (Sim.pending sim);
   checkb "swept below live + dead ceiling" true
     (Sim.heap_size sim <= 2 * Sim.pending sim);
-  (* High water saw the initial burst, measured as real occupancy. *)
+  (* High water saw the initial burst, measured as peak live events. *)
   checki "high water is peak occupancy" n (Sim.heap_high_water sim);
   Sim.run sim;
   checki "survivors all fired" (n / 10) (List.length !fired);
@@ -294,6 +294,39 @@ let test_sim_lazy_compaction () =
   checkb "survivors fired in time order" true (!fired = expected);
   checki "only survivors processed" (n / 10) (Sim.events_processed sim);
   checki "heap drained" 0 (Sim.heap_size sim)
+
+(* PR 9 regression pin: on a run with no cancels the live-only high
+   water must equal the occupancy-based value it replaced — the
+   manifest's [engine.heap_high_water] field stays comparable across
+   the change for every existing registry scenario (none of which
+   leaves cancelled events unswept at their peak). *)
+let test_sim_hwm_no_cancel_regression () =
+  let sim = Sim.create () in
+  for i = 1 to 37 do
+    ignore (Sim.schedule_at sim (Time.of_us (float_of_int i)) (fun () -> ()))
+  done;
+  checki "high water equals the pre-change peak" 37 (Sim.heap_high_water sim);
+  Sim.run sim;
+  checki "draining does not move it" 37 (Sim.heap_high_water sim)
+
+(* The satellite fix itself: unswept corpses (held only by the backstop
+   heaps, which sweep lazily) must no longer inflate the high water.
+   Before the fix this run would report 15 — 9 far-future corpses plus
+   6 live — instead of the true live peak of 10. *)
+let test_sim_hwm_counts_live_only () =
+  let sim = Sim.create () in
+  let far i = Time.of_sec (2.0 +. (0.001 *. float_of_int i)) in
+  let ids =
+    Array.init 10 (fun i -> Sim.schedule_at sim (far i) (fun () -> ()))
+  in
+  Array.iteri (fun i id -> if i > 0 then Sim.cancel sim id) ids;
+  checkb "corpses really are held" true
+    (Sim.heap_size sim > Sim.pending sim);
+  for i = 0 to 4 do
+    ignore
+      (Sim.schedule_at sim (Time.of_us (float_of_int (20 + i))) (fun () -> ()))
+  done;
+  checki "high water counts live events only" 10 (Sim.heap_high_water sim)
 
 let test_sim_run_until_no_overshoot () =
   (* A not-yet-swept cancelled root must not let [run ~until] overshoot:
@@ -539,6 +572,21 @@ let prop_event_queue_cancel_heavy =
       in
       run_event_queue_trace ops)
 
+(* Mixed-magnitude keys: [v lsl (5 s)] places events across every wheel
+   level and (for s = 6) beyond the 2^30 ns horizon, so the same model
+   equivalence also covers cascade boundaries, the overdue heap after
+   large pops, and overflow drains — the paths small-key traces miss. *)
+let prop_event_queue_large_keys =
+  QCheck.Test.make ~count:200
+    ~name:"Event_queue matches the model across wheel levels and overflow"
+    QCheck.(
+      map
+        (List.map (fun (k, (s, v)) -> (k, (v lsl (5 * s)) + v)))
+        (list_of_size
+           Gen.(int_range 0 120)
+           (pair (int_bound 2) (pair (int_bound 6) (int_bound 2_000)))))
+    run_event_queue_trace
+
 (* Same game against the generic [Heap] the simulator used before: the
    reference orders (key, seq) pairs with a comparison closure and
    models cancellation as a skip-set consulted at pop, which is exactly
@@ -612,11 +660,11 @@ let test_event_queue_compaction_sweep () =
         Eq.add q ~time:(Time.of_ns (Int64.of_int i)) (fun () ->
             fired := i :: !fired))
   in
-  (* Cancel 150 of 200: dead outruns live well past the sweep trigger,
-     so the heap must have compacted the corpses away. *)
+  (* Cancel 150 of 200: every one is wheel-resident, so each cancel
+     unlinks and recycles its slot on the spot — no corpses at all. *)
   List.iteri (fun i id -> if i mod 4 <> 0 then ignore (Eq.cancel q id)) ids;
   checki "live survivors" 50 (Eq.live q);
-  checkb "compaction swept the cancelled events" true (Eq.length q < 100);
+  checki "wheel cancels reclaimed immediately" 50 (Eq.length q);
   while Eq.pop q do
     (Eq.popped_action q) ()
   done;
@@ -633,49 +681,156 @@ let test_event_queue_stale_cancel () =
   let id2 = Eq.add q ~time:(Time.of_ns 7L) ignore in
   checkb "slot reuse keeps new id valid" true (Eq.cancel q id2)
 
-(* Builds the compaction corner the heapify bound must survive: [extra]
-   live events at early times plus 63 cancelled ones at late times —
-   dead <= live, so no sweep yet — then pops all but [left] live events
-   so the heap sits exactly at the 64-entry compaction floor when the
-   final cancel tips dead past live and compacts down to [left - 1]
-   survivors. The heapify bound [(size - 2) asr 2] must stay negative
-   for 0 or 1 survivors; a logical shift wraps it to a huge index and
-   the sweep crashes with Invalid_argument. *)
-let compact_down_to q ~left =
-  let extra = 64 + left in
-  let live_ids =
-    Array.init extra (fun i ->
-        Eq.add q ~time:(Time.of_ns (Int64.of_int (i + 1))) ignore)
+(* Wheel-resident cancels must free their pool slots on the spot:
+   scheduling into the freed slots may not grow the pool, and the queue
+   must stay fully usable after draining to empty. *)
+let test_event_queue_wheel_cancel_reclaims () =
+  let q = Eq.create () in
+  let ids =
+    Array.init 200 (fun i ->
+        Eq.add q ~time:(Time.of_ns (Int64.of_int (i * 3))) ignore)
   in
-  let dead_ids =
-    Array.init 63 (fun i ->
-        Eq.add q ~time:(Time.of_ns (Int64.of_int (1000 + i))) ignore)
-  in
-  Array.iter (fun id -> ignore (Eq.cancel q id)) dead_ids;
-  checki "dead <= live: nothing swept yet" (extra + 63) (Eq.length q);
-  (* The dead events all sort after the live ones, so each pop fires a
-     live event and the corpses stay put. *)
-  for _ = 1 to extra - left do
-    ignore (Eq.pop q)
+  let pool0 = Eq.pool_size q in
+  Array.iteri (fun i id -> if i mod 4 <> 0 then ignore (Eq.cancel q id)) ids;
+  checki "live survivors" 50 (Eq.live q);
+  checki "no corpses held" 50 (Eq.length q);
+  for i = 0 to 149 do
+    ignore (Eq.add q ~time:(Time.of_ns (Int64.of_int (1000 + i))) ignore)
   done;
-  checki "heap at the compaction floor" (63 + left) (Eq.length q);
-  checki "live events remaining" left (Eq.live q);
-  checkb "triggering cancel succeeds" true (Eq.cancel q live_ids.(extra - 1));
-  checki "compacted to the survivors" (left - 1) (Eq.length q)
+  checki "freed slots reused, pool not grown" pool0 (Eq.pool_size q);
+  while Eq.pop q do
+    ()
+  done;
+  checki "drained" 0 (Eq.live q);
+  ignore (Eq.add q ~time:(Time.of_ns 5000L) ignore);
+  checkb "still pops after draining to empty" true (Eq.pop q)
 
-let test_event_queue_compact_to_empty () =
-  let q = Eq.create () in
-  compact_down_to q ~left:1;
-  checki "no live events" 0 (Eq.live q);
-  (* The queue stays usable after compacting to empty. *)
-  ignore (Eq.add q ~time:(Time.of_ns 5L) ignore);
-  checkb "still pops" true (Eq.pop q)
+(* Far-future events (beyond the 2^30 ns wheel horizon) park in the
+   overflow backstop heap, where cancels are lazy: corpses linger until
+   they exceed half the heap (at >= 64 entries), then one O(n) sweep
+   reclaims them all. *)
+let test_event_queue_overflow_lazy_sweep () =
+  let q = Eq.create ~capacity:4 () in
+  let far i = Time.of_ns (Int64.of_int ((2 lsl 30) + (i * 7))) in
+  let fired = ref [] in
+  let ids =
+    Array.init 100 (fun i ->
+        Eq.add q ~time:(far i) (fun () -> fired := i :: !fired))
+  in
+  checki "all parked in overflow" 100 (Eq.overflow_len q);
+  for i = 0 to 39 do
+    ignore (Eq.cancel q ids.(i))
+  done;
+  checki "live" 60 (Eq.live q);
+  checki "corpses linger below the sweep threshold" 100 (Eq.overflow_len q);
+  checki "length counts unswept dead" 100 (Eq.length q);
+  (* The 51st corpse tips dead past half the heap: swept to survivors. *)
+  for i = 40 to 50 do
+    ignore (Eq.cancel q ids.(i))
+  done;
+  checki "sweep reclaimed the corpses" 49 (Eq.overflow_len q);
+  checki "length after sweep" 49 (Eq.length q);
+  while Eq.pop q do
+    (Eq.popped_action q) ()
+  done;
+  checki "overflow drained through the wheel" 0 (Eq.overflow_len q);
+  let expected = List.init 49 (fun k -> 51 + k) in
+  Alcotest.(check (list int))
+    "survivors fired in schedule order" expected (List.rev !fired)
 
-let test_event_queue_compact_to_one () =
+(* Events dated at or before an instant the wheel already passed land in
+   the overdue backstop ({!Sim} never produces them, but the queue must
+   keep the (key, seq) total order under arbitrary call sequences). *)
+let test_event_queue_overdue_backstop () =
   let q = Eq.create () in
-  compact_down_to q ~left:2;
-  checkb "survivor fires" true (Eq.pop q);
-  checkf "at its scheduled time" 65e-9 (Time.to_sec (Eq.popped_time q))
+  ignore (Eq.add q ~time:(Time.of_ns 1000L) ignore);
+  checkb "advance the wheel to t=1000" true (Eq.pop q);
+  let fired = ref [] in
+  let add ns tag =
+    ignore
+      (Eq.add q ~time:(Time.of_ns ns) (fun () -> fired := tag :: !fired))
+  in
+  add 5L 0;
+  add 1500L 1;
+  add 5L 2;
+  add 999L 3;
+  checki "past-dated events sit in the overdue heap" 3 (Eq.overdue_len q);
+  while Eq.pop q do
+    (Eq.popped_action q) ()
+  done;
+  Alcotest.(check (list int))
+    "fired in (key, seq) order across both structures" [ 0; 2; 3; 1 ]
+    (List.rev !fired);
+  checki "overdue drained" 0 (Eq.overdue_len q)
+
+(* Keys straddling every wheel-level boundary (2^5 .. 2^25), the
+   overflow horizon (2^30), and a same-instant group parked five levels
+   up: everything must fire in (key, seq) order, which means the cascade
+   path re-files events correctly at each level crossing and restores
+   schedule order within an instant. *)
+let test_event_queue_cascade_boundaries () =
+  let q = Eq.create () in
+  let fired = ref [] in
+  let add ns tag =
+    ignore
+      (Eq.add q
+         ~time:(Time.of_ns (Int64.of_int ns))
+         (fun () -> fired := tag :: !fired))
+  in
+  let keys =
+    [
+      31; 32; 33; 1023; 1024; 32767; 32768;
+      (1 lsl 20) - 1; 1 lsl 20; (1 lsl 25) + 7;
+      (1 lsl 30) - 1; 1 lsl 30; (1 lsl 30) + 1;
+    ]
+  in
+  List.iteri (fun i k -> add k (100 + i)) keys;
+  add (1 lsl 25) 0;
+  add (1 lsl 25) 1;
+  add (1 lsl 25) 2;
+  checki "beyond-horizon keys overflowed" 2 (Eq.overflow_len q);
+  while Eq.pop q do
+    (Eq.popped_action q) ()
+  done;
+  Alcotest.(check (list int))
+    "(key, seq) order across every level boundary"
+    [ 100; 101; 102; 103; 104; 105; 106; 107; 108; 0; 1; 2; 109; 110; 111; 112 ]
+    (List.rev !fired)
+
+(* The schedule/pop fast path — pre-boxed times, wheel-resident keys —
+   must allocate nothing at all: adds are a level computation plus a
+   list append, pops a bitmask scan plus an unlink, and the pool
+   recycles every record. 64k events through a warm queue must cost
+   zero minor words (the budget below tolerates only the measurement's
+   own boxed-float readings). *)
+let test_event_queue_zero_alloc_fast_path () =
+  let q = Eq.create () in
+  let n = 1 lsl 16 in
+  let times =
+    Array.init n (fun i -> Time.of_ns (Int64.of_int ((i + 1) * 150)))
+  in
+  (* Warm the pool past the working set. *)
+  for i = 0 to 63 do
+    ignore (Eq.add q ~time:times.(i) ignore)
+  done;
+  while Eq.pop q do
+    ()
+  done;
+  let before = Gc.minor_words () in
+  let i = ref 64 in
+  while !i + 64 <= n do
+    for k = !i to !i + 63 do
+      ignore (Eq.add q ~time:times.(k) ignore)
+    done;
+    for _ = 1 to 64 do
+      ignore (Eq.pop q)
+    done;
+    i := !i + 64
+  done;
+  let delta = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "fast path allocated %.0f words for %d events" delta n)
+    true (delta < 64.)
 
 (* Steady-state schedule->pop churn through the pool must not allocate
    per event beyond the boxed Time.t that [schedule_after] builds. The
@@ -924,6 +1079,10 @@ let suites =
         Alcotest.test_case "schedule_after" `Quick test_sim_schedule_after;
         Alcotest.test_case "cancel" `Quick test_sim_cancel;
         Alcotest.test_case "lazy compaction" `Quick test_sim_lazy_compaction;
+        Alcotest.test_case "high water pinned on a no-cancel run" `Quick
+          test_sim_hwm_no_cancel_regression;
+        Alcotest.test_case "high water counts live only" `Quick
+          test_sim_hwm_counts_live_only;
         Alcotest.test_case "scheduling in the past" `Quick test_sim_past_raises;
         Alcotest.test_case "run until" `Quick test_sim_run_until;
         Alcotest.test_case "until inclusive" `Quick test_sim_until_inclusive;
@@ -940,14 +1099,20 @@ let suites =
       ] );
     ( "engine.event_queue",
       [
-        Alcotest.test_case "compaction sweep" `Quick
+        Alcotest.test_case "cancel-heavy reclaim" `Quick
           test_event_queue_compaction_sweep;
         Alcotest.test_case "stale cancel rejected" `Quick
           test_event_queue_stale_cancel;
-        Alcotest.test_case "compact to empty" `Quick
-          test_event_queue_compact_to_empty;
-        Alcotest.test_case "compact to one survivor" `Quick
-          test_event_queue_compact_to_one;
+        Alcotest.test_case "wheel cancel reclaims slots" `Quick
+          test_event_queue_wheel_cancel_reclaims;
+        Alcotest.test_case "overflow lazy sweep" `Quick
+          test_event_queue_overflow_lazy_sweep;
+        Alcotest.test_case "overdue backstop ordering" `Quick
+          test_event_queue_overdue_backstop;
+        Alcotest.test_case "cascade boundaries" `Quick
+          test_event_queue_cascade_boundaries;
+        Alcotest.test_case "zero-alloc fast path" `Quick
+          test_event_queue_zero_alloc_fast_path;
         Alcotest.test_case "allocation regression" `Quick
           test_event_queue_alloc_regression;
         Alcotest.test_case "event class tags" `Quick test_event_queue_cls;
@@ -955,6 +1120,7 @@ let suites =
         Alcotest.test_case "heap drain releases elements" `Quick
           test_heap_drain_releases_elements;
         qtest prop_event_queue_matches_model;
+        qtest prop_event_queue_large_keys;
         qtest prop_event_queue_matches_heap;
         qtest prop_event_queue_cancel_heavy;
       ] );

@@ -11,26 +11,28 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 
-(* A dedicated sim that only hands out packet ids for tests that do not
+(* A dedicated sim (and its packet store) for tests that do not
    otherwise need one. *)
 let pkt_sim = Sim.create ()
+let pkt_st = Packet.store_of pkt_sim
 
 let mk_pkt ?(sim = pkt_sim) ?(src = 0) ?(dst = 1) ?(flow = 0) ?(size = 1500)
     ?(ecn = Packet.Ect) () =
-  Packet.make sim ~src ~dst ~flow ~size ~ecn Packet.No_payload
+  Packet.make (Packet.store_of sim) ~src ~dst ~flow ~size ~ecn
+    Packet.No_payload
 
 (* --- Packet --- *)
 
 let test_packet_fields () =
   let p = mk_pkt ~src:3 ~dst:9 ~flow:7 ~size:100 () in
-  checki "src" 3 p.Packet.src;
-  checki "dst" 9 p.Packet.dst;
-  checki "flow" 7 p.Packet.flow;
-  checki "size" 100 p.Packet.size
+  checki "src" 3 (Packet.src pkt_st p);
+  checki "dst" 9 (Packet.dst pkt_st p);
+  checki "flow" 7 (Packet.flow pkt_st p);
+  checki "size" 100 (Packet.size pkt_st p)
 
 let test_packet_ids_unique () =
   let a = mk_pkt () and b = mk_pkt () in
-  checkb "distinct ids" true (a.Packet.id <> b.Packet.id)
+  checkb "distinct ids" true (Packet.id pkt_st a <> Packet.id pkt_st b)
 
 let test_packet_ids_per_sim () =
   (* Packet ids come from the owning sim's counter, not process-global
@@ -39,7 +41,7 @@ let test_packet_ids_per_sim () =
   let ids_of sim others =
     List.init 8 (fun i ->
         List.iter (fun o -> if i mod 2 = 0 then ignore (mk_pkt ~sim:o ())) others;
-        (mk_pkt ~sim ()).Packet.id)
+        Packet.id (Packet.store_of sim) (mk_pkt ~sim ()))
   in
   let a = Sim.create ~seed:9L () and b = Sim.create ~seed:9L () in
   let noise = Sim.create () in
@@ -51,23 +53,69 @@ let test_packet_ids_per_sim () =
 
 let test_packet_mark () =
   let p = mk_pkt ~ecn:Packet.Ect () in
-  checkb "not ce" false (Packet.is_ce p);
-  checkb "ect" true (Packet.is_ect p);
-  Packet.mark_ce p;
-  checkb "ce" true (Packet.is_ce p);
-  checkb "ce is ect" true (Packet.is_ect p)
+  checkb "not ce" false (Packet.is_ce pkt_st p);
+  checkb "ect" true (Packet.is_ect pkt_st p);
+  Packet.mark_ce pkt_st p;
+  checkb "ce" true (Packet.is_ce pkt_st p);
+  checkb "ce is ect" true (Packet.is_ect pkt_st p)
 
 let test_packet_mark_not_ect () =
   let p = mk_pkt ~ecn:Packet.Not_ect () in
-  Packet.mark_ce p;
-  checkb "not-ect cannot be marked" false (Packet.is_ce p);
-  checkb "not ect" false (Packet.is_ect p)
+  Packet.mark_ce pkt_st p;
+  checkb "not-ect cannot be marked" false (Packet.is_ce pkt_st p);
+  checkb "not ect" false (Packet.is_ect pkt_st p)
 
 let test_packet_bad_size () =
   checkb "zero size raises" true
     (match mk_pkt ~size:0 () with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+let test_packet_double_free () =
+  let sim = Sim.create () in
+  let st = Packet.store_of sim in
+  let p = mk_pkt ~sim () in
+  Packet.free st p;
+  checkb "second free raises" true
+    (match Packet.free st p with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_packet_pool_steady () =
+  (* The store recycles handles: with at most [k] packets live at once,
+     the backing arrays stop growing after the first cycle, however many
+     packets pass through afterwards. *)
+  let sim = Sim.create () in
+  let st = Packet.store_of sim in
+  let live0 = Packet.live_count st in
+  let k = 8 in
+  let cycle () =
+    let ps =
+      List.init k (fun i -> mk_pkt ~sim ~flow:i ())
+    in
+    List.iter (fun p -> Packet.free st p) ps
+  in
+  cycle ();
+  let pool = Packet.pool_size st in
+  for _ = 1 to 100 do
+    cycle ()
+  done;
+  checki "pool stopped growing" pool (Packet.pool_size st);
+  checki "all handles returned" live0 (Packet.live_count st)
+
+let test_packet_enq_ns_stamp () =
+  (* Queue_disc.enqueue stamps the admission instant; a fresh packet
+     reads back 0 until it is admitted somewhere. *)
+  let sim = Sim.create () in
+  let st = Packet.store_of sim in
+  let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
+  let p = mk_pkt ~sim () in
+  checki "fresh packet unstamped" 0 (Packet.enq_ns st p);
+  ignore
+    (Sim.schedule_at sim (Time.of_ns 5_000L) (fun () ->
+         checkb "admitted" true (Q.enqueue q p = `Enqueued)));
+  Sim.run sim;
+  checki "stamped with admission time" 5_000 (Packet.enq_ns st p)
 
 (* --- Marking: none & red --- *)
 
@@ -106,7 +154,7 @@ let test_marking_red_validation () =
 let test_queue_fifo_order () =
   let sim = Sim.create () in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
-  let a = mk_pkt ~size:100 () and b = mk_pkt ~size:100 () in
+  let a = mk_pkt ~sim ~size:100 () and b = mk_pkt ~sim ~size:100 () in
   checkb "enq a" true (Q.enqueue q a = `Enqueued);
   checkb "enq b" true (Q.enqueue q b = `Enqueued);
   checkb "fifo" true (Q.dequeue q = Some a);
@@ -116,8 +164,8 @@ let test_queue_fifo_order () =
 let test_queue_occupancy () =
   let sim = Sim.create () in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
-  ignore (Q.enqueue q (mk_pkt ~size:600 ()));
-  ignore (Q.enqueue q (mk_pkt ~size:400 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:600 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:400 ()));
   checki "bytes" 1000 (Q.occupancy_bytes q);
   checki "pkts" 2 (Q.occupancy_packets q);
   ignore (Q.dequeue q);
@@ -127,11 +175,11 @@ let test_queue_occupancy () =
 let test_queue_tail_drop () =
   let sim = Sim.create () in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1000) () in
-  checkb "fits" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Enqueued);
-  checkb "drops" true (Q.enqueue q (mk_pkt ~size:600 ()) = `Dropped);
+  checkb "fits" true (Q.enqueue q (mk_pkt ~sim ~size:600 ()) = `Enqueued);
+  checkb "drops" true (Q.enqueue q (mk_pkt ~sim ~size:600 ()) = `Dropped);
   checki "drop count" 1 (Q.drops q);
   checki "enqueued count" 1 (Q.enqueued q);
-  checkb "small still fits" true (Q.enqueue q (mk_pkt ~size:400 ()) = `Enqueued)
+  checkb "small still fits" true (Q.enqueue q (mk_pkt ~sim ~size:400 ()) = `Enqueued)
 
 let test_queue_marks_via_policy () =
   let sim = Sim.create () in
@@ -142,12 +190,13 @@ let test_queue_marks_via_policy () =
       ()
   in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) ~marking:policy () in
-  let ect = mk_pkt ~ecn:Packet.Ect () in
-  let nect = mk_pkt ~ecn:Packet.Not_ect () in
+  let ect = mk_pkt ~sim ~ecn:Packet.Ect () in
+  let nect = mk_pkt ~sim ~ecn:Packet.Not_ect () in
+  let st = Packet.store_of sim in
   ignore (Q.enqueue q ect);
   ignore (Q.enqueue q nect);
-  checkb "ect marked" true (Packet.is_ce ect);
-  checkb "not-ect unmarked" false (Packet.is_ce nect);
+  checkb "ect marked" true (Packet.is_ce st ect);
+  checkb "not-ect unmarked" false (Packet.is_ce st nect);
   checki "marked counts only ect" 1 (Q.marked q)
 
 let test_queue_policy_sees_occupancy () =
@@ -163,8 +212,8 @@ let test_queue_policy_sees_occupancy () =
       ()
   in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) ~marking:policy () in
-  ignore (Q.enqueue q (mk_pkt ~size:100 ()));
-  ignore (Q.enqueue q (mk_pkt ~size:200 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:100 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:200 ()));
   ignore (Q.dequeue q);
   Alcotest.check
     (Alcotest.list
@@ -182,10 +231,10 @@ let test_queue_time_weighted_stats () =
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   (* occupancy 1500 over [0,10us), 3000 over [10,20us), drain at 20us;
      measure at 30us: mean = (1500*10 + 3000*10 + 0*10)/30 = 1500 *)
-  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:1500 ()));
   ignore
     (Sim.schedule_at sim (Time.of_us 10.) (fun () ->
-         ignore (Q.enqueue q (mk_pkt ~size:1500 ()))));
+         ignore (Q.enqueue q (mk_pkt ~sim ~size:1500 ()))));
   ignore
     (Sim.schedule_at sim (Time.of_us 20.) (fun () ->
          ignore (Q.dequeue q);
@@ -202,7 +251,7 @@ let test_queue_time_weighted_stats () =
 let test_queue_reset_stats () =
   let sim = Sim.create () in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
-  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:1500 ()));
   Sim.run ~until:(Time.of_us 10.) sim;
   Q.reset_stats q;
   Sim.run ~until:(Time.of_us 20.) sim;
@@ -215,8 +264,8 @@ let test_queue_observer () =
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:2000) () in
   let events = ref 0 in
   Q.set_observer q (fun () -> incr events);
-  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
-  ignore (Q.enqueue q (mk_pkt ~size:1500 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:1500 ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ~size:1500 ()));
   (* dropped, still observed *)
   ignore (Q.dequeue q);
   checki "three events" 3 !events
@@ -237,10 +286,12 @@ let test_port_serialization_timing () =
   let port =
     Net.Port.create sim ~rate_bps:1e9 ~delay:(Time.span_of_us 10.) ~queue:q
       ~deliver:(fun pkt ->
-        arrivals := (Time.to_sec (Sim.now sim), pkt.Packet.id) :: !arrivals)
+        arrivals :=
+          (Time.to_sec (Sim.now sim), Packet.id (Packet.store_of sim) pkt)
+          :: !arrivals)
   in
   (* 1500 B at 1 Gbps = 12 us serialization + 10 us propagation. *)
-  let p = mk_pkt ~size:1500 () in
+  let p = mk_pkt ~sim ~size:1500 () in
   Net.Port.send port p;
   Sim.run sim;
   (match !arrivals with
@@ -257,8 +308,8 @@ let test_port_back_to_back () =
     Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun _ ->
         arrivals := Time.to_sec (Sim.now sim) :: !arrivals)
   in
-  Net.Port.send port (mk_pkt ~size:1500 ());
-  Net.Port.send port (mk_pkt ~size:1500 ());
+  Net.Port.send port (mk_pkt ~sim ~size:1500 ());
+  Net.Port.send port (mk_pkt ~sim ~size:1500 ());
   Sim.run sim;
   (match List.rev !arrivals with
   | [ t1; t2 ] ->
@@ -279,7 +330,7 @@ let test_port_reset_counters () =
   let sim = Sim.create () in
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:10_000) () in
   let port = Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:ignore in
-  Net.Port.send port (mk_pkt ~size:1000 ());
+  Net.Port.send port (mk_pkt ~sim ~size:1000 ());
   Sim.run sim;
   Net.Port.reset_counters port;
   checki "bytes zero" 0 (Net.Port.bytes_sent port);
@@ -295,9 +346,9 @@ let test_port_drops_dont_transmit () =
   in
   (* The first is dequeued for transmission immediately, so the queue can
      hold one more; the third must be dropped. *)
-  Net.Port.send port (mk_pkt ~size:800 ());
-  Net.Port.send port (mk_pkt ~size:800 ());
-  Net.Port.send port (mk_pkt ~size:800 ());
+  Net.Port.send port (mk_pkt ~sim ~size:800 ());
+  Net.Port.send port (mk_pkt ~sim ~size:800 ());
+  Net.Port.send port (mk_pkt ~sim ~size:800 ());
   Sim.run sim;
   checki "two delivered" 2 !count;
   checki "one dropped" 1 (Q.drops q)
@@ -308,9 +359,10 @@ let test_host_dispatch () =
   let sim = Sim.create () in
   let h = Net.Host.create sim ~id:5 in
   let got = ref [] in
-  Net.Host.bind_flow h ~flow:1 (fun p -> got := p.Packet.flow :: !got);
-  Net.Host.receive h (mk_pkt ~flow:1 ());
-  Net.Host.receive h (mk_pkt ~flow:2 ());
+  Net.Host.bind_flow h ~flow:1 (fun p ->
+      got := Packet.flow (Packet.store_of sim) p :: !got);
+  Net.Host.receive h (mk_pkt ~sim ~flow:1 ());
+  Net.Host.receive h (mk_pkt ~sim ~flow:2 ());
   checki "dispatched" 1 (List.length !got);
   checki "unclaimed" 1 (Net.Host.unclaimed h)
 
@@ -349,9 +401,9 @@ let test_switch_routing () =
   let ib = Net.Switch.add_port sw pb in
   Net.Switch.set_route sw ~dst:1 ~port:ia;
   Net.Switch.set_route sw ~dst:2 ~port:ib;
-  Net.Switch.receive sw (mk_pkt ~dst:1 ());
-  Net.Switch.receive sw (mk_pkt ~dst:2 ());
-  Net.Switch.receive sw (mk_pkt ~dst:2 ());
+  Net.Switch.receive sw (mk_pkt ~sim ~dst:1 ());
+  Net.Switch.receive sw (mk_pkt ~sim ~dst:2 ());
+  Net.Switch.receive sw (mk_pkt ~sim ~dst:2 ());
   Sim.run sim;
   checki "a got one" 1 !to_a;
   checki "b got two" 2 !to_b;
@@ -360,7 +412,7 @@ let test_switch_routing () =
 let test_switch_no_route () =
   let sim = Sim.create () in
   let sw = Net.Switch.create sim ~id:0 () in
-  Net.Switch.receive sw (mk_pkt ~dst:42 ());
+  Net.Switch.receive sw (mk_pkt ~sim ~dst:42 ());
   checki "counted" 1 (Net.Switch.no_route_drops sw)
 
 let test_switch_bad_port () =
@@ -390,7 +442,7 @@ let test_dumbbell_connectivity () =
   Array.iter
     (fun s ->
       Net.Host.send s
-        (mk_pkt
+        (mk_pkt ~sim
            ~src:(Net.Host.id s)
            ~dst:(Net.Host.id d.Net.Topology.receiver)
            ~flow:9 ()))
@@ -408,7 +460,7 @@ let test_dumbbell_reverse_path () =
   let got = ref 0 in
   Net.Host.bind_flow d.Net.Topology.senders.(1) ~flow:3 (fun _ -> incr got);
   Net.Host.send d.Net.Topology.receiver
-    (mk_pkt
+    (mk_pkt ~sim
        ~src:(Net.Host.id d.Net.Topology.receiver)
        ~dst:(Net.Host.id d.Net.Topology.senders.(1))
        ~flow:3 ());
@@ -428,7 +480,7 @@ let test_dumbbell_rtt () =
   Net.Host.bind_flow d.Net.Topology.receiver ~flow:0 (fun _ ->
       arrival := Time.to_sec (Sim.now sim));
   Net.Host.send d.Net.Topology.senders.(0)
-    (mk_pkt ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ~size:1500 ());
+    (mk_pkt ~sim ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ~size:1500 ());
   Sim.run sim;
   (* 25us + 25us propagation + 2 * 12us serialization at 1 Gbps *)
   checkf ~eps:1e-7 "one-way latency" 74e-6 !arrival
@@ -447,9 +499,9 @@ let test_dumbbell_bottleneck_marks () =
   in
   let ce = ref false in
   Net.Host.bind_flow d.Net.Topology.receiver ~flow:0 (fun p ->
-      ce := Packet.is_ce p);
+      ce := Packet.is_ce (Packet.store_of sim) p);
   Net.Host.send d.Net.Topology.senders.(0)
-    (mk_pkt ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ());
+    (mk_pkt ~sim ~src:0 ~dst:(Net.Host.id d.Net.Topology.receiver) ());
   Sim.run sim;
   checkb "bottleneck marked data" true !ce
 
@@ -466,7 +518,7 @@ let test_star_connectivity () =
   Array.iter
     (fun w ->
       Net.Host.send w
-        (mk_pkt
+        (mk_pkt ~sim
            ~src:(Net.Host.id w)
            ~dst:(Net.Host.id s.Net.Topology.aggregator)
            ~flow:1 ()))
@@ -487,12 +539,12 @@ let test_star_reverse_and_cross () =
   Net.Host.bind_flow w8 ~flow:3 (fun _ -> incr got_w8);
   (* aggregator -> worker *)
   Net.Host.send s.Net.Topology.aggregator
-    (mk_pkt
+    (mk_pkt ~sim
        ~src:(Net.Host.id s.Net.Topology.aggregator)
        ~dst:(Net.Host.id w0) ~flow:2 ());
   (* worker -> worker across leaves *)
   Net.Host.send w0
-    (mk_pkt ~src:(Net.Host.id w0) ~dst:(Net.Host.id w8) ~flow:3 ());
+    (mk_pkt ~sim ~src:(Net.Host.id w0) ~dst:(Net.Host.id w8) ~flow:3 ());
   Sim.run sim;
   checki "agg to worker" 1 !got_w0;
   checki "worker to worker" 1 !got_w8
@@ -509,7 +561,7 @@ let test_parking_lot_connectivity () =
   let got_long = ref 0 in
   Net.Host.bind_flow pl.Net.Topology.long_dst ~flow:7 (fun _ -> incr got_long);
   Net.Host.send pl.Net.Topology.long_src
-    (mk_pkt
+    (mk_pkt ~sim
        ~src:(Net.Host.id pl.Net.Topology.long_src)
        ~dst:(Net.Host.id pl.Net.Topology.long_dst)
        ~flow:7 ());
@@ -519,7 +571,7 @@ let test_parking_lot_connectivity () =
     (fun i dst ->
       Net.Host.bind_flow dst ~flow:(20 + i) (fun _ -> incr got_cross.(i));
       Net.Host.send pl.Net.Topology.cross_srcs.(i)
-        (mk_pkt
+        (mk_pkt ~sim
            ~src:(Net.Host.id pl.Net.Topology.cross_srcs.(i))
            ~dst:(Net.Host.id dst) ~flow:(20 + i) ()))
     pl.Net.Topology.cross_dsts;
@@ -527,7 +579,7 @@ let test_parking_lot_connectivity () =
   let got_rev = ref 0 in
   Net.Host.bind_flow pl.Net.Topology.long_src ~flow:9 (fun _ -> incr got_rev);
   Net.Host.send pl.Net.Topology.long_dst
-    (mk_pkt
+    (mk_pkt ~sim
        ~src:(Net.Host.id pl.Net.Topology.long_dst)
        ~dst:(Net.Host.id pl.Net.Topology.long_src)
        ~flow:9 ());
@@ -572,7 +624,7 @@ let test_trace_every_change () =
   let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
   ignore
     (Sim.schedule_at sim (Time.of_us 1.) (fun () ->
-         ignore (Q.enqueue q (mk_pkt ()))));
+         ignore (Q.enqueue q (mk_pkt ~sim ()))));
   ignore
     (Sim.schedule_at sim (Time.of_us 2.) (fun () -> ignore (Q.dequeue q)));
   Sim.run sim;
@@ -610,7 +662,7 @@ let test_trace_detach () =
   let q = Q.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   let tr = Net.Trace.on_queue sim q ~mode:Net.Trace.Every_change () in
   Net.Trace.detach tr;
-  ignore (Q.enqueue q (mk_pkt ()));
+  ignore (Q.enqueue q (mk_pkt ~sim ()));
   checki "no further samples" 1
     (Stats.Timeseries.length (Net.Trace.series_packets tr))
 
@@ -628,7 +680,7 @@ let test_queue_stats_match_trace () =
     ignore
       (Sim.schedule_at sim at (fun () ->
            if Engine.Rng.bool rng then
-             ignore (Q.enqueue q (mk_pkt ~size:(500 + Engine.Rng.int rng ~bound:1000) ()))
+             ignore (Q.enqueue q (mk_pkt ~sim ~size:(500 + Engine.Rng.int rng ~bound:1000) ()))
            else ignore (Q.dequeue q)))
   done;
   let t_end = Time.of_us 3000. in
@@ -851,6 +903,12 @@ let suites =
         Alcotest.test_case "not-ect immune to marking" `Quick
           test_packet_mark_not_ect;
         Alcotest.test_case "size validation" `Quick test_packet_bad_size;
+        Alcotest.test_case "double free detected" `Quick
+          test_packet_double_free;
+        Alcotest.test_case "pool reaches steady state" `Quick
+          test_packet_pool_steady;
+        Alcotest.test_case "enqueue stamps admission time" `Quick
+          test_packet_enq_ns_stamp;
       ] );
     ( "net.marking",
       [

@@ -341,7 +341,8 @@ let test_receiver_ooo_buffering () =
   let r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 () in
   let push seq =
     Net.Host.receive h
-      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+      (Net.Packet.make (Net.Packet.store_of sim) ~src:0 ~dst:1 ~flow:0
+         ~size:1500 ~ecn:Net.Packet.Ect
          (Tcp.Segment.data ~seq))
   in
   push 0;
@@ -362,13 +363,17 @@ let test_receiver_echo_per_packet () =
   let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
-         match p.Net.Packet.payload with
-         | Tcp.Segment.Ack { ack; ece; sack = _ } -> acks := (ack, ece) :: !acks
-         | _ -> ()));
+         let st = Net.Packet.store_of sim in
+         (match Net.Packet.payload st p with
+         | Tcp.Segment.Ack { ack; ece; sack = _ } ->
+             acks := (ack, ece) :: !acks
+         | _ -> ());
+         Net.Packet.free st p));
   let _r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 () in
   let push seq ecn =
     Net.Host.receive h
-      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
+      (Net.Packet.make (Net.Packet.store_of sim) ~src:0 ~dst:1 ~flow:0
+         ~size:1500 ~ecn
          (Tcp.Segment.data ~seq))
   in
   push 0 Net.Packet.Ect;
@@ -388,16 +393,20 @@ let test_receiver_echo_dctcp_delayed () =
   let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
-         match p.Net.Packet.payload with
-         | Tcp.Segment.Ack { ack; ece; sack = _ } -> acks := (ack, ece) :: !acks
-         | _ -> ()));
+         let st = Net.Packet.store_of sim in
+         (match Net.Packet.payload st p with
+         | Tcp.Segment.Ack { ack; ece; sack = _ } ->
+             acks := (ack, ece) :: !acks
+         | _ -> ());
+         Net.Packet.free st p));
   let r =
     Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0
       ~echo:(Tcp.Receiver.Dctcp_delayed 2) ()
   in
   let push seq ecn =
     Net.Host.receive h
-      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn
+      (Net.Packet.make (Net.Packet.store_of sim) ~src:0 ~dst:1 ~flow:0
+         ~size:1500 ~ecn
          (Tcp.Segment.data ~seq))
   in
   (* two unmarked packets -> one coalesced ACK(ece=false) *)
@@ -436,13 +445,16 @@ let test_receiver_sack_blocks () =
   let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
-         match p.Net.Packet.payload with
+         let st = Net.Packet.store_of sim in
+         (match Net.Packet.payload st p with
          | Tcp.Segment.Ack { sack; _ } -> last_sack := sack
-         | _ -> ()));
+         | _ -> ());
+         Net.Packet.free st p));
   let _r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 ~sack:true () in
   let push seq =
     Net.Host.receive h
-      (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+      (Net.Packet.make (Net.Packet.store_of sim) ~src:0 ~dst:1 ~flow:0
+         ~size:1500 ~ecn:Net.Packet.Ect
          (Tcp.Segment.data ~seq));
     Sim.run sim
   in
@@ -472,14 +484,17 @@ let test_receiver_sack_block_limit () =
   let q = Net.Queue_disc.create sim ~buffer:(Net.Buffer_mgr.solo ~capacity_bytes:1_000_000) () in
   Net.Host.attach_nic h
     (Net.Port.create sim ~rate_bps:1e9 ~delay:0L ~queue:q ~deliver:(fun p ->
-         match p.Net.Packet.payload with
+         let st = Net.Packet.store_of sim in
+         (match Net.Packet.payload st p with
          | Tcp.Segment.Ack { sack; _ } -> last_sack := sack
-         | _ -> ()));
+         | _ -> ());
+         Net.Packet.free st p));
   let _r = Tcp.Receiver.create sim ~host:h ~flow:0 ~peer:0 ~sack:true () in
   List.iter
     (fun seq ->
       Net.Host.receive h
-        (Net.Packet.make sim ~src:0 ~dst:1 ~flow:0 ~size:1500 ~ecn:Net.Packet.Ect
+        (Net.Packet.make (Net.Packet.store_of sim) ~src:0 ~dst:1 ~flow:0
+           ~size:1500 ~ecn:Net.Packet.Ect
            (Tcp.Segment.data ~seq)))
     [ 2; 4; 6; 8; 10 ];
   Sim.run sim;

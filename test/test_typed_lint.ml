@@ -204,7 +204,22 @@ let s14 =
         let sup n l = List.map (fun x -> x * n) l (* dtlint: allow R14 *)\n";
      (* same shape, but nothing hot reaches it *)
      write root "lib/net/coldpath.ml" "let mk n l = List.map (fun x -> x + n) l\n";
-     compile root [ "lib/engine/ring.ml"; "lib/net/coldpath.ml" ];
+     (* wheel-shaped module: lib/engine/int_ring.ml and lib/net/packet.ml
+        are whole-module hot roots since the timing-wheel/SoA PR. The
+        planted [weight] returns a boxed float out of a cascade-like
+        bucket walk — exactly the regression the rule must catch in the
+        real wheel's cascade. *)
+     write root "lib/engine/int_ring.ml"
+       "let cascade_weight buckets b = float_of_int (Array.length buckets * b)\n\
+        let ok_int buckets b = Array.length buckets * b\n";
+     write root "lib/net/packet.ml"
+       "let free stack top p = stack.(top) <- p\n\
+        let boxed_occupancy size live = float_of_int size *. float_of_int live\n";
+     compile root
+       [
+         "lib/engine/ring.ml"; "lib/net/coldpath.ml";
+         "lib/engine/int_ring.ml"; "lib/net/packet.ml";
+       ];
      root)
 
 let test_r14_hot_path_allocs () =
@@ -213,12 +228,15 @@ let test_r14_hot_path_allocs () =
     "partial application, capturing closure and float return flagged; \
      capture-free closure, suppressed line and cold module stay legal"
     [
-      "R14 lib/engine/ring.ml:2"; "R14 lib/engine/ring.ml:3";
-      "R14 lib/engine/ring.ml:5";
+      "R14 lib/engine/int_ring.ml:1"; "R14 lib/engine/ring.ml:2";
+      "R14 lib/engine/ring.ml:3"; "R14 lib/engine/ring.ml:5";
+      "R14 lib/net/packet.ml:2";
     ]
     vs;
   let capture =
-    List.find (fun (v : R.violation) -> v.line = 3) vs
+    List.find
+      (fun (v : R.violation) -> v.file = "lib/engine/ring.ml" && v.line = 3)
+      vs
   in
   Alcotest.(check bool) "capture message names the variable" true
     (contains ~sub:"captures n" capture.message)
