@@ -94,6 +94,15 @@ let convergence_of (o : Exp.Runner.outcome) =
       bad_outcome o.Exp.Runner.spec.Exp.Spec.name
         ("unexpected payload " ^ Exp.Outcome.payload_kind p)
 
+let fattree_of (o : Exp.Runner.outcome) =
+  match o.Exp.Runner.result with
+  | Exp.Outcome.Done (Exp.Outcome.Fattree r) -> r
+  | Exp.Outcome.Failed { error; _ } ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name error
+  | Exp.Outcome.Done p ->
+      bad_outcome o.Exp.Runner.spec.Exp.Spec.name
+        ("unexpected payload " ^ Exp.Outcome.payload_kind p)
+
 let section_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

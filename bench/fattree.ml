@@ -1,0 +1,118 @@
+(* Fat-tree fabric study: FCT slowdown over ECMP multi-path routing.
+
+   Per-rack incast victims plus cross-pod long flows on the k-ary fat
+   tree (k = 4 and 8; 16 and 128 hosts), under the testbed 1 Gbps
+   protocol points plus loss-based NewReno. Every flow's completion
+   time is scored against its idle-network ideal, so short incast
+   bursts and half-megabyte long flows share one slowdown scale and
+   the tail percentiles are meaningful across the mix.
+
+   The tracked BENCH_fattree.json claim extends the paper's story to a
+   multi-path fabric: at every swept arity DT-DCTCP's p99 slowdown is
+   at or below DCTCP's — with the 128 KB per-port buffers DCTCP's
+   wider queue excursions cost it overflow drops and RTOs that the
+   hysteresis band avoids (at k = 8 DCTCP takes three times the
+   timeouts DT does), even when the congestion is spread across ECMP
+   paths rather than parked at one bottleneck. NewReno rides along as
+   the loss-based competitor; its tail is reported, not gated.
+
+   --quick keeps the same fabric and transfer sizes but caps simulated
+   time at 1 s instead of 5 s — the cap only truncates RTO-dominated
+   stragglers (censored flows score at the cap), which in practice
+   means NewReno's, so the gated ECN percentiles are identical to full
+   mode while CI skips simulating seconds of retransmission spam. *)
+
+module Spec = Exp.Spec
+module Json = Obs.Json
+
+let ks () = Exp.Registry.fattree_ks
+
+let specs () =
+  if !Bench_common.quick then
+    Exp.Registry.fig_fattree_specs ~time_cap:(Engine.Time.span_of_sec 1.) ()
+  else Exp.Registry.fig_fattree_specs ()
+
+let run () =
+  Bench_common.section_header "Fat-tree fabric: FCT slowdown over ECMP";
+  let specs = specs () in
+  let outcomes, wall_s =
+    Obs.Profile.time (fun () -> Bench_common.run_specs specs)
+  in
+  let t =
+    Stats.Table.create ~title:"FCT slowdown on the k-ary fat tree"
+      ~columns:
+        [
+          Stats.Table.column "k";
+          Stats.Table.column ~align:Stats.Table.Left "protocol";
+          Stats.Table.column "flows";
+          Stats.Table.column "p50";
+          Stats.Table.column "p95";
+          Stats.Table.column "p99";
+          Stats.Table.column "p99.9";
+          Stats.Table.column "mean";
+          Stats.Table.column "timeouts";
+          Stats.Table.column "incomplete";
+        ]
+  in
+  let ks = ks () in
+  let slugs = List.map fst Exp.Registry.fattree_protocols in
+  let n_protos = List.length slugs in
+  let metrics = ref [] in
+  let events = ref 0 in
+  let p99 = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (o : Exp.Runner.outcome) ->
+      let k = List.nth ks (i / n_protos) in
+      let slug = List.nth slugs (i mod n_protos) in
+      let name = o.Exp.Runner.spec.Spec.name in
+      let r = Bench_common.fattree_of o in
+      if r.Workloads.Fattree.no_route_drops > 0 then
+        Bench_common.bad_outcome name
+          (Printf.sprintf "%d no-route drops (fabric miswired)"
+             r.Workloads.Fattree.no_route_drops);
+      Hashtbl.replace p99 (slug, k) r.Workloads.Fattree.slowdown_p99;
+      events := !events + o.Exp.Runner.manifest.Obs.Manifest.events;
+      Stats.Table.add_row t
+        [
+          string_of_int k;
+          slug;
+          string_of_int r.Workloads.Fattree.flows_total;
+          Printf.sprintf "%.2f" r.Workloads.Fattree.slowdown_p50;
+          Printf.sprintf "%.2f" r.Workloads.Fattree.slowdown_p95;
+          Printf.sprintf "%.2f" r.Workloads.Fattree.slowdown_p99;
+          Printf.sprintf "%.2f" r.Workloads.Fattree.slowdown_p999;
+          Printf.sprintf "%.2f" r.Workloads.Fattree.slowdown_mean;
+          string_of_int r.Workloads.Fattree.timeouts;
+          string_of_int r.Workloads.Fattree.incomplete;
+        ];
+      let key field = Printf.sprintf "%s.%s.k%d" field slug k in
+      metrics :=
+        [
+          (key "slowdown_p50", r.Workloads.Fattree.slowdown_p50);
+          (key "slowdown_p95", r.Workloads.Fattree.slowdown_p95);
+          (key "slowdown_p99", r.Workloads.Fattree.slowdown_p99);
+          (key "slowdown_p999", r.Workloads.Fattree.slowdown_p999);
+          (key "slowdown_mean", r.Workloads.Fattree.slowdown_mean);
+          (key "slowdown_max", r.Workloads.Fattree.slowdown_max);
+          (key "flows", float_of_int r.Workloads.Fattree.flows_total);
+          (key "timeouts", float_of_int r.Workloads.Fattree.timeouts);
+          (key "incomplete", float_of_int r.Workloads.Fattree.incomplete);
+        ]
+        @ !metrics)
+    outcomes;
+  Stats.Table.print t;
+  List.iter
+    (fun k ->
+      let d = Hashtbl.find p99 ("dctcp", k) in
+      let dt = Hashtbl.find p99 ("dt-dctcp", k) in
+      Printf.printf "  k=%d p99 slowdown: DCTCP %.2f vs DT %.2f %s\n" k d dt
+        (if dt <= d then "(eased)" else "(NOT eased)"))
+    ks;
+  Bench_common.write_manifest ~section:"fattree" ~wall_s ~seed:1L
+    ~events:!events
+    ~params:
+      [
+        ("ks", Json.List (List.map (fun k -> Json.Int k) ks));
+        ("protocols", Json.List (List.map (fun s -> Json.String s) slugs));
+      ]
+    ~metrics:!metrics ()

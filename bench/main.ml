@@ -3,7 +3,7 @@
 
    Usage: main.exe [--quick] [-j N] [section ...]
    Sections: fig1 fig2 fig_df fig9 sweep fig14 fig15 ablations fluid
-   robustness oscillation buffer perf
+   robustness oscillation buffer fattree perf
    (default: all). -j N fans each section's Exp.Runner sweep across N
    domains; results are bit-identical to -j 1 by construction. *)
 
@@ -35,6 +35,7 @@ let sections =
     ("robustness", Robustness.run);
     ("oscillation", Oscillation.run);
     ("buffer", Buffer.run);
+    ("fattree", Fattree.run);
     ("perf", Perf.run);
   ]
 

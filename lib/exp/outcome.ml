@@ -5,6 +5,7 @@ module Cp = Workloads.Completion
 module Dy = Workloads.Dynamic
 module Cv = Workloads.Convergence
 module De = Workloads.Deadline
+module Ft = Workloads.Fattree
 
 type payload =
   | Longlived of L.result
@@ -13,6 +14,7 @@ type payload =
   | Dynamic of Dy.result
   | Convergence of Cv.result
   | Deadline of De.result
+  | Fattree of Ft.result
 
 type t = Done of payload | Failed of { spec : string; error : string }
 
@@ -108,6 +110,21 @@ let deadline_json (r : De.result) =
       ("incomplete", Json.Int r.incomplete);
     ]
 
+let fattree_json (r : Ft.result) =
+  Json.Obj
+    [
+      ("slowdown_p50", Json.Float r.slowdown_p50);
+      ("slowdown_p95", Json.Float r.slowdown_p95);
+      ("slowdown_p99", Json.Float r.slowdown_p99);
+      ("slowdown_p999", Json.Float r.slowdown_p999);
+      ("slowdown_mean", Json.Float r.slowdown_mean);
+      ("slowdown_max", Json.Float r.slowdown_max);
+      ("flows_total", Json.Int r.flows_total);
+      ("timeouts", Json.Int r.timeouts);
+      ("incomplete", Json.Int r.incomplete);
+      ("no_route_drops", Json.Int r.no_route_drops);
+    ]
+
 let payload_kind = function
   | Longlived _ -> "longlived"
   | Incast _ -> "incast"
@@ -115,6 +132,7 @@ let payload_kind = function
   | Dynamic _ -> "dynamic"
   | Convergence _ -> "convergence"
   | Deadline _ -> "deadline"
+  | Fattree _ -> "fattree"
 
 let payload_json = function
   | Longlived r -> longlived_json r
@@ -123,6 +141,7 @@ let payload_json = function
   | Dynamic r -> dynamic_json r
   | Convergence r -> convergence_json r
   | Deadline r -> deadline_json r
+  | Fattree r -> fattree_json r
 
 let to_json = function
   | Done p ->
@@ -164,5 +183,9 @@ let summary = function
   | Done (Deadline r) ->
       Printf.sprintf "%.1f%% deadlines met, %.2f timeouts/run"
         (100. *. r.met_fraction) r.timeouts_per_run
+  | Done (Fattree r) ->
+      Printf.sprintf
+        "slowdown p50 %.2f / p99 %.2f / p99.9 %.2f, %d timeouts, %d incomplete"
+        r.slowdown_p50 r.slowdown_p99 r.slowdown_p999 r.timeouts r.incomplete
 
 let equal a b = Json.equal (to_json a) (to_json b)

@@ -12,6 +12,7 @@ type payload =
   | Dynamic of Workloads.Dynamic.result
   | Convergence of Workloads.Convergence.result
   | Deadline of Workloads.Deadline.result
+  | Fattree of Workloads.Fattree.result
 
 type t =
   | Done of payload

@@ -5,6 +5,7 @@ module Cp = Workloads.Completion
 module Dy = Workloads.Dynamic
 module Cv = Workloads.Convergence
 module De = Workloads.Deadline
+module Ft = Workloads.Fattree
 
 (* --- the paper's protocol operating points --- *)
 
@@ -345,6 +346,74 @@ let fig_buffer_specs ?(pool_sizes = buffer_pool_sizes)
         alphas)
     pool_sizes
 
+(* --- fat-tree fabric study (extension) ---
+
+   FCT slowdown on the k-ary fat tree: per-rack incast victims plus
+   cross-pod long flows over ECMP multi-path routing. The protocol
+   points are the testbed 1 Gbps operating points (every fabric link is
+   1 Gbps), with loss-based NewReno as the non-ECN competitor. *)
+
+let fattree_protocols =
+  [
+    ("dctcp", testbed_dctcp);
+    ("dt-dctcp", testbed_dt_a);
+    ("newreno", Spec.Newreno);
+  ]
+
+let fattree_ks = [ 4; 8 ]
+
+(* Fan-in scales with the fabric: k/2 hosts share each rack uplink
+   group, and 4k senders per victim keeps every edge switch busy
+   without degenerating into pure timeout counting. Long flows number
+   2k so each pod sources a couple on average. At k=8 this is
+   32 racks x 32 + 16 = 1040 flows over 128 hosts. *)
+let fattree_config ?incast_bytes ?long_bytes ?time_cap ~k () =
+  let d = Ft.default_config in
+  {
+    d with
+    Ft.k;
+    incast_fanin = 4 * k;
+    long_flows = 2 * k;
+    incast_bytes = Option.value incast_bytes ~default:d.Ft.incast_bytes;
+    long_bytes = Option.value long_bytes ~default:d.Ft.long_bytes;
+    time_cap = Option.value time_cap ~default:d.Ft.time_cap;
+  }
+
+let fig_fattree_specs ?(ks = fattree_ks) ?incast_bytes ?long_bytes ?time_cap
+    () =
+  List.concat_map
+    (fun k ->
+      let config = fattree_config ?incast_bytes ?long_bytes ?time_cap ~k () in
+      List.map
+        (fun (slug, proto) ->
+          {
+            Spec.name = Printf.sprintf "fig_fattree/%s/k=%d" slug k;
+            protocol = proto;
+            workload = Spec.Fattree config;
+            faults = None;
+            buffer = Net.Buffer_mgr.Static;
+          })
+        fattree_protocols)
+    ks
+
+(* Sub-minute fabric slice for CI: the smallest legal fabric with light
+   transfers, still exercising ECMP groups on every tier. *)
+let fattree_smoke_specs () =
+  let config =
+    fattree_config ~incast_bytes:(16 * 1024) ~long_bytes:(64 * 1024)
+      ~time_cap:(Time.span_of_ms 500.) ~k:4 ()
+  in
+  List.map
+    (fun (slug, proto) ->
+      {
+        Spec.name = Printf.sprintf "fig_fattree_smoke/%s/k=4" slug;
+        protocol = proto;
+        workload = Spec.Fattree config;
+        faults = None;
+        buffer = Net.Buffer_mgr.Static;
+      })
+    fattree_protocols
+
 (* A fast cross-workload slice (sub-minute serial) for CI: exercises every
    workload variant and both marking families. *)
 let smoke_specs () =
@@ -658,6 +727,16 @@ let entries =
       doc =
         "extension: buffer-sizing study on a shared Dynamic-Threshold pool";
       specs = (fun () -> fig_buffer_specs ());
+    };
+    {
+      name = "fig_fattree";
+      doc = "extension: fat-tree fabric FCT slowdown over ECMP, k=4 and k=8";
+      specs = (fun () -> fig_fattree_specs ());
+    };
+    {
+      name = "fig_fattree_smoke";
+      doc = "fast fat-tree fabric slice (CI): k=4, light transfers";
+      specs = fattree_smoke_specs;
     };
     {
       name = "ci_smoke";

@@ -133,6 +133,38 @@ val fig_buffer_specs :
     switch draws every port from one Dynamic-Threshold pool, swept over
     [pool_sizes] x [alphas] x {!buffer_protocols}. *)
 
+(** {2 Fat-tree fabric study (extension)} *)
+
+val fattree_protocols : (string * Spec.protocol) list
+(** Slugged protocol points of the fabric study: the testbed 1 Gbps
+    DCTCP and DT-DCTCP operating points plus loss-based NewReno. *)
+
+val fattree_ks : int list
+(** Default arity sweep: k = 4 (16 hosts) and k = 8 (128 hosts,
+    1040 flows). *)
+
+val fattree_config :
+  ?incast_bytes:int ->
+  ?long_bytes:int ->
+  ?time_cap:Engine.Time.span ->
+  k:int ->
+  unit ->
+  Workloads.Fattree.config
+(** Fabric point at arity [k]: incast fan-in [4k] per rack victim and
+    [2k] cross-pod long flows (the knobs bench --quick shrinks are the
+    transfer sizes and the cap). *)
+
+val fig_fattree_specs :
+  ?ks:int list ->
+  ?incast_bytes:int ->
+  ?long_bytes:int ->
+  ?time_cap:Engine.Time.span ->
+  unit ->
+  Spec.t list
+
+val fattree_smoke_specs : unit -> Spec.t list
+(** Sub-minute k=4 fabric slice for CI. *)
+
 val smoke_specs : unit -> Spec.t list
 (** Fast cross-workload slice covering every workload variant. *)
 

@@ -60,7 +60,7 @@ let analysis_config (spec : Spec.t) =
           segment_bytes;
         }
   | Spec.Incast _ | Spec.Completion _ | Spec.Dynamic _ | Spec.Convergence _
-  | Spec.Deadline _ ->
+  | Spec.Deadline _ | Spec.Fattree _ ->
       None
 
 let payload_of ?tracer ?on_sim ~metrics ?faults ~buffer proto
@@ -91,6 +91,9 @@ let payload_of ?tracer ?on_sim ~metrics ?faults ~buffer proto
         (Workloads.Deadline.run
            ~marking:(fun () -> proto.Dctcp.Protocol.marking ())
            ~echo:proto.Dctcp.Protocol.echo ?faults ~buffer kind config)
+  | Spec.Fattree cfg ->
+      Outcome.Fattree
+        (Workloads.Fattree.run ~metrics ?faults ~buffer proto cfg)
 
 let run_one ?tracer ?on_sim ?(analyze = false) (spec : Spec.t) =
   let metrics = Obs.Metrics.create () in

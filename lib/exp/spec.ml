@@ -5,6 +5,7 @@ module Cp = Workloads.Completion
 module Dy = Workloads.Dynamic
 module Cv = Workloads.Convergence
 module De = Workloads.Deadline
+module Ft = Workloads.Fattree
 
 type protocol =
   | Dctcp of { g : float; k_bytes : int }
@@ -22,6 +23,7 @@ type workload =
   | Dynamic of Dy.config
   | Convergence of Cv.config
   | Deadline of { config : De.config; d2tcp : bool }
+  | Fattree of Ft.config
 
 type t = {
   name : string;
@@ -51,6 +53,7 @@ let workload_name = function
   | Dynamic _ -> "dynamic"
   | Convergence _ -> "convergence"
   | Deadline _ -> "deadline"
+  | Fattree _ -> "fattree"
 
 let protocol_of = function
   | Dctcp { g; k_bytes } -> Dctcp.Protocol.dctcp ~g ~k_bytes ()
@@ -71,6 +74,7 @@ let seed t =
   | Dynamic c -> c.Dy.seed
   | Convergence c -> c.Cv.seed
   | Deadline { config; _ } -> config.De.seed
+  | Fattree c -> c.Ft.seed
 
 let with_seed seed t =
   let workload =
@@ -82,6 +86,7 @@ let with_seed seed t =
     | Convergence c -> Convergence { c with Cv.seed }
     | Deadline { config; d2tcp } ->
         Deadline { config = { config with De.seed }; d2tcp }
+    | Fattree c -> Fattree { c with Ft.seed }
   in
   { t with workload }
 
@@ -196,6 +201,24 @@ let deadline_fields (c : De.config) d2tcp =
     ("seed", seed_json c.seed);
   ]
 
+let fattree_fields (c : Ft.config) =
+  [
+    ("k", Json.Int c.k);
+    ("incast_fanin", Json.Int c.incast_fanin);
+    ("incast_bytes", Json.Int c.incast_bytes);
+    ("long_flows", Json.Int c.long_flows);
+    ("long_bytes", Json.Int c.long_bytes);
+    ("rate_bps", Json.Float c.rate_bps);
+    ("link_delay", span c.link_delay);
+    ("queue_bytes", Json.Int c.queue_bytes);
+    ("segment_bytes", Json.Int c.segment_bytes);
+    ("min_rto", span c.min_rto);
+    ("time_cap", span c.time_cap);
+    ("start_spread", span c.start_spread);
+    ("initial_cwnd", Json.Float c.initial_cwnd);
+    ("seed", seed_json c.seed);
+  ]
+
 let protocol_to_json p =
   let kind = ("kind", Json.String (protocol_name p)) in
   match p with
@@ -233,6 +256,7 @@ let workload_to_json w =
     | Dynamic c -> dynamic_fields c
     | Convergence c -> convergence_fields c
     | Deadline { config; d2tcp } -> deadline_fields config d2tcp
+    | Fattree c -> fattree_fields c
   in
   Json.Obj (kind :: fields)
 
@@ -534,6 +558,40 @@ let deadline_of_json j =
          d2tcp;
        })
 
+let fattree_of_json j =
+  let* k = int_field "k" j in
+  let* incast_fanin = int_field "incast_fanin" j in
+  let* incast_bytes = int_field "incast_bytes" j in
+  let* long_flows = int_field "long_flows" j in
+  let* long_bytes = int_field "long_bytes" j in
+  let* rate_bps = float_field "rate_bps" j in
+  let* link_delay = span_field "link_delay" j in
+  let* queue_bytes = int_field "queue_bytes" j in
+  let* segment_bytes = int_field "segment_bytes" j in
+  let* min_rto = span_field "min_rto" j in
+  let* time_cap = span_field "time_cap" j in
+  let* start_spread = span_field "start_spread" j in
+  let* initial_cwnd = float_field "initial_cwnd" j in
+  let* seed = seed_field "seed" j in
+  Ok
+    (Fattree
+       {
+         Ft.k;
+         incast_fanin;
+         incast_bytes;
+         long_flows;
+         long_bytes;
+         rate_bps;
+         link_delay;
+         queue_bytes;
+         segment_bytes;
+         min_rto;
+         time_cap;
+         start_spread;
+         initial_cwnd;
+         seed;
+       })
+
 let workload_of_json j =
   let* kind = string_field "kind" j in
   match kind with
@@ -543,6 +601,7 @@ let workload_of_json j =
   | "dynamic" -> dynamic_of_json j
   | "convergence" -> convergence_of_json j
   | "deadline" -> deadline_of_json j
+  | "fattree" -> fattree_of_json j
   | other -> Error (Printf.sprintf "Spec.of_json: unknown workload %S" other)
 
 let buffer_of_json j =

@@ -30,6 +30,9 @@ type workload =
   | Dynamic of Workloads.Dynamic.config
   | Convergence of Workloads.Convergence.config
   | Deadline of { config : Workloads.Deadline.config; d2tcp : bool }
+  | Fattree of Workloads.Fattree.config
+      (** Fat-tree fabric FCT-slowdown study (runs on
+          {!Net.Topology.fat_tree}, not the dumbbell/star). *)
 
 type t = {
   name : string;

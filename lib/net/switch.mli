@@ -2,15 +2,27 @@
 
     Each output port has its own queue (and hence its own marking policy);
     forwarding uses a static routing table from destination host id to
-    output port index, installed by the topology builder. *)
+    either a single output port or an {!Ecmp} group (a port set resolved
+    per flow by a deterministic hash), installed by the topology
+    builder. *)
 
 type t
 
-val create : Engine.Sim.t -> id:int -> ?buffer:Buffer_mgr.config -> unit -> t
+val create :
+  Engine.Sim.t ->
+  id:int ->
+  ?buffer:Buffer_mgr.config ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  t
 (** [buffer] (default {!Buffer_mgr.Static}) selects the switch's memory
     model: [Static] gives every port its private fixed-capacity buffer
     (the historical behavior); [Dynamic_threshold] creates one shared
-    pool that all buffers handed out by {!port_buffer} draw from. *)
+    pool that all buffers handed out by {!port_buffer} draw from.
+    [tracer] receives a {!Obs.Trace.No_route_drop} event for every
+    packet dropped for want of a route; [metrics] registers the
+    [switch.sw<id>.no_route_drops] probe. Both default to off. *)
 
 val id : t -> int
 
@@ -32,8 +44,26 @@ val set_route : t -> dst:int -> port:int -> unit
 (** Routes packets destined to host [dst] out of port index [port].
     @raise Invalid_argument on a bad port index. *)
 
+val add_group : t -> salt:int64 -> ports:int array -> int
+(** Registers an ECMP group over existing port indices and returns its
+    group index. The salt should come from the simulation's
+    {!Engine.Rng} stream so selection stays deterministic per seed.
+    @raise Invalid_argument on an empty set or a bad port index. *)
+
+val group_count : t -> int
+
+val set_group_route : t -> dst:int -> group:int -> unit
+(** Routes packets destined to host [dst] across the group's port set,
+    resolved per flow by {!Ecmp.select}.
+    @raise Invalid_argument on a bad group index. *)
+
 val receive : t -> Packet.t -> unit
 (** Forwards according to the routing table. Packets with no route are
-    counted and dropped. *)
+    counted, traced (class [C_no_route_drop]) and dropped. *)
+
+val route_port : t -> src:int -> dst:int -> flow:int -> int
+(** The egress port index [receive] would pick for this flow identity,
+    or [-1] if the destination has no route. Pure; for tests and
+    topology introspection. *)
 
 val no_route_drops : t -> int

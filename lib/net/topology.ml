@@ -236,3 +236,118 @@ let star_testbed sim ?(n_leaves = 3) ?(workers_per_leaf = 3) ~rate_bps
     leaves;
     star_bottleneck = Switch.port root agg_port_idx;
   }
+
+type fat_tree = {
+  k : int;
+  hosts : Host.t array;
+  edges : Switch.t array;
+  aggs : Switch.t array;
+  cores : Switch.t array;
+}
+
+(* Standard k-ary fat tree (Al-Fares et al.): k pods, each with k/2 edge
+   and k/2 aggregation switches; k/2 hosts per edge switch; (k/2)^2 core
+   switches. Aggregation switch [a] (position within its pod) uplinks to
+   cores [a*(k/2) .. a*(k/2)+k/2-1], so every core sees exactly one
+   aggregation switch per pod. Downward routing is deterministic (the
+   dst's pod, then its rack); upward routing is an ECMP group over the
+   switch's uplinks, salted per switch from the sim's Rng stream. *)
+let fat_tree sim ~k ?(rate_bps = 1e9) ?link_delay
+    ?(queue_bytes = default_access_buffer) ?(edge_buffer = Buffer_mgr.Static)
+    ?(agg_buffer = Buffer_mgr.Static) ?(core_buffer = Buffer_mgr.Static)
+    ~marking ?tracer ?metrics () =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topology.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let n_hosts = k * k * k / 4 in
+  let hosts_per_pod = half * half in
+  let n_edges = k * half in
+  let n_aggs = k * half in
+  let n_cores = half * half in
+  let delay =
+    match link_delay with Some d -> d | None -> Time.span_of_us 5.
+  in
+  let rng = Sim.rng sim in
+  let mk id buffer = Switch.create sim ~id ~buffer ?tracer ?metrics () in
+  let edges = Array.init n_edges (fun e -> mk e edge_buffer) in
+  let aggs = Array.init n_aggs (fun a -> mk (n_edges + a) agg_buffer) in
+  let cores =
+    Array.init n_cores (fun c -> mk (n_edges + n_aggs + c) core_buffer)
+  in
+  (* Hosts, each attached to its rack's edge switch; the primitive
+     installs the edge's direct route to the host. *)
+  let hosts =
+    Array.init n_hosts (fun h ->
+        let host = Host.create sim ~id:h in
+        ignore
+          (connect_host_to_switch sim host edges.(h / half) ~rate_bps ~delay
+             ~switch_buffer:queue_bytes ~switch_marking:(marking ()) ());
+        host)
+  in
+  (* Edge <-> aggregation wiring within each pod. *)
+  let edge_up = Array.make_matrix n_edges half (-1) in
+  let agg_down = Array.make_matrix n_aggs half (-1) in
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        let eg = (p * half) + e and ag = (p * half) + a in
+        let ie, ia =
+          connect_switches sim edges.(eg) aggs.(ag) ~rate_bps ~delay
+            ~buffer_ab:queue_bytes ~buffer_ba:queue_bytes
+            ~marking_ab:(marking ()) ~marking_ba:(marking ()) ()
+        in
+        edge_up.(eg).(a) <- ie;
+        agg_down.(ag).(e) <- ia
+      done
+    done
+  done;
+  (* Aggregation <-> core wiring. *)
+  let agg_up = Array.make_matrix n_aggs half (-1) in
+  let core_down = Array.make_matrix n_cores k (-1) in
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      let ag = (p * half) + a in
+      for j = 0 to half - 1 do
+        let c = (a * half) + j in
+        let ia, ic =
+          connect_switches sim aggs.(ag) cores.(c) ~rate_bps ~delay
+            ~buffer_ab:queue_bytes ~buffer_ba:queue_bytes
+            ~marking_ab:(marking ()) ~marking_ba:(marking ()) ()
+        in
+        agg_up.(ag).(j) <- ia;
+        core_down.(c).(p) <- ic
+      done
+    done
+  done;
+  (* Routing. Salts are drawn in a fixed order (all edges, then all
+     aggs), so the Rng stream — and with it every ECMP decision — is a
+     pure function of the sim's seed. *)
+  Array.iteri
+    (fun eg edge ->
+      let gidx =
+        Switch.add_group edge ~salt:(Engine.Rng.int64 rng)
+          ~ports:edge_up.(eg)
+      in
+      for h = 0 to n_hosts - 1 do
+        if h / half <> eg then Switch.set_group_route edge ~dst:h ~group:gidx
+      done)
+    edges;
+  Array.iteri
+    (fun ag agg ->
+      let p = ag / half in
+      let gidx =
+        Switch.add_group agg ~salt:(Engine.Rng.int64 rng) ~ports:agg_up.(ag)
+      in
+      for h = 0 to n_hosts - 1 do
+        if h / hosts_per_pod = p then
+          Switch.set_route agg ~dst:h ~port:agg_down.(ag).(h / half mod half)
+        else Switch.set_group_route agg ~dst:h ~group:gidx
+      done)
+    aggs;
+  Array.iteri
+    (fun c core ->
+      for h = 0 to n_hosts - 1 do
+        Switch.set_route core ~dst:h ~port:core_down.(c).(h / hosts_per_pod)
+      done)
+    cores;
+  { k; hosts; edges; aggs; cores }

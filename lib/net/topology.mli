@@ -151,3 +151,46 @@ val star_testbed :
     marking policy and the small [bottleneck_buffer] (128 KB in the
     paper); leaf buffers default to 512 KB drop-tail. [buffer] (default
     [Static]) is the root switch's memory model; leaves stay Static. *)
+
+(** {2 Fat tree (k-ary, 3-tier)} *)
+
+type fat_tree = {
+  k : int;
+  hosts : Host.t array;  (** [k^3/4] hosts; host [h] sits in rack
+                             [h / (k/2)] and pod [h / (k^2/4)]. *)
+  edges : Switch.t array;  (** [k^2/2] edge (top-of-rack) switches;
+                               pod [p] owns indices [p*(k/2) ..]. *)
+  aggs : Switch.t array;  (** [k^2/2] aggregation switches, same pod
+                              layout as [edges]. *)
+  cores : Switch.t array;  (** [(k/2)^2] core switches. *)
+}
+
+val fat_tree :
+  Engine.Sim.t ->
+  k:int ->
+  ?rate_bps:float ->
+  ?link_delay:Engine.Time.span ->
+  ?queue_bytes:int ->
+  ?edge_buffer:Buffer_mgr.config ->
+  ?agg_buffer:Buffer_mgr.config ->
+  ?core_buffer:Buffer_mgr.config ->
+  marking:(unit -> Marking.t) ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  fat_tree
+(** Standard k-ary fat tree (k even, >= 2): k pods of k/2 edge and k/2
+    aggregation switches, (k/2)^2 cores, k/2 hosts per edge switch —
+    k^3/4 hosts and 5k^2/4 switches in all. Every link runs at
+    [rate_bps] (default 1 Gbps) with [link_delay] propagation per
+    traversal (default 5 us); every switch queue gets [queue_bytes]
+    capacity (default {!default_access_buffer}) and a fresh [marking ()]
+    policy. Downward routes (core -> agg -> edge -> host) are
+    deterministic single ports; upward routes are per-switch ECMP
+    groups over the k/2 uplinks, salted from the sim's Rng stream in a
+    fixed order, so all path decisions are a pure function of the sim
+    seed (see DESIGN §15). [edge_buffer] / [agg_buffer] / [core_buffer]
+    select each tier's memory model — a [Dynamic_threshold] tier gives
+    {e each} switch of that tier its own shared pool. [tracer] /
+    [metrics] reach every switch (no-route drop instrumentation), not
+    the queues. *)

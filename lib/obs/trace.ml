@@ -28,6 +28,7 @@ type event =
       limit_bytes : int;
     }
   | Pool_high_water of { pool_used : int }
+  | No_route_drop of { flow : int; dst : int }
 
 type record = { time : Time.t; component : string; event : event }
 
@@ -49,6 +50,7 @@ type cls =
   | C_rate_changed
   | C_pool_reject
   | C_pool_high_water
+  | C_no_route_drop
 
 let all_classes =
   [
@@ -69,6 +71,7 @@ let all_classes =
     C_rate_changed;
     C_pool_reject;
     C_pool_high_water;
+    C_no_route_drop;
   ]
 
 let cls_index = function
@@ -89,6 +92,7 @@ let cls_index = function
   | C_rate_changed -> 14
   | C_pool_reject -> 15
   | C_pool_high_water -> 16
+  | C_no_route_drop -> 17
 
 let cls_of_event = function
   | Enqueue _ -> C_enqueue
@@ -108,6 +112,7 @@ let cls_of_event = function
   | Rate_changed _ -> C_rate_changed
   | Pool_reject _ -> C_pool_reject
   | Pool_high_water _ -> C_pool_high_water
+  | No_route_drop _ -> C_no_route_drop
 
 let cls_name = function
   | C_enqueue -> "enqueue"
@@ -127,6 +132,7 @@ let cls_name = function
   | C_rate_changed -> "rate_changed"
   | C_pool_reject -> "pool_reject"
   | C_pool_high_water -> "pool_high_water"
+  | C_no_route_drop -> "no_route_drop"
 
 let cls_of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -147,6 +153,7 @@ let cls_of_name s =
   | "rate_changed" -> Some C_rate_changed
   | "pool_reject" -> Some C_pool_reject
   | "pool_high_water" -> Some C_pool_high_water
+  | "no_route_drop" -> Some C_no_route_drop
   | _ -> None
 
 (* --- serialization --- *)
@@ -204,6 +211,8 @@ let record_to_json r =
           ("limit_bytes", Json.Int limit_bytes);
         ]
     | Pool_high_water { pool_used } -> [ ("pool_used", Json.Int pool_used) ]
+    | No_route_drop { flow; dst } ->
+        [ ("flow", Json.Int flow); ("dst", Json.Int dst) ]
   in
   Json.Obj
     (("t_ns", Json.Int (Int64.to_int (Time.to_ns r.time)))
@@ -319,6 +328,10 @@ let record_of_json j =
     | "pool_high_water" ->
         let* pool_used = int "pool_used" in
         Ok (Pool_high_water { pool_used })
+    | "no_route_drop" ->
+        let* flow = int "flow" in
+        let* dst = int "dst" in
+        Ok (No_route_drop { flow; dst })
     | other -> Error (Printf.sprintf "trace record: unknown event %S" other)
   in
   Ok { time = Time.of_ns (Int64.of_int t_ns); component; event }
@@ -369,6 +382,8 @@ let record_to_csv r =
           Printf.sprintf "pool_used=%d;limit_bytes=%d" pool_used limit_bytes )
     | Pool_high_water { pool_used } ->
         (None, None, None, Printf.sprintf "pool_used=%d" pool_used)
+    | No_route_drop { flow; dst } ->
+        (Some flow, None, None, Printf.sprintf "dst=%d" dst)
   in
   let opt = function Some v -> string_of_int v | None -> "" in
   Printf.sprintf "%Ld,%s,%s,%s,%s,%s,%s"

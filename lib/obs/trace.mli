@@ -59,6 +59,9 @@ type event =
           plain [Drop] so occupancy-only consumers keep working. *)
   | Pool_high_water of { pool_used : int }
       (** The shared pool reached a new occupancy peak. *)
+  | No_route_drop of { flow : int; dst : int }
+      (** A switch received a packet whose destination has no routing
+          entry and dropped it — almost always a topology wiring bug. *)
 
 type record = { time : Engine.Time.t; component : string; event : event }
 
@@ -83,6 +86,7 @@ type cls =
   | C_rate_changed
   | C_pool_reject
   | C_pool_high_water
+  | C_no_route_drop
 
 val all_classes : cls list
 val cls_of_event : event -> cls

@@ -372,7 +372,7 @@ let lint_units ?(rules = rules) ?(report_paths = [])
             ("event_queue.ml" | "heap.ml" | "ring.ml" | "int_ring.ml");
           ] ->
           true
-      | Some [ "net"; "packet.ml" ] -> true
+      | Some [ "net"; ("packet.ml" | "ecmp.ml") ] -> true
       | _ -> false
     in
     let named_roots =

@@ -164,6 +164,24 @@ let deadline_gen =
        (Gen.triple (Gen.int_range 1 32) span_gen span_gen)
        (Gen.pair Gen.bool seed_gen))
 
+let fattree_gen =
+  Gen.map
+    (fun ((k, fanin, long_flows), (incast_bytes, time_cap, seed)) ->
+      Spec.Fattree
+        {
+          Workloads.Fattree.default_config with
+          k = 2 * k;
+          incast_fanin = fanin;
+          long_flows;
+          incast_bytes;
+          time_cap;
+          seed;
+        })
+    (Gen.pair
+       (Gen.triple (Gen.int_range 1 5) (Gen.int_range 1 64)
+          (Gen.int_range 0 32))
+       (Gen.triple (Gen.int_range 1 4_000_000) span_gen seed_gen))
+
 let workload_gen =
   Gen.oneof
     [
@@ -173,6 +191,7 @@ let workload_gen =
       dynamic_gen;
       convergence_gen;
       deadline_gen;
+      fattree_gen;
     ]
 
 (* Fault plans: valid by construction (windows sorted and disjoint,

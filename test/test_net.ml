@@ -889,6 +889,197 @@ let prop_buffer_dt_matches_float_model =
           end)
         ops)
 
+(* --- ECMP groups --- *)
+
+let test_ecmp_select_basic () =
+  let g = Net.Ecmp.make_group ~salt:42L ~ports:[| 3; 5; 9 |] in
+  checki "width" 3 (Net.Ecmp.width g);
+  checkb "ports copied out" true (Net.Ecmp.ports g = [| 3; 5; 9 |]);
+  let p = Net.Ecmp.select g ~src:1 ~dst:2 ~flow:7 in
+  checkb "selected from the set" true
+    (Array.exists (Int.equal p) (Net.Ecmp.ports g));
+  checki "same 5-tuple, same port" p (Net.Ecmp.select g ~src:1 ~dst:2 ~flow:7)
+
+let test_ecmp_validation () =
+  checkb "empty set raises" true
+    (match Net.Ecmp.make_group ~salt:1L ~ports:[||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "negative port raises" true
+    (match Net.Ecmp.make_group ~salt:1L ~ports:[| 0; -1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Selection is a pure function of (salt, src, dst, flow): two
+   identically-salted groups agree, repeats agree, and the pick is
+   always a member of the set. *)
+let prop_ecmp_flow_stickiness =
+  QCheck.Test.make ~count:500 ~name:"ECMP selection sticky per 5-tuple"
+    QCheck.(
+      quad int64 (int_bound 1_000) (int_bound 1_000) (int_bound 100_000))
+    (fun (salt, src, dst, flow) ->
+      let ports = [| 0; 1; 2; 3 |] in
+      let g = Net.Ecmp.make_group ~salt ~ports in
+      let g' = Net.Ecmp.make_group ~salt ~ports in
+      let p = Net.Ecmp.select g ~src ~dst ~flow in
+      p >= 0 && p < 4
+      && p = Net.Ecmp.select g ~src ~dst ~flow
+      && p = Net.Ecmp.select g' ~src ~dst ~flow)
+
+(* Chi-squared-style balance check: over n = 1000 x width sequential
+   flows the per-port counts must look uniform. df <= 7 puts the
+   statistic's mean at w-1 and std near sqrt(2(w-1)); the 5w bound is
+   many sigmas out (no flaky seeds) yet fails decisively for a biased
+   hash — e.g. [hash mod width] over sequential flows without mixing
+   concentrates whole residue classes on one port and scores in the
+   thousands. *)
+let prop_ecmp_balance =
+  QCheck.Test.make ~count:50 ~name:"ECMP spreads flows evenly (chi-squared)"
+    QCheck.(pair int64 (int_range 2 8))
+    (fun (salt, w) ->
+      let g = Net.Ecmp.make_group ~salt ~ports:(Array.init w Fun.id) in
+      let n = 1_000 * w in
+      let counts = Array.make w 0 in
+      for flow = 0 to n - 1 do
+        let p =
+          Net.Ecmp.select g ~src:(flow mod 17) ~dst:(flow mod 23) ~flow
+        in
+        counts.(p) <- counts.(p) + 1
+      done;
+      let e = float_of_int n /. float_of_int w in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. e in
+            acc +. (d *. d /. e))
+          0. counts
+      in
+      chi2 < 5. *. float_of_int w)
+
+let test_switch_ecmp_routing () =
+  let sim = Sim.create () in
+  let sw = Net.Switch.create sim ~id:0 () in
+  let counts = Array.make 3 0 in
+  let idx =
+    Array.init 3 (fun i ->
+        Net.Switch.add_port sw
+          (mk_port sim (fun _ -> counts.(i) <- counts.(i) + 1)))
+  in
+  let gi = Net.Switch.add_group sw ~salt:7L ~ports:idx in
+  checki "group registered" 1 (Net.Switch.group_count sw);
+  Net.Switch.set_group_route sw ~dst:9 ~group:gi;
+  let flows = List.init 30 Fun.id in
+  (* route_port is the pure view of what receive will do. *)
+  let predicted = Array.make 3 0 in
+  List.iter
+    (fun f ->
+      let p = Net.Switch.route_port sw ~src:1 ~dst:9 ~flow:f in
+      predicted.(p) <- predicted.(p) + 1;
+      Net.Switch.receive sw (mk_pkt ~sim ~src:1 ~dst:9 ~flow:f ()))
+    flows;
+  Sim.run sim;
+  Array.iteri
+    (fun i n -> checki (Printf.sprintf "port %d deliveries" i) n counts.(i))
+    predicted;
+  checki "every packet went somewhere" 30
+    (Array.fold_left ( + ) 0 counts);
+  checkb "group used more than one port" true
+    (Array.for_all (fun c -> c > 0) counts);
+  checki "single-port routes unaffected" (-1)
+    (Net.Switch.route_port sw ~src:1 ~dst:5 ~flow:0);
+  checkb "bad group raises" true
+    (match Net.Switch.set_group_route sw ~dst:1 ~group:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_switch_no_route_trace_and_metric () =
+  let sim = Sim.create () in
+  let ring = Obs.Trace.ring ~capacity:16 in
+  let tracer =
+    Obs.Trace.create ~classes:[ Obs.Trace.C_no_route_drop ]
+      (Obs.Trace.Ring ring)
+  in
+  let metrics = Obs.Metrics.create () in
+  let sw = Net.Switch.create sim ~id:3 ~tracer ~metrics () in
+  Net.Switch.receive sw (mk_pkt ~sim ~flow:5 ~dst:42 ());
+  checki "counted" 1 (Net.Switch.no_route_drops sw);
+  (match Obs.Trace.ring_records ring with
+  | [ { Obs.Trace.component; event = Obs.Trace.No_route_drop { flow; dst }; _ } ]
+    ->
+      Alcotest.check Alcotest.string "component" "sw3" component;
+      checki "flow" 5 flow;
+      checki "dst" 42 dst
+  | rs -> Alcotest.failf "expected one no_route_drop, got %d" (List.length rs));
+  match
+    List.assoc_opt "switch.sw3.no_route_drops" (Obs.Metrics.snapshot metrics)
+  with
+  | Some v -> checkf "probe" 1.0 v
+  | None -> Alcotest.fail "switch.sw3.no_route_drops probe missing"
+
+(* --- Fat tree --- *)
+
+let test_fat_tree_wiring () =
+  let sim = Sim.create () in
+  let ft =
+    Net.Topology.fat_tree sim ~k:4 ~marking:(fun () -> Net.Marking.none ()) ()
+  in
+  checki "k" 4 ft.Net.Topology.k;
+  checki "hosts = k^3/4" 16 (Array.length ft.Net.Topology.hosts);
+  checki "edges = k^2/2" 8 (Array.length ft.Net.Topology.edges);
+  checki "aggs = k^2/2" 8 (Array.length ft.Net.Topology.aggs);
+  checki "cores = (k/2)^2" 4 (Array.length ft.Net.Topology.cores);
+  (* Each edge: k/2 host ports + k/2 uplinks; each agg: k/2 down +
+     k/2 up; each core: one port per pod. *)
+  Array.iter
+    (fun sw -> checki "edge degree" 4 (Net.Switch.port_count sw))
+    ft.Net.Topology.edges;
+  Array.iter
+    (fun sw -> checki "agg degree" 4 (Net.Switch.port_count sw))
+    ft.Net.Topology.aggs;
+  Array.iter
+    (fun sw -> checki "core degree" 4 (Net.Switch.port_count sw))
+    ft.Net.Topology.cores;
+  checkb "odd k raises" true
+    (match
+       Net.Topology.fat_tree sim ~k:3
+         ~marking:(fun () -> Net.Marking.none ())
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Every ordered host pair exchanges one packet: all 240 deliveries
+   arrive and no switch anywhere records a no-route drop. *)
+let test_fat_tree_all_pairs () =
+  let sim = Sim.create () in
+  let ft =
+    Net.Topology.fat_tree sim ~k:4 ~marking:(fun () -> Net.Marking.none ()) ()
+  in
+  let hosts = ft.Net.Topology.hosts in
+  let n = Array.length hosts in
+  let got = ref 0 in
+  Array.iter
+    (fun h -> Net.Host.bind_flow h ~flow:1 (fun _ -> incr got))
+    hosts;
+  Array.iteri
+    (fun s src ->
+      Array.iteri
+        (fun d _ ->
+          if s <> d then
+            Net.Host.send src
+              (mk_pkt ~sim ~src:s ~dst:d ~flow:1 ()))
+        hosts)
+    hosts;
+  Sim.run sim;
+  checki "all pairs delivered" (n * (n - 1)) !got;
+  let no_route =
+    Array.fold_left (fun a sw -> a + Net.Switch.no_route_drops sw) 0
+  in
+  checki "no no-route drops" 0
+    (no_route ft.Net.Topology.edges
+    + no_route ft.Net.Topology.aggs
+    + no_route ft.Net.Topology.cores)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -953,6 +1144,17 @@ let suites =
         Alcotest.test_case "routing" `Quick test_switch_routing;
         Alcotest.test_case "no route" `Quick test_switch_no_route;
         Alcotest.test_case "bad indices" `Quick test_switch_bad_port;
+        Alcotest.test_case "ECMP group routing" `Quick
+          test_switch_ecmp_routing;
+        Alcotest.test_case "no-route trace and metric" `Quick
+          test_switch_no_route_trace_and_metric;
+      ] );
+    ( "net.ecmp",
+      [
+        Alcotest.test_case "select basics" `Quick test_ecmp_select_basic;
+        Alcotest.test_case "validation" `Quick test_ecmp_validation;
+        qtest prop_ecmp_flow_stickiness;
+        qtest prop_ecmp_balance;
       ] );
     ( "net.topology",
       [
@@ -972,6 +1174,9 @@ let suites =
           test_parking_lot_per_trunk_marking;
         Alcotest.test_case "parking lot validation" `Quick
           test_parking_lot_validation;
+        Alcotest.test_case "fat tree wiring" `Quick test_fat_tree_wiring;
+        Alcotest.test_case "fat tree all-pairs connectivity" `Quick
+          test_fat_tree_all_pairs;
       ] );
     ( "net.trace",
       [

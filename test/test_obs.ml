@@ -122,6 +122,7 @@ let test_record_serialization () =
       Trace.Rto { flow = 2; snd_una = 77; timeouts = 1 };
       Trace.Flow_start { flow = 5 };
       Trace.Flow_done { flow = 5; segments = 1000 };
+      Trace.No_route_drop { flow = 6; dst = 99 };
     ]
 
 (* --- Json parse / print --- *)
@@ -578,6 +579,7 @@ let all_events =
     Trace.Pkt_lost { flow = 9; size = 1500 };
     Trace.Mark_suppressed { occ_bytes = 30_000; occ_pkts = 20 };
     Trace.Rate_changed { rate_bps = 5e9 };
+    Trace.No_route_drop { flow = 10; dst = 63 };
   ]
 
 let test_record_of_json_every_constructor () =

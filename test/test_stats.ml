@@ -10,6 +10,52 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 
+(* --- FCT slowdown --- *)
+
+let test_fct_slowdown () =
+  checkf "plain ratio" 2.5
+    (Stats.Fct.slowdown ~ideal_ns:1_000L ~actual_ns:2_500L);
+  checkf "faster than ideal clamps to 1" 1.0
+    (Stats.Fct.slowdown ~ideal_ns:1_000L ~actual_ns:500L);
+  checkf "zero actual clamps to 1" 1.0
+    (Stats.Fct.slowdown ~ideal_ns:1_000L ~actual_ns:0L)
+
+let test_fct_slowdown_validation () =
+  checkb "zero ideal raises" true
+    (match Stats.Fct.slowdown ~ideal_ns:0L ~actual_ns:1L with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "negative actual raises" true
+    (match Stats.Fct.slowdown ~ideal_ns:1L ~actual_ns:(-1L) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Hand-computed against Percentile.of_sorted's linear interpolation:
+   rank = p/100 x (n-1) over the sorted copy. *)
+let test_fct_summarize () =
+  let s = Stats.Fct.summarize [| 5.; 1.; 4.; 2.; 3. |] in
+  checki "count" 5 s.Stats.Fct.count;
+  checkf "p50: rank 2" 3.0 s.Stats.Fct.p50;
+  checkf "p95: rank 3.8" 4.8 s.Stats.Fct.p95;
+  checkf ~eps:1e-9 "p99: rank 3.96" 4.96 s.Stats.Fct.p99;
+  checkf ~eps:1e-9 "p99.9: rank 3.996" 4.996 s.Stats.Fct.p999;
+  checkf "mean" 3.0 s.Stats.Fct.mean;
+  checkf "max" 5.0 s.Stats.Fct.max;
+  let s11 = Stats.Fct.summarize (Array.init 11 (fun i -> float_of_int (i + 1))) in
+  checkf "11 pts p50" 6.0 s11.Stats.Fct.p50;
+  checkf "11 pts p95: rank 9.5" 10.5 s11.Stats.Fct.p95;
+  checkf ~eps:1e-9 "11 pts p99: rank 9.9" 10.9 s11.Stats.Fct.p99;
+  checkf ~eps:1e-9 "11 pts p99.9: rank 9.99" 10.99 s11.Stats.Fct.p999;
+  checkb "empty raises" true
+    (match Stats.Fct.summarize [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fct_summarize_pure () =
+  let arr = [| 3.; 1.; 2. |] in
+  ignore (Stats.Fct.summarize arr);
+  checkb "input not sorted in place" true (arr = [| 3.; 1.; 2. |])
+
 (* --- Descriptive --- *)
 
 let test_desc_empty () =
@@ -566,6 +612,17 @@ let suites =
         Alcotest.test_case "renders" `Quick test_plot_renders;
         Alcotest.test_case "empty series" `Quick test_plot_empty;
         Alcotest.test_case "sparkline" `Quick test_sparkline;
+      ] );
+    ( "stats.fct",
+      [
+        Alcotest.test_case "slowdown ratio and clamp" `Quick
+          test_fct_slowdown;
+        Alcotest.test_case "slowdown validation" `Quick
+          test_fct_slowdown_validation;
+        Alcotest.test_case "summarize vs hand-computed" `Quick
+          test_fct_summarize;
+        Alcotest.test_case "summarize leaves input alone" `Quick
+          test_fct_summarize_pure;
       ] );
     ( "stats.spectrum",
       [

@@ -215,10 +215,16 @@ let s14 =
      write root "lib/net/packet.ml"
        "let free stack top p = stack.(top) <- p\n\
         let boxed_occupancy size live = float_of_int size *. float_of_int live\n";
+     (* lib/net/ecmp.ml joined the hot set with the fat-tree PR: every
+        ECMP port selection runs under Switch.receive. The planted
+        [select] builds a fresh capturing closure per packet. *)
+     write root "lib/net/ecmp.ml"
+       "let select ports salt flow = Array.map (fun p -> p lxor (salt + flow)) ports\n\
+        let ok_select ports idx = ports.(idx)\n";
      compile root
        [
          "lib/engine/ring.ml"; "lib/net/coldpath.ml";
-         "lib/engine/int_ring.ml"; "lib/net/packet.ml";
+         "lib/engine/int_ring.ml"; "lib/net/packet.ml"; "lib/net/ecmp.ml";
        ];
      root)
 
@@ -230,7 +236,7 @@ let test_r14_hot_path_allocs () =
     [
       "R14 lib/engine/int_ring.ml:1"; "R14 lib/engine/ring.ml:2";
       "R14 lib/engine/ring.ml:3"; "R14 lib/engine/ring.ml:5";
-      "R14 lib/net/packet.ml:2";
+      "R14 lib/net/ecmp.ml:1"; "R14 lib/net/packet.ml:2";
     ]
     vs;
   let capture =

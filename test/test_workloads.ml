@@ -43,6 +43,12 @@ module _ : Workloads.Workload.S = struct
 end
 
 module _ : Workloads.Workload.S = struct
+  include Workloads.Fattree
+
+  let run proto config = run proto config
+end
+
+module _ : Workloads.Workload.S = struct
   include Workloads.Deadline
 
   let run (proto : Dctcp.Protocol.t) config =
@@ -506,6 +512,55 @@ let test_instrument_validation () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* --- Fattree --- *)
+
+module Ft = Workloads.Fattree
+
+let small_fattree =
+  {
+    Ft.default_config with
+    Ft.k = 4;
+    incast_fanin = 4;
+    incast_bytes = 16 * 1024;
+    long_flows = 2;
+    long_bytes = 32 * 1024;
+    time_cap = Time.span_of_ms 500.;
+  }
+
+let test_fattree_completes () =
+  let r = Ft.run dctcp_proto small_fattree in
+  (* k=4: 8 racks x 4 incast senders + 2 long flows. *)
+  checki "flow count" 34 r.Ft.flows_total;
+  checki "all complete" 0 r.Ft.incomplete;
+  checki "fabric routes everything" 0 r.Ft.no_route_drops;
+  checkb "slowdowns at least 1" true (r.Ft.slowdown_p50 >= 1.);
+  checkb "percentiles ordered" true
+    (r.Ft.slowdown_p50 <= r.Ft.slowdown_p95
+    && r.Ft.slowdown_p95 <= r.Ft.slowdown_p99
+    && r.Ft.slowdown_p99 <= r.Ft.slowdown_p999
+    && r.Ft.slowdown_p999 <= r.Ft.slowdown_max)
+
+let test_fattree_determinism () =
+  let a = Ft.run dt_proto small_fattree in
+  let b = Ft.run dt_proto small_fattree in
+  checkb "bit-identical rerun" true (a = b);
+  let c = Ft.run dt_proto { small_fattree with Ft.seed = 2L } in
+  checkb "seed moves the details" true (a <> c)
+
+let test_fattree_validation () =
+  checkb "odd k raises" true
+    (match Ft.run dctcp_proto { small_fattree with Ft.k = 5 } with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "zero fanin raises" true
+    (match Ft.run dctcp_proto { small_fattree with Ft.incast_fanin = 0 } with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "faults rejected" true
+    (match Ft.run ~faults:Fault.Plan.none dctcp_proto small_fattree with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suites =
   [
     ( "workloads.longlived",
@@ -564,6 +619,13 @@ let suites =
           test_dynamic_reno_inflates_fct;
         Alcotest.test_case "determinism" `Quick test_dynamic_determinism;
         Alcotest.test_case "validation" `Quick test_dynamic_validation;
+      ] );
+    ( "workloads.fattree",
+      [
+        Alcotest.test_case "small fabric completes" `Quick
+          test_fattree_completes;
+        Alcotest.test_case "determinism" `Quick test_fattree_determinism;
+        Alcotest.test_case "validation" `Quick test_fattree_validation;
       ] );
     ( "workloads.instrument",
       [
